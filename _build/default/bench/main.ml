@@ -1,0 +1,132 @@
+(* Benchmark driver: regenerates every experiment table (E1-E10, see
+   DESIGN.md / EXPERIMENTS.md) plus Bechamel microbenchmarks of the
+   uncontended acquire/release path of every lock in the zoo.
+
+   Usage:
+     dune exec bench/main.exe              # everything, full sizes
+     dune exec bench/main.exe -- --quick   # everything, small sizes
+     dune exec bench/main.exe -- e4 e6     # selected experiments
+     dune exec bench/main.exe -- micro     # microbenchmarks only *)
+
+let say fmt = Printf.printf fmt
+
+(* ------------------------------------------------------- microbenches *)
+
+let micro_tests () =
+  let bound = 1 lsl 40 in
+  let tests =
+    List.map
+      (fun (family : Locks.Lock_intf.family) ->
+        let b = if family.family_name = "ticket_mod" then 64 else bound in
+        let inst = family.make ~nprocs:4 ~bound:b in
+        Bechamel.Test.make ~name:family.family_name
+          (Bechamel.Staged.stage (fun () ->
+               inst.acquire 0;
+               inst.release 0)))
+      Harness.Registry.lock_families
+  in
+  Bechamel.Test.make_grouped ~name:"uncontended" tests
+
+let run_micro ~quick =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let quota = Time.second (if quick then 0.2 else 0.75) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  let table =
+    Harness.Table.make
+      ~title:
+        "uB (paper §7 practicality): uncontended acquire+release latency, \
+         one domain"
+      ~notes:
+        [
+          "nanoseconds per lock/unlock pair on an otherwise idle lock \
+           created for 4 participants";
+          "the bakery family pays an O(N) doorway scan even uncontended; \
+           tas/ttas/ticket pay one atomic RMW";
+        ]
+      [ "lock"; "ns/op"; "r^2" ]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let per_clock = Hashtbl.find results (Measure.label clock) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows := (name, ns, r2) :: !rows)
+    per_clock;
+  List.iter
+    (fun (name, ns, r2) ->
+      let short =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      Harness.Table.add_rowf table "%s|%.1f|%.3f" short ns r2)
+    (List.sort (fun (_, a, _) (_, b, _) -> compare a b) !rows);
+  print_string (Harness.Table.render table);
+  print_newline ()
+
+(* ------------------------------------------------------------- driver *)
+
+let run_experiment ~quick (e : Harness.Experiments.experiment) =
+  say "---------------------------------------------------------------\n";
+  say "%s: %s\n\n%!" (String.uppercase_ascii e.id) e.summary;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun table ->
+      print_string (Harness.Table.render table);
+      print_newline ())
+    (e.run ~quick);
+  say "(%s took %.1fs)\n\n%!" e.id (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let wanted = if args = [] then [ "all" ] else args in
+  let all_ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in
+  say "Bakery++ reproduction bench driver (mode: %s)\n"
+    (if quick then "quick" else "full");
+  say "Machine: %d core(s) recognized by OCaml; spin loops yield (see \
+       Registers.Spin).\n\n%!"
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun id ->
+      match id with
+      | "all" ->
+          List.iter (run_experiment ~quick) Harness.Experiments.all;
+          List.iter
+            (fun (_, chart) ->
+              print_string chart;
+              print_newline ())
+            (Harness.Figures.all ~quick);
+          run_micro ~quick
+      | "micro" -> run_micro ~quick
+      | "figures" ->
+          List.iter
+            (fun (_, chart) ->
+              print_string chart;
+              print_newline ())
+            (Harness.Figures.all ~quick)
+      | id when List.mem id all_ids ->
+          run_experiment ~quick (Harness.Experiments.find id)
+      | id ->
+          say "unknown experiment %S; known: %s, micro, all\n" id
+            (String.concat ", " all_ids ^ ", figures");
+          exit 2)
+    wanted

@@ -1,0 +1,371 @@
+(* Command-line front end to the Bakery++ reproduction:
+
+     bakery_cli list                          catalogue of models/locks/experiments
+     bakery_cli show bakery_pp                pseudocode listing
+     bakery_cli check bakery_pp -n 3 -m 3     model-check (TLC-style report)
+     bakery_cli sim bakery -n 4 -m 255 ...    randomized simulation
+     bakery_cli lasso -n 3 -m 2 --fair        starvation search (paper 6.3)
+     bakery_cli refine -n 2 -m 3              trace-inclusion check (paper 6.2)
+     bakery_cli tla bakery_pp                 TLA+ export
+     bakery_cli bench e1 e4 --quick           regenerate experiment tables *)
+
+open Cmdliner
+
+let find_model name =
+  match Harness.Registry.find_model name with
+  | p -> p
+  | exception Not_found ->
+      Printf.eprintf "unknown model %S; try: %s\n" name
+        (String.concat ", " Harness.Registry.model_names);
+      exit 2
+
+(* ------------------------------------------------------- shared args *)
+
+let model_arg =
+  let doc = "Algorithm model name (see `bakery_cli list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let nprocs_arg =
+  let doc = "Number of processes (the paper's N)." in
+  Arg.(value & opt int 2 & info [ "n"; "nprocs" ] ~docv:"N" ~doc)
+
+let bound_arg =
+  let doc = "Register capacity (the paper's M)." in
+  Arg.(value & opt int 3 & info [ "m"; "bound" ] ~docv:"M" ~doc)
+
+(* --------------------------------------------------------------- list *)
+
+let list_cmd =
+  let run () =
+    print_endline "Models (for `check`, `sim`, `show`, `tla`):";
+    List.iter (Printf.printf "  %s\n") Harness.Registry.model_names;
+    print_endline "\nRuntime lock families (used by the bench driver):";
+    List.iter
+      (fun (f : Locks.Lock_intf.family) ->
+        Printf.printf "  %-20s%s\n" f.family_name
+          (if f.needs_bound then " (uses the register bound M)" else ""))
+      Harness.Registry.lock_families;
+    print_endline "\nExperiments (for `bench`):";
+    List.iter
+      (fun (e : Harness.Experiments.experiment) ->
+        Printf.printf "  %-5s %s\n" e.id e.summary)
+      Harness.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Catalogue of models, locks and experiments")
+    Term.(const run $ const ())
+
+(* --------------------------------------------------------------- show *)
+
+let show_cmd =
+  let run model =
+    let p = find_model model in
+    print_string (Mxlang.Pretty.program p)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print a model as pseudocode")
+    Term.(const run $ model_arg)
+
+(* -------------------------------------------------------------- check *)
+
+let check_cmd =
+  let cap_arg =
+    let doc =
+      "State constraint: cap every cell of the model's $(i,number)-like \
+       variables at this value (closes infinite spaces, e.g. the original \
+       bakery).  0 disables."
+    in
+    Arg.(value & opt int 0 & info [ "cap" ] ~docv:"CAP" ~doc)
+  in
+  let max_states_arg =
+    let doc = "Abort after storing this many distinct states." in
+    Arg.(value & opt int 5_000_000 & info [ "max-states" ] ~docv:"K" ~doc)
+  in
+  let no_overflow_arg =
+    let doc = "Also check the no-overflow invariant (on by default)." in
+    Arg.(value & opt bool true & info [ "overflow" ] ~docv:"BOOL" ~doc)
+  in
+  let coverage_arg =
+    let doc = "Also print TLC-style action coverage." in
+    Arg.(value & flag & info [ "coverage" ] ~doc)
+  in
+  let parallel_arg =
+    let doc = "Use the level-synchronized parallel BFS engine with this many domains." in
+    Arg.(value & opt int 0 & info [ "parallel" ] ~docv:"D" ~doc)
+  in
+  let run model nprocs bound cap max_states with_overflow coverage parallel =
+    let p = find_model model in
+    let sys = Modelcheck.System.make p ~nprocs ~bound in
+    let invariants =
+      Modelcheck.Invariant.mutex
+      :: (if with_overflow then [ Modelcheck.Invariant.no_overflow ] else [])
+    in
+    let constraint_ =
+      if cap > 0 then Some (Core.Verify.ticket_cap_constraint ~cap) else None
+    in
+    let r =
+      if parallel > 0 then
+        Modelcheck.Par_explore.run ~invariants ?constraint_ ~max_states
+          ~domains:parallel sys
+      else Modelcheck.Explore.run ~invariants ?constraint_ ~max_states sys
+    in
+    print_endline (Modelcheck.Report.result_string sys r);
+    if coverage then begin
+      let c = Modelcheck.Coverage.measure ?constraint_ ~max_states sys in
+      Format.printf "Action coverage:@.%a@." Modelcheck.Coverage.pp c
+    end;
+    match r.outcome with Modelcheck.Explore.Pass -> exit 0 | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check a model for mutual exclusion (and overflow-freedom)")
+    Term.(
+      const run $ model_arg $ nprocs_arg $ bound_arg $ cap_arg $ max_states_arg
+      $ no_overflow_arg $ coverage_arg $ parallel_arg)
+
+(* ---------------------------------------------------------------- sim *)
+
+let sim_cmd =
+  let steps_arg =
+    Arg.(
+      value & opt int 500_000
+      & info [ "steps" ] ~docv:"STEPS" ~doc:"Atomic steps to simulate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let sched_arg =
+    let doc =
+      "Scheduler: $(b,rr) (round-robin), $(b,uniform), or \
+       $(b,handicap) (process 0 runs every 50th decision)."
+    in
+    Arg.(value & opt string "uniform" & info [ "sched" ] ~docv:"S" ~doc)
+  in
+  let crash_arg =
+    let doc = "Per-step crash probability (0 disables; paper 1.2 cond 4)." in
+    Arg.(value & opt float 0.0 & info [ "crash" ] ~docv:"P" ~doc)
+  in
+  let flicker_arg =
+    let doc =
+      "Safe-register flicker probability: reads of cells being written \
+       return arbitrary in-range values (0 disables)."
+    in
+    Arg.(value & opt float 0.0 & info [ "flicker" ] ~docv:"P" ~doc)
+  in
+  let wrap_arg =
+    let doc = "Wrap too-large stores (real-register behaviour) instead of just counting them." in
+    Arg.(value & flag & info [ "wrap" ] ~doc)
+  in
+  let run model nprocs bound steps seed sched crash flicker wrap =
+    let p = find_model model in
+    let strategy =
+      match sched with
+      | "rr" | "round-robin" -> Schedsim.Scheduler.Round_robin
+      | "uniform" -> Schedsim.Scheduler.Uniform seed
+      | "handicap" ->
+          Schedsim.Scheduler.Handicap { victim = 0; period = 50; seed }
+      | s ->
+          Printf.eprintf "unknown scheduler %S\n" s;
+          exit 2
+    in
+    let cfg =
+      {
+        (Schedsim.Runner.default_config ~nprocs ~bound) with
+        strategy;
+        max_steps = steps;
+        seed;
+        overflow_policy =
+          (if wrap then Schedsim.Runner.Wrap else Schedsim.Runner.Detect);
+        crash =
+          (if crash > 0.0 then
+             Some
+               {
+                 Schedsim.Runner.crash_prob = crash;
+                 restart_delay = 100;
+                 only_outside_cs = false;
+               }
+           else None);
+        flicker =
+          (if flicker > 0.0 then
+             Some { Schedsim.Runner.flicker_prob = flicker; max_value = bound }
+           else None);
+      }
+    in
+    let r = Schedsim.Runner.run p cfg in
+    Printf.printf "model %s, N=%d, M=%d, %s, %d steps\n" p.Mxlang.Ast.title
+      nprocs bound (Schedsim.Scheduler.describe strategy) r.steps;
+    Printf.printf "CS entries: %d  per process: [%s]\n"
+      (Schedsim.Runner.total_cs r)
+      (String.concat "; " (Array.to_list (Array.map string_of_int r.cs_entries)));
+    Printf.printf "mutex violations: %d\n" r.mutex_violations;
+    Printf.printf "overflow events:  %d\n" r.overflow_events;
+    Printf.printf "FCFS inversions:  %d\n" r.fcfs_inversions;
+    Printf.printf "crashes: %d  flickers: %d\n" r.crashes r.flickers;
+    Printf.printf "throughput: %.4f CS/step  fairness (Jain): %.3f\n"
+      (Schedsim.Metrics.throughput r)
+      (Schedsim.Metrics.jain_fairness r);
+    if r.mutex_violations > 0 || r.overflow_events > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Run a randomized simulation with crashes and register anomalies")
+    Term.(
+      const run $ model_arg $ nprocs_arg $ bound_arg $ steps_arg $ seed_arg
+      $ sched_arg $ crash_arg $ flicker_arg $ wrap_arg)
+
+(* -------------------------------------------------------------- lasso *)
+
+let lasso_cmd =
+  let fair_arg =
+    let doc =
+      "Require a fairness-consistent lasso (the victim must be disabled \
+       somewhere on the cycle)."
+    in
+    Arg.(value & flag & info [ "fair" ] ~doc)
+  in
+  let victim_arg =
+    Arg.(value & opt int 0 & info [ "victim" ] ~docv:"PID" ~doc:"Starving process.")
+  in
+  let run nprocs bound fair victim =
+    let r =
+      Core.Verify.starvation_lasso ~require_victim_disabled:fair ~victim
+        ~nprocs ~bound ()
+    in
+    let sys = Core.Verify.system ~nprocs ~bound () in
+    print_endline (Modelcheck.Report.lasso_string sys ~victim r);
+    match r.witness with Some _ -> exit 0 | None -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "lasso"
+       ~doc:"Search Bakery++ for the paper's 6.3 starvation scenario at L1")
+    Term.(const run $ nprocs_arg $ bound_arg $ fair_arg $ victim_arg)
+
+(* ------------------------------------------------------------- verify *)
+
+let verify_cmd =
+  let run nprocs bound =
+    let b = Core.Verify.verify_all ~nprocs ~bound () in
+    print_string b.report;
+    let ok =
+      b.invariants_hold && b.bakery_overflows && b.refinement_holds
+      && b.waiting_room_lasso_free
+      && (nprocs < 3 || b.gate_lasso_exists)
+    in
+    print_endline (if ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
+    exit (if ok then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the paper's full 6 verification battery at one configuration")
+    Term.(const run $ nprocs_arg $ bound_arg)
+
+(* ------------------------------------------------------------- refine *)
+
+let refine_cmd =
+  let run nprocs bound =
+    let impl = Core.Verify.system ~nprocs ~bound () in
+    let spec =
+      Modelcheck.System.make (Algorithms.Bakery.program ()) ~nprocs ~bound
+    in
+    let r = Core.Verify.refines_bakery ~nprocs ~bound () in
+    print_endline (Modelcheck.Report.refinement_string ~impl ~spec r);
+    if r.included then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Check that Bakery++ refines Bakery (paper 6.2) by trace inclusion")
+    Term.(const run $ nprocs_arg $ bound_arg)
+
+(* ---------------------------------------------------------------- tla *)
+
+let tla_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the module to FILE.")
+  in
+  let run model out =
+    let p = find_model model in
+    let text = Mxlang.Tla.export p in
+    match out with
+    | None -> print_string text
+    | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (module %s)\n" file (Mxlang.Tla.module_name p)
+  in
+  Cmd.v
+    (Cmd.info "tla" ~doc:"Export a model as a TLA+ module (checkable with TLC)")
+    Term.(const run $ model_arg $ out_arg)
+
+(* -------------------------------------------------------------- graph *)
+
+let graph_cmd =
+  let max_states_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "max-states" ] ~docv:"K" ~doc:"Cap on rendered states.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT to FILE.")
+  in
+  let run model nprocs bound max_states out =
+    let p = find_model model in
+    let sys = Modelcheck.System.make p ~nprocs ~bound in
+    let dot = Modelcheck.Dot.of_system ~max_states sys in
+    match out with
+    | None -> print_string dot
+    | Some file ->
+        let oc = open_out file in
+        output_string oc dot;
+        close_out oc;
+        Printf.printf "wrote %s (render with: dot -Tsvg %s -o graph.svg)\n" file
+          file
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Export the reachable state graph as Graphviz DOT")
+    Term.(const run $ model_arg $ nprocs_arg $ bound_arg $ max_states_arg $ out_arg)
+
+(* -------------------------------------------------------------- bench *)
+
+let bench_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes (seconds, not minutes).")
+  in
+  let run ids quick =
+    let ids = if ids = [] then List.map (fun (e : Harness.Experiments.experiment) -> e.id) Harness.Experiments.all else ids in
+    List.iter
+      (fun id ->
+        match Harness.Experiments.find id with
+        | e ->
+            Printf.printf "%s: %s\n\n" (String.uppercase_ascii e.id) e.summary;
+            List.iter
+              (fun t ->
+                print_string (Harness.Table.render t);
+                print_newline ())
+              (e.run ~quick)
+        | exception Not_found ->
+            Printf.eprintf "unknown experiment %S\n" id;
+            exit 2)
+      ids
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Regenerate experiment tables (see EXPERIMENTS.md)")
+    Term.(const run $ ids_arg $ quick_arg)
+
+let () =
+  let info =
+    Cmd.info "bakery_cli" ~version:"1.0.0"
+      ~doc:"Bakery++ (ICPP 2020) reproduction toolkit"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; show_cmd; check_cmd; sim_cmd; lasso_cmd; refine_cmd;
+            verify_cmd; tla_cmd; graph_cmd; bench_cmd;
+          ]))

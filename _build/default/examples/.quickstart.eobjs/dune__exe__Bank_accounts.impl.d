@@ -1,0 +1,1 @@
+examples/bank_accounts.ml: Array Core Domain Printf Prng

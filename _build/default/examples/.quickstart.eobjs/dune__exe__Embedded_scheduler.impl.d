@@ -1,0 +1,1 @@
+examples/embedded_scheduler.ml: Array Core Modelcheck Printf Schedsim String

@@ -1,0 +1,1 @@
+examples/model_check_demo.ml: Algorithms Core Modelcheck Mxlang Printf

@@ -1,0 +1,1 @@
+examples/overflow_demo.ml: Array Core Domain Harness Locks Printf Registers

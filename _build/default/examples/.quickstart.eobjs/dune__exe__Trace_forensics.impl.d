@@ -1,0 +1,1 @@
+examples/trace_forensics.ml: Algorithms Array Filename Format List Modelcheck Printf Schedsim String

@@ -1,0 +1,69 @@
+(* The paper's §8.1 question, on the simulator: a tiny embedded machine
+   whose ticket registers hold only a handful of values (say a 2-bit
+   field, M = 3), shared by more tasks than ticket values (N = 8).
+
+   Question: "if there are more customers than the maximum value that
+   may be written on a ticket, can every process that wishes to enter
+   still do so eventually?"  Empirically, with Bakery++: yes — safety is
+   unconditional, every task keeps being served, and the cost appears as
+   overflow resets and time parked at the L1 gate.
+
+   We also replay the paper's crash-restart failure model (§1.2, cond 4)
+   on top: tasks crash at arbitrary points, reset their own registers and
+   rejoin.
+
+   Run with:  dune exec examples/embedded_scheduler.exe *)
+
+let () =
+  let nprocs = 8 and bound = 3 in
+  let prog = Core.Bakery_pp_model.program () in
+  let steps = 400_000 in
+  let run ~crash =
+    let cfg =
+      {
+        (Schedsim.Runner.default_config ~nprocs ~bound) with
+        strategy = Schedsim.Scheduler.Uniform 77;
+        max_steps = steps;
+        crash =
+          (if crash then
+             Some
+               {
+                 Schedsim.Runner.crash_prob = 0.0005;
+                 restart_delay = 200;
+                 only_outside_cs = false;
+               }
+           else None);
+      }
+    in
+    Schedsim.Runner.run prog cfg
+  in
+  let report title (r : Schedsim.Runner.result) =
+    Printf.printf "\n%s (%d tasks, M = %d, %d steps)\n" title nprocs bound
+      r.steps;
+    Printf.printf "  critical-section entries: %d total, per task: [%s]\n"
+      (Schedsim.Runner.total_cs r)
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int r.cs_entries)));
+    Printf.printf "  overflow events: %d   mutex violations: %d\n"
+      r.overflow_events r.mutex_violations;
+    Printf.printf "  overflow resets: %d   gate passes: %d   crashes: %d\n"
+      (Schedsim.Metrics.label_count prog r Core.Bakery_pp_model.reset_label)
+      (Schedsim.Metrics.label_count prog r Core.Bakery_pp_model.gate_label)
+      r.crashes;
+    Printf.printf "  fairness (Jain): %.3f   FCFS inversions: %d\n"
+      (Schedsim.Metrics.jain_fairness r)
+      r.fcfs_inversions;
+    assert (r.overflow_events = 0);
+    assert (r.mutex_violations = 0);
+    assert (Array.for_all (fun c -> c > 0) r.cs_entries)
+  in
+  report "N > M, fault-free" (run ~crash:false);
+  report "N > M, with crash-restart" (run ~crash:true);
+  print_endline
+    "\nEvery task kept being served: condition 2 of 1.2 held empirically \
+     even with N > M.";
+  (* And exhaustively, for a small instance: *)
+  let r = Core.Verify.check_bakery_pp ~nprocs:4 ~bound:2 () in
+  let sys = Core.Verify.system ~nprocs:4 ~bound:2 () in
+  print_newline ();
+  print_endline (Modelcheck.Report.result_string sys r)

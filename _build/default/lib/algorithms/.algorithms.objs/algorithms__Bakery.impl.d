@@ -1,0 +1,1 @@
+lib/algorithms/bakery.ml: Common Mxlang Printf

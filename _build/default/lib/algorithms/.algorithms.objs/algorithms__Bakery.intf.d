@@ -1,0 +1,1 @@
+lib/algorithms/bakery.mli: Common Mxlang

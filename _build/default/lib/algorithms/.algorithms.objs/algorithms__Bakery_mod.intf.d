@@ -1,0 +1,1 @@
+lib/algorithms/bakery_mod.mli: Mxlang

@@ -1,0 +1,1 @@
+lib/algorithms/blackwhite.ml: Mxlang

@@ -1,0 +1,1 @@
+lib/algorithms/burns_lynch.ml: Mxlang

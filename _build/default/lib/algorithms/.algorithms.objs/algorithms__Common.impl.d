@@ -1,0 +1,1 @@
+lib/algorithms/common.ml: Mxlang

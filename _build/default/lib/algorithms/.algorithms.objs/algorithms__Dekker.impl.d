@@ -1,0 +1,1 @@
+lib/algorithms/dekker.ml: Mxlang

@@ -1,0 +1,1 @@
+lib/algorithms/eisenberg.mli: Mxlang

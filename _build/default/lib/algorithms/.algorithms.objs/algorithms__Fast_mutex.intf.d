@@ -1,0 +1,1 @@
+lib/algorithms/fast_mutex.mli: Mxlang

@@ -1,0 +1,1 @@
+lib/algorithms/filter_lock.mli: Mxlang

@@ -1,0 +1,1 @@
+lib/algorithms/knuth.ml: Mxlang

@@ -1,0 +1,1 @@
+lib/algorithms/no_lock.mli: Mxlang

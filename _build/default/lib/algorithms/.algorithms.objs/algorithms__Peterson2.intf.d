@@ -1,0 +1,1 @@
+lib/algorithms/peterson2.mli: Mxlang

@@ -1,0 +1,1 @@
+lib/algorithms/szymanski.ml: Mxlang

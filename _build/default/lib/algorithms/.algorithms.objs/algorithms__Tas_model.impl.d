@@ -1,0 +1,1 @@
+lib/algorithms/tas_model.ml: Mxlang

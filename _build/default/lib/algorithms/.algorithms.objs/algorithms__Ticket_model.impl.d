@@ -1,0 +1,1 @@
+lib/algorithms/ticket_model.ml: Mxlang

@@ -1,0 +1,45 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program ?(granularity = Common.Coarse) () =
+  let b =
+    B.create
+      ~title:
+        (Printf.sprintf "bakery_%s" (Common.granularity_name granularity))
+  in
+  let choosing = B.shared_per_process b "choosing" () in
+  let number = B.shared_per_process b "number" ~bounded:true () in
+  let j = B.local b "j" in
+  let ncs = B.fresh_label b "ncs" in
+  let set_choosing = B.fresh_label b "choose" in
+  let unset_choosing = B.fresh_label b "done_choosing" in
+  let cs = B.fresh_label b "cs" in
+  B.define b ncs ~kind:Noncritical [ B.goto set_choosing ];
+  (match granularity with
+  | Common.Coarse ->
+      let pick = B.fresh_label b "pick" in
+      B.define b set_choosing ~kind:Doorway
+        [ B.action ~effects:[ set_own choosing one ] pick ];
+      (* L1 of Algorithm 1: number[i] := 1 + maximum(number[1..N]). *)
+      B.define b pick ~kind:Doorway
+        [ B.action ~effects:[ set_own number (one +: max_arr number) ] unset_choosing ]
+  | Common.Fine ->
+      let acc = B.local b "mx" in
+      let store = B.fresh_label b "store" in
+      let head = Common.max_loop b ~number ~k:j ~acc ~done_:store in
+      B.define b set_choosing ~kind:Doorway
+        [
+          B.action
+            ~effects:[ set_own choosing one; set_local j zero; set_local acc zero ]
+            head;
+        ];
+      B.define b store ~kind:Doorway
+        [ B.action ~effects:[ set_own number (lv acc +: one) ] unset_choosing ]);
+  let scan =
+    Common.scan_loop b ~number ~choosing ~j ~cs
+  in
+  B.define b unset_choosing ~kind:Doorway
+    [ B.action ~effects:[ set_own choosing zero; set_local j zero ] scan ];
+  Common.cyclic_tail b ~number ~cs ~ncs;
+  B.build b

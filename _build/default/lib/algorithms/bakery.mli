@@ -1,0 +1,10 @@
+(** Lamport's original Bakery algorithm (the paper's Algorithm 1).
+
+    The [number] array is declared register-bounded, so model checking the
+    program with the [no_overflow] invariant demonstrates the paper's §3
+    problem: tickets grow without bound and eventually a value [> M] is
+    stored.  Mutual exclusion itself holds (checked under a ticket-cap
+    state constraint, since the raw state space is infinite). *)
+
+val program : ?granularity:Common.granularity -> unit -> Mxlang.Ast.program
+(** Defaults to [Coarse]. *)

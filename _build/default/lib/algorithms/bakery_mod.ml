@@ -1,0 +1,25 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"bakery_mod_naive" in
+  let choosing = B.shared_per_process b "choosing" () in
+  let number = B.shared_per_process b "number" ~bounded:true () in
+  let j = B.local b "j" in
+  let ncs = B.fresh_label b "ncs" in
+  let set_choosing = B.fresh_label b "choose" in
+  let pick = B.fresh_label b "pick" in
+  let unset_choosing = B.fresh_label b "done_choosing" in
+  let cs = B.fresh_label b "cs" in
+  B.define b ncs ~kind:Noncritical [ B.goto set_choosing ];
+  B.define b set_choosing ~kind:Doorway
+    [ B.action ~effects:[ set_own choosing one ] pick ];
+  (* The unsound wrap: tickets stay < M but the ticket order breaks. *)
+  B.define b pick ~kind:Doorway
+    [ B.action ~effects:[ set_own number ((one +: max_arr number) %: m) ] unset_choosing ];
+  let scan = Common.scan_loop b ~number ~choosing ~j ~cs in
+  B.define b unset_choosing ~kind:Doorway
+    [ B.action ~effects:[ set_own choosing zero; set_local j zero ] scan ];
+  Common.cyclic_tail b ~number ~cs ~ncs;
+  B.build b

@@ -1,0 +1,12 @@
+(** Naive "wrap the ticket" Bakery: identical to the original except the
+    new ticket is [(1 + maximum(number)) mod M].
+
+    This is the strawman version of related-work approach 1 (modulo
+    arithmetic, §4 of the paper): bounding the registers this way without
+    also redefining the [<] comparison is unsound.  The model checker
+    finds a mutual-exclusion counterexample — a wrapped ticket of 0 makes
+    a competing process invisible — which is exactly why Jayanti et al.
+    needed a redefined order, and why Bakery++'s reset approach is
+    attractive. *)
+
+val program : unit -> Mxlang.Ast.program

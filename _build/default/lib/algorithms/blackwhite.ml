@@ -1,0 +1,91 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let ticket_bound ~nprocs = nprocs
+
+let program () =
+  let b = B.create ~title:"black_white_bakery" in
+  let color = B.shared b "color" ~size:1 () in
+  let choosing = B.shared_per_process b "choosing" () in
+  let mycolor = B.shared_per_process b "mycolor" () in
+  let number = B.shared_per_process b "number" ~bounded:true () in
+  let j = B.local b "j" in
+  let acc = B.local b "mx" in
+  let ncs = B.fresh_label b "ncs" in
+  let set_choosing = B.fresh_label b "choose" in
+  let take_color = B.fresh_label b "take_color" in
+  let max_head = B.fresh_label b "max_same_color" in
+  let max_read = B.fresh_label b "max_same_color_read" in
+  let store = B.fresh_label b "store" in
+  let unset_choosing = B.fresh_label b "done_choosing" in
+  let w_head = B.fresh_label b "scan" in
+  let w_choosing = B.fresh_label b "W_choosing" in
+  let w_dispatch = B.fresh_label b "W_dispatch" in
+  let w_same = B.fresh_label b "W_same_color" in
+  let w_diff = B.fresh_label b "W_diff_color" in
+  let next_j = B.fresh_label b "next_j" in
+  let cs = B.fresh_label b "cs" in
+  let flip = B.fresh_label b "flip_color" in
+  let release = B.fresh_label b "release" in
+  B.define b ncs ~kind:Noncritical [ B.goto set_choosing ];
+  B.define b set_choosing ~kind:Doorway
+    [ B.action ~effects:[ set_own choosing one ] take_color ];
+  B.define b take_color ~kind:Doorway
+    [
+      B.action
+        ~effects:[ set_own mycolor (rd color zero); set_local j zero; set_local acc zero ]
+        max_head;
+    ];
+  (* number[i] := 1 + max{number[q] : mycolor[q] = mycolor[i]} — computed
+     one read per step (there is no atomic colored max in real hardware,
+     and none is needed for correctness). *)
+  B.define b max_head ~kind:Doorway (B.ite (lv j <: n) max_read store);
+  B.define b max_read ~kind:Doorway
+    [
+      B.action
+        ~effects:
+          [
+            set_local acc
+              (ite
+                 ((rd mycolor (lv j) =: rd_own mycolor)
+                 &&: (rd number (lv j) >: lv acc))
+                 (rd number (lv j)) (lv acc));
+            set_local j (lv j +: one);
+          ]
+        max_head;
+    ];
+  B.define b store ~kind:Doorway
+    [ B.action ~effects:[ set_own number (lv acc +: one) ] unset_choosing ];
+  B.define b unset_choosing ~kind:Doorway
+    [ B.action ~effects:[ set_own choosing zero; set_local j zero ] w_head ];
+  B.define b w_head ~kind:Waiting (B.ite (lv j <: n) w_choosing cs);
+  B.define b w_choosing ~kind:Waiting
+    (B.await (rd choosing (lv j) =: zero) w_dispatch);
+  B.define b w_dispatch ~kind:Waiting
+    (B.ite (rd mycolor (lv j) =: rd_own mycolor) w_same w_diff);
+  (* Same color: ordinary bakery ticket order decides. *)
+  B.define b w_same ~kind:Waiting
+    (B.await
+       (rd number (lv j) =: zero
+       ||: not_ (lex_lt (rd number (lv j), lv j) (rd_own number, self))
+       ||: (rd mycolor (lv j) <>: rd_own mycolor))
+       next_j);
+  (* Different color: j goes first unless the shared color already moved
+     past my color (then j belongs to the next round). *)
+  B.define b w_diff ~kind:Waiting
+    (B.await
+       (rd number (lv j) =: zero
+       ||: (rd_own mycolor <>: rd color zero)
+       ||: (rd mycolor (lv j) =: rd_own mycolor))
+       next_j);
+  B.define b next_j ~kind:Waiting
+    [ B.action ~effects:[ set_local j (lv j +: one) ] w_head ];
+  B.define b cs ~kind:Critical [ B.goto flip ];
+  (* Exit: flip the shared color away from my color, then retire the
+     ticket.  Order matters: Taubenfeld flips first. *)
+  B.define b flip ~kind:Exit
+    [ B.action ~effects:[ set color zero (one -: rd_own mycolor) ] release ];
+  B.define b release ~kind:Exit
+    [ B.action ~effects:[ set_own number zero ] ncs ];
+  B.build b

@@ -1,0 +1,14 @@
+(** Taubenfeld's Black-White Bakery algorithm (DISC 2004) — the paper's
+    related-work approach 2 (bounded tickets at the price of an extra
+    shared variable that every process writes).
+
+    Tickets carry a color; the shared [color] bit flips at each exit, and
+    a process only competes on ticket numbers against same-colored
+    processes, which bounds tickets by N.  Contrast with Bakery++: here
+    the single-writer property is lost ([color] is written by everyone),
+    which is the design point the paper criticizes. *)
+
+val program : unit -> Mxlang.Ast.program
+
+val ticket_bound : nprocs:int -> int
+(** The largest ticket value the algorithm can generate: N. *)

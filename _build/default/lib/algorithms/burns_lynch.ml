@@ -1,0 +1,30 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"burns_lynch" in
+  let flag = B.shared_per_process b "flag" () in
+  let ncs = B.fresh_label b "ncs" in
+  let down = B.fresh_label b "flag_down" in
+  let scan_lower1 = B.fresh_label b "scan_lower_pre" in
+  let up = B.fresh_label b "flag_up" in
+  let scan_lower2 = B.fresh_label b "scan_lower_post" in
+  let wait_higher = B.fresh_label b "wait_higher" in
+  let cs = B.fresh_label b "cs" in
+  let release = B.fresh_label b "release" in
+  B.define b ncs ~kind:Noncritical [ B.goto down ];
+  B.define b down ~kind:Entry [ B.action ~effects:[ set_own flag zero ] scan_lower1 ];
+  (* Defer to any lower-id contender, twice: once before and once after
+     raising our own flag. *)
+  B.define b scan_lower1 ~kind:Entry
+    (B.ite (qexists Rbelow (rd flag q =: one)) down up);
+  B.define b up ~kind:Entry [ B.action ~effects:[ set_own flag one ] scan_lower2 ];
+  B.define b scan_lower2 ~kind:Entry
+    (B.ite (qexists Rbelow (rd flag q =: one)) down wait_higher);
+  (* Then wait out every higher-id process that got ahead. *)
+  B.define b wait_higher ~kind:Waiting
+    (B.await (qall Rabove (rd flag q =: zero)) cs);
+  B.define b cs ~kind:Critical [ B.goto release ];
+  B.define b release ~kind:Exit [ B.action ~effects:[ set_own flag zero ] ncs ];
+  B.build b

@@ -1,0 +1,9 @@
+(** The Burns–Lynch one-bit mutual exclusion algorithm.
+
+    Space-optimal: exactly one single-writer bit per process (mutual
+    exclusion provably needs N shared bits).  Deadlock-free but not
+    starvation-free and not FCFS — the minimal-space endpoint of the
+    paper's §4 design space, against which Bakery++'s O(N) bounded
+    registers buy fairness. *)
+
+val program : unit -> Mxlang.Ast.program

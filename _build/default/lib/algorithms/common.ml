@@ -1,0 +1,46 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+type granularity = Coarse | Fine
+
+let granularity_name = function Coarse -> "coarse" | Fine -> "fine"
+
+let scan_loop b ~number ~choosing ~j ~cs =
+  let loop_head = B.fresh_label b "scan" in
+  let l2 = B.fresh_label b "L2" in
+  let l3 = B.fresh_label b "L3" in
+  let next_j = B.fresh_label b "next_j" in
+  B.define b loop_head ~kind:Waiting (B.ite (lv j <: n) l2 cs);
+  B.define b l2 ~kind:Waiting (B.await (rd choosing (lv j) =: zero) l3);
+  (* Proceed when number[j] = 0 or (number[j], j) is not before
+     (number[i], i) in ticket order. *)
+  B.define b l3 ~kind:Waiting
+    (B.await
+       (rd number (lv j) =: zero
+       ||: not_ (lex_lt (rd number (lv j), lv j) (rd_own number, self)))
+       next_j);
+  B.define b next_j ~kind:Waiting
+    [ B.action ~effects:[ set_local j (lv j +: one) ] loop_head ];
+  loop_head
+
+let max_loop b ~number ~k ~acc ~done_ =
+  let head = B.fresh_label b "max_scan" in
+  let read = B.fresh_label b "max_read" in
+  B.define b head ~kind:Doorway (B.ite (lv k <: n) read done_);
+  B.define b read ~kind:Doorway
+    [
+      B.action
+        ~effects:
+          [
+            set_local acc (ite (rd number (lv k) >: lv acc) (rd number (lv k)) (lv acc));
+            set_local k (lv k +: one);
+          ]
+        head;
+    ];
+  head
+
+let cyclic_tail b ~number ~cs ~ncs =
+  let exit_ = B.fresh_label b "release" in
+  B.define b cs ~kind:Critical [ B.goto exit_ ];
+  B.define b exit_ ~kind:Exit [ B.action ~effects:[ set_own number zero ] ncs ]

@@ -1,0 +1,45 @@
+(** Building blocks shared by the bakery-family models. *)
+
+type granularity =
+  | Coarse
+      (** [number[i] := 1 + maximum(...)] is one atomic step — the
+          granularity at which the paper's PlusCal spec is checked *)
+  | Fine
+      (** the maximum is computed one register read per step, closer to
+          the real algorithm; larger state space *)
+
+val granularity_name : granularity -> string
+
+val scan_loop :
+  Mxlang.Builder.t ->
+  number:Mxlang.Ast.var ->
+  choosing:Mxlang.Ast.var ->
+  j:Mxlang.Ast.local ->
+  cs:Mxlang.Builder.label ->
+  Mxlang.Builder.label
+(** Lamport's waiting loop (labels L2/L3 of Algorithm 1): for each [j],
+    wait until [choosing[j] = 0], then until [number[j] = 0] or
+    [(number[i], i) <= (number[j], j)].  The caller must set the local
+    [j] to 0 before jumping to the returned label. *)
+
+val max_loop :
+  Mxlang.Builder.t ->
+  number:Mxlang.Ast.var ->
+  k:Mxlang.Ast.local ->
+  acc:Mxlang.Ast.local ->
+  done_:Mxlang.Builder.label ->
+  Mxlang.Builder.label
+(** Fine-grained [maximum]: scans [number] one read per step into [acc].
+    The caller must set [k] and [acc] to 0 before jumping to the returned
+    label; on completion control reaches [done_] with the maximum in
+    [acc]. *)
+
+val cyclic_tail :
+  Mxlang.Builder.t ->
+  number:Mxlang.Ast.var ->
+  cs:Mxlang.Builder.label ->
+  ncs:Mxlang.Builder.label ->
+  unit
+(** Defines the [cs] and exit steps: critical section, then
+    [number[i] := 0], then back to [ncs] (processes are cyclic, per the
+    system model of the paper's §1). *)

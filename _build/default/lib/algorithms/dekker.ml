@@ -1,0 +1,37 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"dekker" in
+  let flag = B.shared_per_process b "flag" () in
+  let turn = B.shared b "turn" ~size:1 () in
+  let other = one -: self in
+  let ncs = B.fresh_label b "ncs" in
+  let raise_flag = B.fresh_label b "raise_flag" in
+  let test = B.fresh_label b "test" in
+  let check_turn = B.fresh_label b "check_turn" in
+  let back_off = B.fresh_label b "back_off" in
+  let wait_turn = B.fresh_label b "wait_turn" in
+  let re_raise = B.fresh_label b "re_raise" in
+  let cs = B.fresh_label b "cs" in
+  let pass_turn = B.fresh_label b "pass_turn" in
+  let release = B.fresh_label b "release" in
+  B.define b ncs ~kind:Noncritical [ B.goto raise_flag ];
+  B.define b raise_flag ~kind:Entry
+    [ B.action ~effects:[ set_own flag one ] test ];
+  (* while flag[other]: if turn <> self back off until our turn. *)
+  B.define b test ~kind:Waiting (B.ite (rd flag other =: one) check_turn cs);
+  B.define b check_turn ~kind:Waiting
+    (B.ite (rd turn zero <>: self) back_off test);
+  B.define b back_off ~kind:Waiting
+    [ B.action ~effects:[ set_own flag zero ] wait_turn ];
+  B.define b wait_turn ~kind:Waiting (B.await (rd turn zero =: self) re_raise);
+  B.define b re_raise ~kind:Waiting
+    [ B.action ~effects:[ set_own flag one ] test ];
+  B.define b cs ~kind:Critical [ B.goto pass_turn ];
+  B.define b pass_turn ~kind:Exit
+    [ B.action ~effects:[ set turn zero other ] release ];
+  B.define b release ~kind:Exit
+    [ B.action ~effects:[ set_own flag zero ] ncs ];
+  B.build b

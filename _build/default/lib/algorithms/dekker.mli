@@ -1,0 +1,4 @@
+(** Dekker's algorithm, the first two-process mutual-exclusion solution.
+    Only meaningful with [nprocs = 2]. *)
+
+val program : unit -> Mxlang.Ast.program

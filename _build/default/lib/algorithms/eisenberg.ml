@@ -1,0 +1,75 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let idle = zero
+let waiting = one
+let active = int 2
+
+let program () =
+  let b = B.create ~title:"eisenberg_mcguire" in
+  let flag = B.shared_per_process b "flag" () in
+  let turn = B.shared b "turn" ~size:1 () in
+  let idx = B.local b "idx" in
+  let ncs = B.fresh_label b "ncs" in
+  let declare = B.fresh_label b "declare" in
+  let read_turn = B.fresh_label b "read_turn" in
+  let defer_head = B.fresh_label b "defer" in
+  let defer_test = B.fresh_label b "defer_test" in
+  let defer_restart = B.fresh_label b "defer_restart" in
+  let defer_advance = B.fresh_label b "defer_advance" in
+  let go_active = B.fresh_label b "go_active" in
+  let scan_head = B.fresh_label b "scan_active" in
+  let scan_next = B.fresh_label b "scan_next" in
+  let decide = B.fresh_label b "decide" in
+  let take_turn = B.fresh_label b "take_turn" in
+  let cs = B.fresh_label b "cs" in
+  let pass_head = B.fresh_label b "pass_turn" in
+  let pass_test = B.fresh_label b "pass_test" in
+  let pass_advance = B.fresh_label b "pass_advance" in
+  let pass_set = B.fresh_label b "pass_set" in
+  let retire = B.fresh_label b "retire" in
+  B.define b ncs ~kind:Noncritical [ B.goto declare ];
+  (* flag[i] := waiting *)
+  B.define b declare ~kind:Entry
+    [ B.action ~effects:[ set_own flag waiting ] read_turn ];
+  B.define b read_turn ~kind:Entry
+    [ B.action ~effects:[ set_local idx (rd turn zero) ] defer_head ];
+  (* Walk from turn to self, deferring to any non-idle process on the
+     way; a busy process resets the walk to the current turn. *)
+  B.define b defer_head ~kind:Entry (B.ite (lv idx <>: self) defer_test go_active);
+  B.define b defer_test ~kind:Entry
+    (B.ite (rd flag (lv idx) <>: idle) defer_restart defer_advance);
+  B.define b defer_restart ~kind:Entry
+    [ B.action ~effects:[ set_local idx (rd turn zero) ] defer_head ];
+  B.define b defer_advance ~kind:Entry
+    [ B.action ~effects:[ set_local idx ((lv idx +: one) %: n) ] defer_head ];
+  (* flag[i] := active, then check we are the only active process. *)
+  B.define b go_active ~kind:Entry
+    [ B.action ~effects:[ set_own flag active; set_local idx zero ] scan_head ];
+  B.define b scan_head ~kind:Entry
+    (B.ite
+       (lv idx <: n &&: ((lv idx =: self) ||: (rd flag (lv idx) <>: active)))
+       scan_next decide);
+  B.define b scan_next ~kind:Entry
+    [ B.action ~effects:[ set_local idx (lv idx +: one) ] scan_head ];
+  (* Sole active process and the turn is ours or abandoned: enter. *)
+  B.define b decide ~kind:Entry
+    (B.ite
+       (lv idx >=: n
+       &&: ((rd turn zero =: self) ||: (rd flag (rd turn zero) =: idle)))
+       take_turn declare);
+  B.define b take_turn ~kind:Waiting
+    [ B.action ~effects:[ set turn zero self ] cs ];
+  B.define b cs ~kind:Critical [ B.goto pass_head ];
+  (* Exit: pass the turn to the next non-idle process (possibly self). *)
+  B.define b pass_head ~kind:Exit
+    [ B.action ~effects:[ set_local idx ((rd turn zero +: one) %: n) ] pass_test ];
+  B.define b pass_test ~kind:Exit
+    (B.ite (rd flag (lv idx) =: idle) pass_advance pass_set);
+  B.define b pass_advance ~kind:Exit
+    [ B.action ~effects:[ set_local idx ((lv idx +: one) %: n) ] pass_test ];
+  B.define b pass_set ~kind:Exit
+    [ B.action ~effects:[ set turn zero (lv idx) ] retire ];
+  B.define b retire ~kind:Exit [ B.action ~effects:[ set_own flag idle ] ncs ];
+  B.build b

@@ -1,0 +1,8 @@
+(** The Eisenberg–McGuire algorithm (CACM 1972) — the classical
+    starvation-free fix of Dijkstra's 1965 solution, in the direct
+    ancestry of the paper's problem statement (bounded per-process flags,
+    one shared turn variable).
+
+    Flags: 0 = idle, 1 = waiting, 2 = active. *)
+
+val program : unit -> Mxlang.Ast.program

@@ -1,0 +1,57 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"fast_mutex" in
+  let bflag = B.shared_per_process b "b" () in
+  let x = B.shared b "x" ~size:1 () in
+  let y = B.shared b "y" ~size:1 () in
+  let j = B.local b "j" in
+  let me = self +: one in
+  let ncs = B.fresh_label b "ncs" in
+  let start = B.fresh_label b "start" in
+  let set_x = B.fresh_label b "set_x" in
+  let test_y = B.fresh_label b "test_y" in
+  let back_off_y = B.fresh_label b "back_off_y" in
+  let wait_y = B.fresh_label b "wait_y" in
+  let set_y = B.fresh_label b "set_y" in
+  let test_x = B.fresh_label b "test_x" in
+  let slow_lower = B.fresh_label b "slow_lower" in
+  let slow_scan = B.fresh_label b "slow_scan" in
+  let slow_wait = B.fresh_label b "slow_wait" in
+  let next_j = B.fresh_label b "next_j" in
+  let test_y2 = B.fresh_label b "test_y2" in
+  let wait_y2 = B.fresh_label b "wait_y2" in
+  let cs = B.fresh_label b "cs" in
+  let clear_y = B.fresh_label b "clear_y" in
+  let clear_b = B.fresh_label b "clear_b" in
+  B.define b ncs ~kind:Noncritical [ B.goto start ];
+  (* b[i] := true *)
+  B.define b start ~kind:Entry [ B.action ~effects:[ set_own bflag one ] set_x ];
+  (* x := i *)
+  B.define b set_x ~kind:Entry [ B.action ~effects:[ set x zero me ] test_y ];
+  (* if y <> 0 then back off and retry once y clears *)
+  B.define b test_y ~kind:Entry (B.ite (rd y zero <>: zero) back_off_y set_y);
+  B.define b back_off_y ~kind:Entry
+    [ B.action ~effects:[ set_own bflag zero ] wait_y ];
+  B.define b wait_y ~kind:Entry (B.await (rd y zero =: zero) start);
+  (* y := i *)
+  B.define b set_y ~kind:Entry [ B.action ~effects:[ set y zero me ] test_x ];
+  (* if x <> i: the slow path *)
+  B.define b test_x ~kind:Waiting (B.ite (rd x zero <>: me) slow_lower cs);
+  B.define b slow_lower ~kind:Waiting
+    [ B.action ~effects:[ set_own bflag zero; set_local j zero ] slow_scan ];
+  (* for j: await not b[j] *)
+  B.define b slow_scan ~kind:Waiting (B.ite (lv j <: n) slow_wait test_y2);
+  B.define b slow_wait ~kind:Waiting
+    (B.await (rd bflag (lv j) =: zero) next_j);
+  B.define b next_j ~kind:Waiting
+    [ B.action ~effects:[ set_local j (lv j +: one) ] slow_scan ];
+  (* if y <> i then await y = 0 and restart, else enter *)
+  B.define b test_y2 ~kind:Waiting (B.ite (rd y zero <>: me) wait_y2 cs);
+  B.define b wait_y2 ~kind:Waiting (B.await (rd y zero =: zero) start);
+  B.define b cs ~kind:Critical [ B.goto clear_y ];
+  B.define b clear_y ~kind:Exit [ B.action ~effects:[ set y zero zero ] clear_b ];
+  B.define b clear_b ~kind:Exit [ B.action ~effects:[ set_own bflag zero ] ncs ];
+  B.build b

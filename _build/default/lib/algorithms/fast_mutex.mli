@@ -1,0 +1,11 @@
+(** Lamport's fast mutual exclusion algorithm (TOCS 1987).
+
+    The contrast case for the paper's §7 practicality discussion: constant
+    time in the absence of contention (two writes, two reads), at the
+    price of two multi-writer variables [x] and [y] and no FCFS order —
+    the opposite trade to the bakery family.
+
+    Process ids are stored as [pid + 1] so that 0 can keep meaning
+    "empty", matching the algorithm's [y = 0] tests. *)
+
+val program : unit -> Mxlang.Ast.program

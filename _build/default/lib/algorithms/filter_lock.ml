@@ -1,0 +1,38 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"filter" in
+  (* level[i]: the level process i is trying to pass (0 = not trying).
+     victim[l]: last arrival at level l; cell 0 is unused. *)
+  let level = B.shared_per_process b "level" () in
+  let victim = B.shared b "victim" ~size:(-1) () in
+  let l = B.local b "l" in
+  let ncs = B.fresh_label b "ncs" in
+  let loop = B.fresh_label b "level_loop" in
+  let set_level = B.fresh_label b "set_level" in
+  let set_victim = B.fresh_label b "set_victim" in
+  let wait = B.fresh_label b "wait" in
+  let next_level = B.fresh_label b "next_level" in
+  let cs = B.fresh_label b "cs" in
+  let release = B.fresh_label b "release" in
+  B.define b ncs ~kind:Noncritical
+    [ B.action ~effects:[ set_local l one ] loop ];
+  B.define b loop ~kind:Entry (B.ite (lv l <: n) set_level cs);
+  B.define b set_level ~kind:Entry
+    [ B.action ~effects:[ set_own level (lv l) ] set_victim ];
+  B.define b set_victim ~kind:Entry
+    [ B.action ~effects:[ set victim (lv l) self ] wait ];
+  (* Wait until every other process is below this level, or someone else
+     became the level's victim. *)
+  B.define b wait ~kind:Waiting
+    (B.await
+       (qall Rothers (rd level q <: lv l) ||: (rd victim (lv l) <>: self))
+       next_level);
+  B.define b next_level ~kind:Waiting
+    [ B.action ~effects:[ set_local l (lv l +: one) ] loop ];
+  B.define b cs ~kind:Critical [ B.goto release ];
+  B.define b release ~kind:Exit
+    [ B.action ~effects:[ set_own level zero ] ncs ];
+  B.build b

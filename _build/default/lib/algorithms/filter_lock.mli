@@ -1,0 +1,8 @@
+(** Peterson's filter lock for N processes.
+
+    N-1 levels; at each level one process can be "filtered out" as the
+    level's victim.  Space O(N) like Bakery++, but the per-level [victim]
+    cells are multi-writer and the lock is not first-come-first-served —
+    the two axes on which the paper positions the bakery family. *)
+
+val program : unit -> Mxlang.Ast.program

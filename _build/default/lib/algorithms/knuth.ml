@@ -1,0 +1,54 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let idle = zero
+let requesting = one
+let active = int 2
+
+let program () =
+  let b = B.create ~title:"knuth" in
+  let control = B.shared_per_process b "control" () in
+  let k = B.shared b "k" ~size:1 () in
+  let j = B.local b "j" in
+  let ncs = B.fresh_label b "ncs" in
+  let declare = B.fresh_label b "declare" in
+  let read_k = B.fresh_label b "read_k" in
+  let walk_head = B.fresh_label b "walk" in
+  let walk_test = B.fresh_label b "walk_test" in
+  let walk_restart = B.fresh_label b "walk_restart" in
+  let walk_down = B.fresh_label b "walk_down" in
+  let go_active = B.fresh_label b "go_active" in
+  let solo = B.fresh_label b "solo_check" in
+  let claim = B.fresh_label b "claim" in
+  let cs = B.fresh_label b "cs" in
+  let pass = B.fresh_label b "pass" in
+  let retire = B.fresh_label b "retire" in
+  B.define b ncs ~kind:Noncritical [ B.goto declare ];
+  B.define b declare ~kind:Entry
+    [ B.action ~effects:[ set_own control requesting ] read_k ];
+  B.define b read_k ~kind:Entry
+    [ B.action ~effects:[ set_local j (rd k zero) ] walk_head ];
+  (* Walk from k down (cyclically) to self; any busy process on the way
+     restarts the walk at the current k. *)
+  B.define b walk_head ~kind:Entry (B.ite (lv j <>: self) walk_test go_active);
+  B.define b walk_test ~kind:Entry
+    (B.ite (rd control (lv j) <>: idle) walk_restart walk_down);
+  B.define b walk_restart ~kind:Entry
+    [ B.action ~effects:[ set_local j (rd k zero) ] walk_head ];
+  B.define b walk_down ~kind:Entry
+    [ B.action ~effects:[ set_local j ((lv j +: n -: one) %: n) ] walk_head ];
+  B.define b go_active ~kind:Entry
+    [ B.action ~effects:[ set_own control active ] solo ];
+  (* Atomically-quantified solo check, as in the usual verified model. *)
+  B.define b solo ~kind:Entry
+    (B.ite (qexists Rothers (rd control q =: active)) declare claim);
+  B.define b claim ~kind:Waiting [ B.action ~effects:[ set k zero self ] cs ];
+  B.define b cs ~kind:Critical [ B.goto pass ];
+  (* Knuth's exit passes the turn to the cyclically-previous process,
+     giving the round-robin bound on overtaking. *)
+  B.define b pass ~kind:Exit
+    [ B.action ~effects:[ set k zero ((self +: n -: one) %: n) ] retire ];
+  B.define b retire ~kind:Exit
+    [ B.action ~effects:[ set_own control idle ] ncs ];
+  B.build b

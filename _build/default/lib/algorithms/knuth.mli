@@ -1,0 +1,9 @@
+(** Knuth's 1966 algorithm — reference [5] of the paper: the first
+    starvation-free solution to Dijkstra's problem, using a trivalent
+    per-process control variable and a shared turn.
+
+    We follow the standard modern restatement (e.g. Raynal): walk from
+    the turn *downward* to self deferring to busy processes, go active,
+    verify solo-activity, then claim the turn. *)
+
+val program : unit -> Mxlang.Ast.program

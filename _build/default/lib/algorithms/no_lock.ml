@@ -1,0 +1,12 @@
+open Mxlang.Ast
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"no_lock" in
+  let ncs = B.fresh_label b "ncs" in
+  let cs = B.fresh_label b "cs" in
+  let leave = B.fresh_label b "leave" in
+  B.define b ncs ~kind:Noncritical [ B.goto cs ];
+  B.define b cs ~kind:Critical [ B.goto leave ];
+  B.define b leave ~kind:Exit [ B.goto ncs ];
+  B.build b

@@ -1,0 +1,4 @@
+(** Deliberately broken "lock" (no synchronization at all).  Exists so the
+    test suite can prove the checker finds mutual-exclusion violations. *)
+
+val program : unit -> Mxlang.Ast.program

@@ -1,0 +1,25 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"peterson2" in
+  let flag = B.shared_per_process b "flag" () in
+  let turn = B.shared b "turn" ~size:1 () in
+  let other = one -: self in
+  let ncs = B.fresh_label b "ncs" in
+  let raise_flag = B.fresh_label b "raise_flag" in
+  let give_turn = B.fresh_label b "give_turn" in
+  let wait = B.fresh_label b "wait" in
+  let cs = B.fresh_label b "cs" in
+  let release = B.fresh_label b "release" in
+  B.define b ncs ~kind:Noncritical [ B.goto raise_flag ];
+  B.define b raise_flag ~kind:Entry
+    [ B.action ~effects:[ set_own flag one ] give_turn ];
+  B.define b give_turn ~kind:Entry
+    [ B.action ~effects:[ set turn zero other ] wait ];
+  B.define b wait ~kind:Waiting
+    (B.await (rd flag other =: zero ||: (rd turn zero =: self)) cs);
+  B.define b cs ~kind:Critical [ B.goto release ];
+  B.define b release ~kind:Exit [ B.action ~effects:[ set_own flag zero ] ncs ];
+  B.build b

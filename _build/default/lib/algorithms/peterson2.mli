@@ -1,0 +1,8 @@
+(** Peterson's two-process algorithm.
+
+    Baseline from the paper's §4 comparison: simple and bounded, but the
+    [turn] variable is written by both processes, so it is not a "true"
+    single-writer solution in the paper's sense.  Only meaningful with
+    [nprocs = 2]. *)
+
+val program : unit -> Mxlang.Ast.program

@@ -1,0 +1,40 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"szymanski" in
+  let flag = B.shared_per_process b "flag" () in
+  let ncs = B.fresh_label b "ncs" in
+  let s1 = B.fresh_label b "intent" in
+  let s2 = B.fresh_label b "wait_door" in
+  let s3 = B.fresh_label b "enter_door" in
+  let s4 = B.fresh_label b "check_waiters" in
+  let s5 = B.fresh_label b "step_back" in
+  let s6 = B.fresh_label b "wait_opener" in
+  let s7 = B.fresh_label b "close_door" in
+  let s8 = B.fresh_label b "wait_lower" in
+  let cs = B.fresh_label b "cs" in
+  let e1 = B.fresh_label b "wait_higher" in
+  let e2 = B.fresh_label b "reset_flag" in
+  B.define b ncs ~kind:Noncritical [ B.goto s1 ];
+  (* flag[i] := 1 — declare intent to enter. *)
+  B.define b s1 ~kind:Doorway [ B.action ~effects:[ set_own flag one ] s2 ];
+  (* Wait for the waiting room's door: everyone below 3. *)
+  B.define b s2 ~kind:Doorway (B.await (qall Rall (rd flag q <: int 3)) s3);
+  B.define b s3 ~kind:Doorway [ B.action ~effects:[ set_own flag (int 3) ] s4 ];
+  (* If someone is still at intent stage, step back to 2 and wait for a
+     process that has closed the door (flag 4). *)
+  B.define b s4 ~kind:Doorway
+    (B.ite (qexists Rothers (rd flag q =: one)) s5 s7);
+  B.define b s5 ~kind:Doorway [ B.action ~effects:[ set_own flag (int 2) ] s6 ];
+  B.define b s6 ~kind:Doorway (B.await (qexists Rall (rd flag q =: int 4)) s7);
+  B.define b s7 ~kind:Doorway [ B.action ~effects:[ set_own flag (int 4) ] s8 ];
+  (* Enter in id order among those inside. *)
+  B.define b s8 ~kind:Waiting (B.await (qall Rbelow (rd flag q <: int 2)) cs);
+  B.define b cs ~kind:Critical [ B.goto e1 ];
+  (* Leave only when no higher-id process is stuck in the doorway. *)
+  B.define b e1 ~kind:Exit
+    (B.await (qall Rabove (rd flag q <: int 2 ||: (rd flag q >: int 3))) e2);
+  B.define b e2 ~kind:Exit [ B.action ~effects:[ set_own flag zero ] ncs ];
+  B.build b

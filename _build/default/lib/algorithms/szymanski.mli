@@ -1,0 +1,10 @@
+(** Szymanski's mutual-exclusion algorithm (Jerusalem Conf. on Information
+    Technology, 1990).
+
+    The paper's §4 cites Szymanski's FCFS algorithm as "much more
+    complicated than Bakery++" while using bounded registers: each process
+    keeps a single flag in 0..4 (a 3-bit register).  This model uses the
+    standard 5-state formulation with atomic quantified awaits — the
+    granularity at which the algorithm is usually verified. *)
+
+val program : unit -> Mxlang.Ast.program

@@ -1,0 +1,18 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let program () =
+  let b = B.create ~title:"tas" in
+  let lock = B.shared b "lock" ~size:1 () in
+  let ncs = B.fresh_label b "ncs" in
+  let acquire = B.fresh_label b "acquire" in
+  let cs = B.fresh_label b "cs" in
+  let release = B.fresh_label b "release" in
+  B.define b ncs ~kind:Noncritical [ B.goto acquire ];
+  (* guard + set in one action = atomic test-and-set *)
+  B.define b acquire ~kind:Waiting
+    [ B.action ~guard:(rd lock zero =: zero) ~effects:[ set lock zero one ] cs ];
+  B.define b cs ~kind:Critical [ B.goto release ];
+  B.define b release ~kind:Exit [ B.action ~effects:[ set lock zero zero ] ncs ];
+  B.build b

@@ -1,0 +1,5 @@
+(** Test-and-set lock model: one shared bit, acquired with an atomic RMW.
+    Baseline only — it assumes exactly the lower-level atomicity that the
+    bakery family exists to avoid, and it is neither fair nor FCFS. *)
+
+val program : unit -> Mxlang.Ast.program

@@ -1,0 +1,35 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let build ~wrap =
+  let b =
+    B.create ~title:(if wrap then "ticket_mod" else "ticket")
+  in
+  let next = B.shared b "next_ticket" ~size:1 ~bounded:true () in
+  let serving = B.shared b "now_serving" ~size:1 ~bounded:true () in
+  let my = B.local b "my" in
+  let ncs = B.fresh_label b "ncs" in
+  let take = B.fresh_label b "take_ticket" in
+  let wait = B.fresh_label b "wait_turn" in
+  let cs = B.fresh_label b "cs" in
+  let release = B.fresh_label b "release" in
+  let wrapped e = if wrap then e %: m else e in
+  B.define b ncs ~kind:Noncritical [ B.goto take ];
+  (* Atomic fetch-and-add: simultaneous-assignment semantics reads the
+     pre-state, so [my] gets the old counter while the counter advances. *)
+  B.define b take ~kind:Doorway
+    [
+      B.action
+        ~effects:
+          [ set_local my (rd next zero); set next zero (wrapped (rd next zero +: one)) ]
+        wait;
+    ];
+  B.define b wait ~kind:Waiting (B.await (rd serving zero =: lv my) cs);
+  B.define b cs ~kind:Critical [ B.goto release ];
+  B.define b release ~kind:Exit
+    [ B.action ~effects:[ set serving zero (wrapped (rd serving zero +: one)) ] ncs ];
+  B.build b
+
+let program () = build ~wrap:false
+let program_mod () = build ~wrap:true

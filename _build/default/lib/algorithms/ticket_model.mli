@@ -1,0 +1,17 @@
+(** Ticket lock, with and without modular wrap.
+
+    Not a "true" mutual-exclusion algorithm in the paper's sense — the
+    ticket grab is an atomic fetch-and-add, i.e. lower-level mutual
+    exclusion — but it is the ubiquitous practical baseline and its
+    overflow story contrasts nicely with Bakery++'s:
+
+    - [program ()] uses unbounded counters: like Bakery, it overflows
+      real registers ([no_overflow] fails).
+    - [program_mod ()] wraps both counters mod M.  Because the hand-off
+      test is pure equality, wrapping is sound as long as at most M
+      processes hold tickets — model checking shows mutex holds for
+      N <= M and produces a counterexample for N > M (the paper's §8.1
+      question, answered for this lock). *)
+
+val program : unit -> Mxlang.Ast.program
+val program_mod : unit -> Mxlang.Ast.program

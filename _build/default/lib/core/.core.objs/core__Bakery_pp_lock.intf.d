@@ -1,0 +1,1 @@
+lib/core/bakery_pp_lock.mli: Locks

@@ -1,0 +1,1 @@
+lib/core/bakery_pp_model.ml: Algorithms Mxlang Printf String

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Algorithms Bakery_pp_model Buffer Modelcheck Mxlang Printf

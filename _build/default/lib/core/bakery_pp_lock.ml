@@ -1,0 +1,134 @@
+module A = Registers.Atomic_array
+
+exception Overflow_bug of { value : int; bound : int }
+
+(* Per-process counters live in strided plain arrays: each slot is written
+   by exactly one domain and only read after the domains join, so no
+   atomicity is needed; the stride keeps the slots on distinct cache
+   lines. *)
+let stride = 8
+
+type t = {
+  n : int;
+  m : int;
+  choosing : A.t;
+  number : A.t;
+  acquires : int array;
+  resets : int array;
+  gate_spins : int array;
+  peaks : int array;
+}
+
+type snapshot = {
+  acquires : int;
+  resets : int;
+  gate_spins : int;
+  peak_ticket : int;
+}
+
+let name = "bakery_pp"
+
+let create_lock ~nprocs ~bound =
+  if nprocs < 1 then invalid_arg "Bakery_pp_lock.create: nprocs must be >= 1";
+  if bound < 1 then invalid_arg "Bakery_pp_lock.create: bound must be >= 1";
+  {
+    n = nprocs;
+    m = bound;
+    choosing = A.create nprocs 0;
+    number = A.create nprocs 0;
+    acquires = Array.make (nprocs * stride) 0;
+    resets = Array.make (nprocs * stride) 0;
+    gate_spins = Array.make (nprocs * stride) 0;
+    peaks = Array.make (nprocs * stride) 0;
+  }
+
+let create ~nprocs ~bound = create_lock ~nprocs ~bound
+
+(* Every ticket store funnels through here: the paper's no-overflow
+   theorem, checked rather than assumed. *)
+let store_ticket t i v =
+  if v > t.m then raise (Overflow_bug { value = v; bound = t.m });
+  A.set t.number i v
+
+let before a i b j = a < b || (a = b && i < j)
+
+let gate_is_closed t =
+  let rec scan q = q < t.n && (A.get t.number q >= t.m || scan (q + 1)) in
+  scan 0
+
+let acquire t i =
+  let slot = i * stride in
+  let rec attempt () =
+    (* L1: wait while any register is at capacity. *)
+    while gate_is_closed t do
+      t.gate_spins.(slot) <- t.gate_spins.(slot) + 1;
+      Registers.Spin.relax ()
+    done;
+    A.set t.choosing i 1;
+    (* number[i] := maximum(number); safe, every cell is <= M. *)
+    let mx = A.max_of t.number in
+    store_ticket t i mx;
+    if mx >= t.m then begin
+      (* Algorithm 2's reset path: back off and retry from L1. *)
+      store_ticket t i 0;
+      A.set t.choosing i 0;
+      t.resets.(slot) <- t.resets.(slot) + 1;
+      attempt ()
+    end
+    else begin
+      let ticket = mx + 1 in
+      store_ticket t i ticket;
+      A.set t.choosing i 0;
+      if ticket > t.peaks.(slot) then t.peaks.(slot) <- ticket;
+      for j = 0 to t.n - 1 do
+        while A.get t.choosing j <> 0 do
+          Registers.Spin.relax ()
+        done;
+        let rec wait () =
+          let nj = A.get t.number j in
+          if nj <> 0 && before nj j ticket i then begin
+            Registers.Spin.relax ();
+            wait ()
+          end
+        in
+        wait ()
+      done;
+      t.acquires.(slot) <- t.acquires.(slot) + 1
+    end
+  in
+  attempt ()
+
+let release t i = store_ticket t i 0
+
+let space_words t = A.words t.choosing + A.words t.number
+
+let sum_slots t a =
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    total := !total + a.(i * stride)
+  done;
+  !total
+
+let snapshot t =
+  let peak = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.peaks.(i * stride) > !peak then peak := t.peaks.(i * stride)
+  done;
+  {
+    acquires = sum_slots t t.acquires;
+    resets = sum_slots t t.resets;
+    gate_spins = sum_slots t t.gate_spins;
+    peak_ticket = !peak;
+  }
+
+let bound t = t.m
+let nprocs t = t.n
+
+let stats t =
+  let s = snapshot t in
+  [
+    ("acquires", s.acquires);
+    ("resets", s.resets);
+    ("gate_spins", s.gate_spins);
+    ("peak_ticket", s.peak_ticket);
+  ]

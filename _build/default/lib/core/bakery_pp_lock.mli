@@ -1,0 +1,43 @@
+(** Bakery++ as a production lock over OCaml 5 domains — the paper's
+    Algorithm 2, instrumented.
+
+    Guarantees (the paper's theorem, enforced at runtime): no value
+    greater than [bound] is ever stored in a ticket register; if the
+    implementation ever tried, {!Overflow_bug} would be raised.  Mutual
+    exclusion and first-come-first-served order are inherited from
+    Bakery.
+
+    Usage: create one lock for a fixed group of [nprocs] participants and
+    give each domain a distinct id in 0 .. nprocs-1.
+
+    {[
+      let lock = Bakery_pp_lock.create ~nprocs:4 ~bound:255 in
+      (* in domain i: *)
+      Bakery_pp_lock.acquire lock i;
+      (* ... critical section ... *)
+      Bakery_pp_lock.release lock i
+    ]} *)
+
+exception Overflow_bug of { value : int; bound : int }
+(** Never raised if the implementation matches Algorithm 2; exists so the
+    no-overflow theorem is checked on every store rather than trusted. *)
+
+include Locks.Lock_intf.LOCK
+
+val create_lock : nprocs:int -> bound:int -> t
+(** Like [create] but with the argument contract documented: [nprocs >= 1]
+    and [bound >= 1].  [bound] is the paper's M, the largest value a
+    ticket register may hold.  A tiny [bound] (even smaller than
+    [nprocs]) is legal; it only increases resets. *)
+
+(** Cumulative instrumentation. *)
+type snapshot = {
+  acquires : int;  (** successful critical-section entries *)
+  resets : int;  (** overflow-avoidance resets (the paper's goto L1 path) *)
+  gate_spins : int;  (** iterations spent waiting at the L1 gate *)
+  peak_ticket : int;  (** largest ticket ever taken; always <= bound *)
+}
+
+val snapshot : t -> snapshot
+val bound : t -> int
+val nprocs : t -> int

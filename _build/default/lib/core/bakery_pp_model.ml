@@ -1,0 +1,89 @@
+open Mxlang.Ast
+open Mxlang.Dsl
+module B = Mxlang.Builder
+
+let gate_label = "L1"
+let reset_label = "reset"
+
+type variant = {
+  with_gate : bool;
+  gate_exact : bool;
+  increment_first : bool;
+}
+
+let paper_variant = { with_gate = true; gate_exact = false; increment_first = false }
+
+let variant_title v granularity =
+  let base =
+    Printf.sprintf "bakery_pp_%s" (Algorithms.Common.granularity_name granularity)
+  in
+  let tags =
+    (if v.with_gate then [] else [ "nogate" ])
+    @ (if v.gate_exact then [ "eqgate" ] else [])
+    @ if v.increment_first then [ "incrfirst" ] else []
+  in
+  match tags with [] -> base | t -> base ^ "_" ^ String.concat "_" t
+
+let program_variant ?(granularity = Algorithms.Common.Coarse) v =
+  let b = B.create ~title:(variant_title v granularity) in
+  let choosing = B.shared_per_process b "choosing" () in
+  let number = B.shared_per_process b "number" ~bounded:true () in
+  let j = B.local b "j" in
+  let ncs = B.fresh_label b "ncs" in
+  let gate = B.fresh_label b gate_label in
+  let set_choosing = B.fresh_label b "choose" in
+  let check = B.fresh_label b "check" in
+  let reset = B.fresh_label b reset_label in
+  let incr = B.fresh_label b "incr" in
+  let unset_choosing = B.fresh_label b "done_choosing" in
+  let cs = B.fresh_label b "cs" in
+  let cap_cmp = if v.gate_exact then Ceq else Cge in
+  B.define b ncs ~kind:Noncritical [ B.goto gate ];
+  (* L1: if exists q with number[q] >= M then goto L1 — i.e. wait until
+     no register is at capacity.  The gateless ablation (A1) falls
+     straight through. *)
+  if v.with_gate then
+    B.define b gate ~kind:Entry
+      (B.await (not_ (exists number cap_cmp m)) set_choosing)
+  else B.define b gate ~kind:Entry [ B.goto set_choosing ];
+  B.define b set_choosing ~kind:Doorway
+    [ B.action ~effects:[ set_own choosing one ] check ];
+  let post_pick = B.fresh_label b "post_pick" in
+  (* The picked value: the paper stores maximum(number) and increments
+     only after the capacity check; the A2 ablation stores 1 + maximum
+     immediately, which is the overflow site of the original Bakery. *)
+  let picked e = if v.increment_first then e +: one else e in
+  (match granularity with
+  | Algorithms.Common.Coarse ->
+      (* number[i] := maximum(number[1..N]) in one step, as in PlusCal;
+         the store itself is safe because every cell is <= M. *)
+      B.define b check ~kind:Doorway
+        [ B.action ~effects:[ set_own number (picked (max_arr number)) ] post_pick ]
+  | Algorithms.Common.Fine ->
+      let acc = B.local b "mx" in
+      let store = B.fresh_label b "store" in
+      let head = Algorithms.Common.max_loop b ~number ~k:j ~acc ~done_:store in
+      B.define b check ~kind:Doorway
+        [ B.action ~effects:[ set_local j zero; set_local acc zero ] head ];
+      B.define b store ~kind:Doorway
+        [ B.action ~effects:[ set_own number (picked (lv acc)) ] post_pick ]);
+  (* The paper's second conditional: reset instead of incrementing when
+     the chosen maximum is at register capacity. *)
+  let too_big =
+    if v.increment_first then rd_own number >: m
+    else Mxlang.Ast.Cmp (cap_cmp, rd_own number, m)
+  in
+  B.define b post_pick ~kind:Doorway (B.ite too_big reset incr);
+  B.define b reset ~kind:Doorway
+    [ B.action ~effects:[ set_own number zero; set_own choosing zero ] gate ];
+  (if v.increment_first then B.define b incr ~kind:Doorway [ B.goto unset_choosing ]
+   else
+     B.define b incr ~kind:Doorway
+       [ B.action ~effects:[ set_own number (rd_own number +: one) ] unset_choosing ]);
+  let scan = Algorithms.Common.scan_loop b ~number ~choosing ~j ~cs in
+  B.define b unset_choosing ~kind:Doorway
+    [ B.action ~effects:[ set_own choosing zero; set_local j zero ] scan ];
+  Algorithms.Common.cyclic_tail b ~number ~cs ~ncs;
+  B.build b
+
+let program ?granularity () = program_variant ?granularity paper_variant

@@ -1,0 +1,41 @@
+(** Bakery++ (the paper's Algorithm 2) as a formal model.
+
+    The two additions over Lamport's Bakery, both plain conditionals:
+
+    - the overflow gate at [L1]: wait while any process's ticket is
+      [>= M];
+    - the pre-increment check: after [number[i] := maximum(number)], if
+      the value is [>= M], reset [number[i]] and [choosing[i]] to 0 and
+      restart at [L1] instead of incrementing.
+
+    No new shared variables, no redefined operators, single-writer cells
+    only — the properties the paper claims distinguish Bakery++ from all
+    prior bounded bakery variants. *)
+
+val program : ?granularity:Algorithms.Common.granularity -> unit -> Mxlang.Ast.program
+(** [Coarse] (default) mirrors the PlusCal spec the paper checked with
+    TLC: the maximum and the existential gate are single atomic steps.
+    [Fine] computes the maximum one register read per step. *)
+
+(** Ablation knobs (DESIGN.md §5, EXPERIMENTS.md "Ablations").  The
+    paper's Algorithm 2 is {!paper_variant}. *)
+type variant = {
+  with_gate : bool;  (** keep the L1 overflow gate (A1 removes it) *)
+  gate_exact : bool;
+      (** compare tickets to M with [=] instead of [>=] — the paper's §5
+          remark on what arbitrary reads would do to equality tests *)
+  increment_first : bool;
+      (** store [1 + maximum] before checking — the unsound order (A2);
+          the checker finds the overflow this reintroduces *)
+}
+
+val paper_variant : variant
+
+val program_variant :
+  ?granularity:Algorithms.Common.granularity -> variant -> Mxlang.Ast.program
+
+val gate_label : string
+(** Name of the overflow-gate step ("L1"), for starvation searches. *)
+
+val reset_label : string
+(** Name of the reset step, for counting resets in simulations. *)

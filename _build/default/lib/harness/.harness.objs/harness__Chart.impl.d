@@ -1,0 +1,1 @@
+lib/harness/chart.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Algorithms Array Core List Locks Modelcheck Mxlang Printf Registry Schedsim Stats Table Throughput

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Algorithms Chart Core List Printf Schedsim

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Algorithms Core List Locks Mxlang

@@ -1,0 +1,1 @@
+lib/harness/throughput.ml: Array Atomic Domain Locks Prng Registers Unix Workload

@@ -1,0 +1,67 @@
+type series = { label : string; marker : char; points : (float * float) list }
+
+let render ~title ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y")
+    ?(log_x = false) ?(log_y = false) series =
+  if width < 8 || height < 4 then invalid_arg "Chart.render: canvas too small";
+  let tx v = if log_x then log10 v else v in
+  let ty v = if log_y then log10 v else v in
+  let usable (x, y) = (not (log_x && x <= 0.0)) && not (log_y && y <= 0.0) in
+  let all_points =
+    List.concat_map (fun s -> List.filter usable s.points) series
+  in
+  if all_points = [] then invalid_arg "Chart.render: no plottable points";
+  let xs = List.map (fun (x, _) -> tx x) all_points in
+  let ys = List.map (fun (_, y) -> ty y) all_points in
+  let fold f = function [] -> assert false | h :: t -> List.fold_left f h t in
+  let xmin = fold min xs and xmax = fold max xs in
+  let ymin = fold min ys and ymax = fold max ys in
+  let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+  let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+  let grid = Array.make_matrix height width ' ' in
+  let plot s =
+    List.iter
+      (fun (x, y) ->
+        if usable (x, y) then begin
+          let cx =
+            int_of_float
+              (Float.round ((tx x -. xmin) /. xspan *. float_of_int (width - 1)))
+          in
+          let cy =
+            int_of_float
+              (Float.round ((ty y -. ymin) /. yspan *. float_of_int (height - 1)))
+          in
+          let row = height - 1 - cy in
+          grid.(row).(cx) <- s.marker
+        end)
+      s.points
+  in
+  List.iter plot series;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "-- %s --\n" title);
+  let y_hi = if log_y then Printf.sprintf "1e%.1f" ymax else Printf.sprintf "%g" ymax in
+  let y_lo = if log_y then Printf.sprintf "1e%.1f" ymin else Printf.sprintf "%g" ymin in
+  Array.iteri
+    (fun row line ->
+      let tag =
+        if row = 0 then Printf.sprintf "%8s |" y_hi
+        else if row = height - 1 then Printf.sprintf "%8s |" y_lo
+        else Printf.sprintf "%8s |" ""
+      in
+      Buffer.add_string buf tag;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+  let x_lo = if log_x then Printf.sprintf "1e%.1f" xmin else Printf.sprintf "%g" xmin in
+  let x_hi = if log_x then Printf.sprintf "1e%.1f" xmax else Printf.sprintf "%g" xmax in
+  Buffer.add_string buf
+    (Printf.sprintf "%8s  %-*s%s\n" "" (width - String.length x_hi) x_lo x_hi);
+  Buffer.add_string buf
+    (Printf.sprintf "  y: %s%s   x: %s%s\n" y_label
+       (if log_y then " (log)" else "")
+       x_label
+       (if log_x then " (log)" else ""));
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.marker s.label))
+    series;
+  Buffer.contents buf

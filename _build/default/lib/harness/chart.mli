@@ -1,0 +1,20 @@
+(** Minimal ASCII line charts, for the figure-shaped views of the
+    parameter sweeps (the paper has no figures; these make the measured
+    scaling shapes visible directly in the terminal and in logs). *)
+
+type series = { label : string; marker : char; points : (float * float) list }
+
+val render :
+  title:string ->
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  series list ->
+  string
+(** Scatter-plot the series on one canvas (default 64x16), linear or
+    log10 axes, with min/max axis annotations and a legend.  Points with
+    non-positive coordinates are dropped when the respective axis is
+    logarithmic.  Raises [Invalid_argument] if nothing is plottable. *)

@@ -1,0 +1,56 @@
+(** The reproduction experiments, E1–E10 (see DESIGN.md §4 and
+    EXPERIMENTS.md).  Each returns one or more rendered-ready tables.
+
+    [quick:true] shrinks every run (used by the test suite to keep
+    [dune runtest] fast); the bench executable uses [quick:false]. *)
+
+type experiment = {
+  id : string;
+  summary : string;  (** one line: which paper claim this regenerates *)
+  run : quick:bool -> Table.t list;
+}
+
+val e1 : quick:bool -> Table.t list
+(** §6 TLC run: Bakery++ satisfies mutex and no-overflow. *)
+
+val e2 : quick:bool -> Table.t list
+(** §3: bounded registers overflow under Bakery (and the ticket lock). *)
+
+val e3 : quick:bool -> Table.t list
+(** §6.2: Bakery++ refines Bakery (stutter-closed trace inclusion). *)
+
+val e4 : quick:bool -> Table.t list
+(** §3/§4: time/steps to first overflow vs register width M. *)
+
+val e5 : quick:bool -> Table.t list
+(** §7: throughput parity of Bakery vs Bakery++ when M is large. *)
+
+val e6 : quick:bool -> Table.t list
+(** §7: reset and gate cost of Bakery++ as M shrinks. *)
+
+val e7 : quick:bool -> Table.t list
+(** §4: algorithm-zoo comparison (throughput, space, peak ticket). *)
+
+val e8 : quick:bool -> Table.t list
+(** §1.2/§8.2: FCFS and fairness across the zoo. *)
+
+val e9 : quick:bool -> Table.t list
+(** §6.3: starvation lassos at the L1 gate. *)
+
+val e10 : quick:bool -> Table.t list
+(** §8.1: more processes than ticket values (N > M). *)
+
+val a1 : quick:bool -> Table.t list
+(** Ablation: Bakery++ without the L1 gate (safety survives). *)
+
+val a2 : quick:bool -> Table.t list
+(** Ablation: increment before the capacity check (unsound from N = 3). *)
+
+val a3 : quick:bool -> Table.t list
+(** Ablation: the paper's §5 remark on [>=] vs [=] under read anomalies. *)
+
+val all : experiment list
+(** E1-E10 then A1-A3; the bench driver iterates this. *)
+
+val find : string -> experiment
+(** Raises [Not_found]. *)

@@ -1,0 +1,70 @@
+let steps_to_overflow ~nprocs ~bound =
+  let prog = Algorithms.Bakery.program () in
+  let strategy =
+    if nprocs <= 2 then Schedsim.Scheduler.Round_robin
+    else Schedsim.Scheduler.Uniform 11
+  in
+  let cfg =
+    {
+      (Schedsim.Runner.default_config ~nprocs ~bound) with
+      strategy;
+      overflow_policy = Schedsim.Runner.Stop;
+      max_steps = 50_000_000;
+    }
+  in
+  (Schedsim.Runner.run prog cfg).steps
+
+let f1 ~quick =
+  let ms =
+    if quick then [ 63; 255; 1023 ]
+    else [ 63; 255; 1023; 4095; 16383; 65535 ]
+  in
+  let series n marker =
+    {
+      Chart.label = Printf.sprintf "bakery, N=%d" n;
+      marker;
+      points =
+        List.map
+          (fun m ->
+            (float_of_int m, float_of_int (steps_to_overflow ~nprocs:n ~bound:m)))
+          ms;
+    }
+  in
+  Chart.render
+    ~title:
+      "F1 (paper 3/4): interleaving steps until the first overflow vs \
+       register capacity M"
+    ~x_label:"M" ~y_label:"steps to overflow" ~log_x:true ~log_y:true
+    [ series 2 '*'; series 4 'o' ]
+
+let f2 ~quick =
+  let ms = if quick then [ 2; 8; 64 ] else [ 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  let prog = Core.Bakery_pp_model.program () in
+  let points =
+    List.map
+      (fun m ->
+        let cfg =
+          {
+            (Schedsim.Runner.default_config ~nprocs:4 ~bound:m) with
+            strategy = Schedsim.Scheduler.Uniform 5;
+            max_steps = (if quick then 200_000 else 800_000);
+          }
+        in
+        let r = Schedsim.Runner.run prog cfg in
+        let cs = Schedsim.Runner.total_cs r in
+        let resets =
+          Schedsim.Metrics.label_count prog r Core.Bakery_pp_model.reset_label
+        in
+        ( float_of_int m,
+          if cs = 0 then 0.0
+          else 1000.0 *. float_of_int resets /. float_of_int cs ))
+      ms
+  in
+  Chart.render
+    ~title:
+      "F2 (paper 7): Bakery++ overflow resets per 1000 CS entries vs M \
+       (N=4, simulator)"
+    ~x_label:"M" ~y_label:"resets / 1k CS" ~log_x:true ~log_y:true
+    [ { Chart.label = "bakery_pp"; marker = '*'; points } ]
+
+let all ~quick = [ ("f1", f1 ~quick); ("f2", f2 ~quick) ]

@@ -1,0 +1,15 @@
+(** Figure-shaped views of the headline sweeps (the paper prints no
+    figures; these render the measured scaling shapes as ASCII charts). *)
+
+val f1 : quick:bool -> string
+(** Steps to the first overflow vs. register capacity M, original Bakery,
+    N ∈ {2, 4} (log-log; expected shape: two parallel unit-slope lines —
+    linear scaling in M, paper §3/§4). *)
+
+val f2 : quick:bool -> string
+(** Overflow resets per 1000 CS entries vs. M for Bakery++ (simulator,
+    N = 4; log-log, expected shape: decreasing roughly as 1/M — the §7
+    price of overflow avoidance vanishing with register width). *)
+
+val all : quick:bool -> (string * string) list
+(** [(id, rendered chart)] for every figure. *)

@@ -1,0 +1,20 @@
+type duration = Fixed of int | Uniform of int * int
+
+type t = { cs : duration; think : duration }
+
+let contended = { cs = Fixed 5; think = Fixed 0 }
+let balanced = { cs = Fixed 20; think = Uniform (10, 50) }
+let coarse = { cs = Fixed 500; think = Uniform (50, 150) }
+
+let spin n =
+  let acc = ref 1 in
+  for i = 1 to n do
+    acc := (!acc * 48271) + i land 0x3fffffff
+  done;
+  !acc
+
+let draw rng = function
+  | Fixed n -> n
+  | Uniform (a, b) ->
+      if b < a then invalid_arg "Workload.draw: empty range";
+      a + Prng.Rng.int rng (b - a + 1)

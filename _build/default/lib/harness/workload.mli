@@ -1,0 +1,30 @@
+(** Critical-section workload shapes for the throughput experiments.
+
+    A workload is "how long a process holds the lock" and "how long it
+    thinks between attempts", both expressed as iterations of an opaque
+    arithmetic spin (so the optimizer cannot delete it). *)
+
+type duration =
+  | Fixed of int
+  | Uniform of int * int  (** inclusive bounds *)
+
+type t = {
+  cs : duration;  (** work inside the critical section *)
+  think : duration;  (** noncritical work between attempts *)
+}
+
+val contended : t
+(** Tiny CS, no think time: maximal lock pressure. *)
+
+val balanced : t
+(** Short CS, comparable think time. *)
+
+val coarse : t
+(** Long CS: the lock is a small fraction of the cycle. *)
+
+val spin : int -> int
+(** [spin n] performs [n] iterations of integer arithmetic and returns a
+    value that must be consumed (fold it into an accumulator) so the loop
+    cannot be optimized away. *)
+
+val draw : Prng.Rng.t -> duration -> int

@@ -1,0 +1,1 @@
+lib/locks/bakery_bounded_lock.ml: Array Registers

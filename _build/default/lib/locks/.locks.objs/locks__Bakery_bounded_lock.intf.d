@@ -1,0 +1,1 @@
+lib/locks/bakery_bounded_lock.mli: Lock_intf Registers

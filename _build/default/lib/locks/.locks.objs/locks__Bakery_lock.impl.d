@@ -1,0 +1,1 @@
+lib/locks/bakery_lock.ml: Atomic Registers

@@ -1,0 +1,1 @@
+lib/locks/bakery_lock.mli: Lock_intf

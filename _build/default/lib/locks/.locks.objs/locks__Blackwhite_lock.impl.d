@@ -1,0 +1,1 @@
+lib/locks/blackwhite_lock.ml: Atomic Registers

@@ -1,0 +1,1 @@
+lib/locks/blackwhite_lock.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/burns_lynch_lock.ml: Registers

@@ -1,0 +1,1 @@
+lib/locks/clh_lock.ml: Array Atomic Registers

@@ -1,0 +1,1 @@
+lib/locks/eisenberg_lock.mli: Lock_intf

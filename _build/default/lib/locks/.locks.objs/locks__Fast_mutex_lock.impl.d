@@ -1,0 +1,1 @@
+lib/locks/fast_mutex_lock.ml: Atomic Registers

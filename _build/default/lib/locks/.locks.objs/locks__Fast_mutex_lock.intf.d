@@ -1,0 +1,1 @@
+lib/locks/fast_mutex_lock.mli: Lock_intf

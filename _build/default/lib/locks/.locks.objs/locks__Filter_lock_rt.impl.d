@@ -1,0 +1,1 @@
+lib/locks/filter_lock_rt.ml: Registers

@@ -1,0 +1,1 @@
+lib/locks/knuth_lock.ml: Atomic Registers

@@ -1,0 +1,1 @@
+lib/locks/knuth_lock.mli: Lock_intf

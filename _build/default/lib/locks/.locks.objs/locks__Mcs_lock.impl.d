@@ -1,0 +1,1 @@
+lib/locks/mcs_lock.ml: Array Atomic Registers

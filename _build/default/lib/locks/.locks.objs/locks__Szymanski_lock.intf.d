@@ -1,0 +1,1 @@
+lib/locks/szymanski_lock.mli: Lock_intf

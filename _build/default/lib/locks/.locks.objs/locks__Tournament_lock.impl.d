@@ -1,0 +1,1 @@
+lib/locks/tournament_lock.ml: Array Atomic List Registers

@@ -1,0 +1,1 @@
+lib/locks/tournament_lock.mli: Lock_intf

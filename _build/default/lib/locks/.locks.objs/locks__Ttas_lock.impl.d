@@ -1,0 +1,1 @@
+lib/locks/ttas_lock.ml: Atomic Registers

@@ -1,0 +1,1 @@
+lib/locks/ttas_lock.mli: Lock_intf

@@ -1,0 +1,6 @@
+(** Anderson's array-based queue lock: fetch-and-add grabs a slot, each
+    waiter spins on its own flag cell — the standard fix for TAS/ticket
+    cache-line storms.  RMW-based baseline (not a "true" solution in the
+    paper's sense), FIFO by construction. *)
+
+include Lock_intf.LOCK

@@ -1,0 +1,54 @@
+module R = Registers.Bounded
+
+type t = { nprocs : int; choosing : R.t array; number : R.t array }
+
+let name = "bakery_bounded"
+
+let create_with ~policy ~nprocs ~bound =
+  if nprocs < 1 then invalid_arg "Bakery_bounded_lock: nprocs must be >= 1";
+  {
+    nprocs;
+    choosing = R.array ~policy ~bound nprocs 0;
+    number = R.array ~policy ~bound nprocs 0;
+  }
+
+let create ~nprocs ~bound = create_with ~policy:R.Trap ~nprocs ~bound
+
+let before a i b j = a < b || (a = b && i < j)
+
+let acquire t i =
+  R.set t.choosing.(i) 1;
+  let ticket = 1 + R.max_of t.number in
+  (* This is the store the paper's §6.1 proof step 2 identifies as the
+     only possible overflow site. *)
+  R.set t.number.(i) ticket;
+  R.set t.choosing.(i) 0;
+  let my = R.get t.number.(i) in
+  (* under Wrap the stored ticket may differ from [ticket] *)
+  for j = 0 to t.nprocs - 1 do
+    while R.get t.choosing.(j) <> 0 do
+      Registers.Spin.relax ()
+    done;
+    let rec wait () =
+      let nj = R.get t.number.(j) in
+      if nj <> 0 && before nj j my i then begin
+        Registers.Spin.relax ();
+        wait ()
+      end
+    in
+    wait ()
+  done
+
+let release t i = R.set t.number.(i) 0
+
+let crash_reset t i =
+  R.set t.number.(i) 0;
+  R.set t.choosing.(i) 0
+
+let space_words t = Array.length t.choosing + Array.length t.number
+
+let overflows t =
+  Array.fold_left (fun acc r -> acc + R.overflow_count r) 0 t.number
+  + Array.fold_left (fun acc r -> acc + R.overflow_count r) 0 t.choosing
+
+let stats t = [ ("overflows", overflows t) ]

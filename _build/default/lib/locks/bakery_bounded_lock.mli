@@ -1,0 +1,18 @@
+(** Original Bakery over M-bounded registers — the paper's §3 failure
+    case made executable.
+
+    Each ticket store goes through {!Registers.Bounded}, so the first
+    store of a value exceeding M either raises
+    [Registers.Bounded.Overflow] (policy [Trap], used by the
+    time-to-overflow experiment E4) or silently wraps (policy [Wrap],
+    which eventually breaks mutual exclusion, as the paper warns). *)
+
+include Lock_intf.LOCK
+
+val create_with : policy:Registers.Bounded.policy -> nprocs:int -> bound:int -> t
+val overflows : t -> int
+
+val crash_reset : t -> int -> unit
+(** The paper's failure model (§1.2 cond. 4): process [i] resets its own
+    shared cells to 0.  Call after catching [Registers.Bounded.Overflow]
+    so other processes do not wait forever on the crashed one. *)

@@ -1,0 +1,12 @@
+(** Lamport's original Bakery as a real lock over sequentially consistent
+    registers (OCaml atomics).
+
+    Tickets are plain OCaml ints: on a 64-bit machine they take years to
+    overflow, which is precisely the paper's point about why the problem
+    hides in practice — see {!Bakery_bounded_lock} for the lock over
+    M-bounded registers that makes the overflow observable in seconds. *)
+
+include Lock_intf.LOCK
+
+val peak_ticket : t -> int
+(** Largest ticket value ever taken. *)

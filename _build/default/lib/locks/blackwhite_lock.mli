@@ -1,0 +1,7 @@
+(** Taubenfeld's Black-White Bakery as a runtime lock: bounded tickets
+    (at most N) with one extra shared color bit written by every process.
+    The related-work approach-2 comparator for Bakery++. *)
+
+include Lock_intf.LOCK
+
+val peak_ticket : t -> int

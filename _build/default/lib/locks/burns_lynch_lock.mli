@@ -1,0 +1,4 @@
+(** Burns–Lynch one-bit lock (runtime): one single-writer bit per
+    process, deadlock-free, strongly biased toward low ids. *)
+
+include Lock_intf.LOCK

@@ -1,0 +1,38 @@
+(* A node is one atomic flag: 1 = its owner holds or wants the lock. *)
+type node = int Atomic.t
+
+type t = {
+  tail : node Atomic.t;
+  mine : node array; (* node currently used by process i *)
+  pred : node array; (* predecessor node process i spins on *)
+}
+
+let name = "clh"
+
+let create ~nprocs ~bound:_ =
+  if nprocs < 1 then invalid_arg "Clh_lock.create: nprocs must be >= 1";
+  let sentinel = Atomic.make 0 in
+  {
+    tail = Atomic.make sentinel;
+    mine = Array.init nprocs (fun _ -> Atomic.make 0);
+    pred = Array.init nprocs (fun _ -> sentinel);
+  }
+
+let acquire t i =
+  let my = t.mine.(i) in
+  Atomic.set my 1;
+  let pred = Atomic.exchange t.tail my in
+  t.pred.(i) <- pred;
+  while Atomic.get pred = 1 do
+    Registers.Spin.relax ()
+  done
+
+let release t i =
+  Atomic.set t.mine.(i) 0;
+  (* Recycle the predecessor's node as our next request node — the
+     standard CLH trick that keeps allocation zero. *)
+  t.mine.(i) <- t.pred.(i)
+
+let space_words t = 1 + Array.length t.mine
+
+let stats _ = []

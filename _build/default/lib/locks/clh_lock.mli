@@ -1,0 +1,5 @@
+(** CLH queue lock: an implicit linked list of waiters, each spinning on
+    its predecessor's flag.  O(1) shared-word footprint plus one node per
+    process (recycled), FIFO, RMW-based. *)
+
+include Lock_intf.LOCK

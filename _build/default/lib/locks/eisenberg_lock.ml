@@ -1,0 +1,54 @@
+module A = Registers.Atomic_array
+
+let idle = 0
+let waiting = 1
+let active = 2
+
+type t = { nprocs : int; flag : A.t; turn : int Atomic.t }
+
+let name = "eisenberg_mcguire"
+
+let create ~nprocs ~bound:_ =
+  if nprocs < 1 then invalid_arg "Eisenberg_lock.create: nprocs must be >= 1";
+  { nprocs; flag = A.create nprocs idle; turn = Atomic.make 0 }
+
+let acquire t i =
+  let n = t.nprocs in
+  let rec attempt () =
+    A.set t.flag i waiting;
+    (* Walk from the turn to self, deferring to busy processes. *)
+    let rec walk idx =
+      if idx <> i then
+        if A.get t.flag idx <> idle then begin
+          Registers.Spin.relax ();
+          walk (Atomic.get t.turn)
+        end
+        else walk ((idx + 1) mod n)
+    in
+    walk (Atomic.get t.turn);
+    A.set t.flag i active;
+    (* Are we the only active process? *)
+    let rec solo idx =
+      idx >= n || ((idx = i || A.get t.flag idx <> active) && solo (idx + 1))
+    in
+    if
+      solo 0
+      && (Atomic.get t.turn = i || A.get t.flag (Atomic.get t.turn) = idle)
+    then Atomic.set t.turn i
+    else begin
+      Registers.Spin.relax ();
+      attempt ()
+    end
+  in
+  attempt ()
+
+let release t i =
+  let n = t.nprocs in
+  (* Pass the turn to the next non-idle process (self if none). *)
+  let rec scan idx = if A.get t.flag idx = idle then scan ((idx + 1) mod n) else idx in
+  Atomic.set t.turn (scan ((Atomic.get t.turn + 1) mod n));
+  A.set t.flag i idle
+
+let space_words t = A.words t.flag + 1
+
+let stats _ = []

@@ -1,0 +1,4 @@
+(** Eisenberg–McGuire as a runtime lock: bounded trivalent flags plus a
+    shared turn, starvation-free. *)
+
+include Lock_intf.LOCK

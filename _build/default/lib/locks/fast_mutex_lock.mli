@@ -1,0 +1,7 @@
+(** Lamport's fast mutex as a runtime lock: O(1) uncontended path
+    (two writes, two reads), O(N) slow path, no FCFS. *)
+
+include Lock_intf.LOCK
+
+val slow_paths : t -> int
+(** Acquisitions that had to take the O(N) slow path. *)

@@ -1,0 +1,3 @@
+(** Peterson's filter lock for N processes (runtime). *)
+
+include Lock_intf.LOCK

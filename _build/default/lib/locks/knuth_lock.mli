@@ -1,0 +1,5 @@
+(** Knuth's 1966 algorithm (the paper's reference [5]) as a runtime
+    lock: trivalent control flags plus a shared turn, starvation-free
+    with a round-robin overtaking bound. *)
+
+include Lock_intf.LOCK

@@ -1,0 +1,63 @@
+(* Common interface of the runtime (OCaml 5 domains) locks.
+
+   Every lock is created for a fixed set of [nprocs] participants, each
+   identified by an id in 0 .. nprocs-1 (the paper's process number i);
+   [acquire]/[release] must be called with the caller's own id.  [bound]
+   is the register capacity M; algorithms with inherently bounded
+   registers ignore it. *)
+
+module type LOCK = sig
+  type t
+
+  val name : string
+
+  val create : nprocs:int -> bound:int -> t
+
+  val acquire : t -> int -> unit
+  val release : t -> int -> unit
+
+  val space_words : t -> int
+  (* Number of shared register words the algorithm uses. *)
+
+  val stats : t -> (string * int) list
+  (* Cumulative instrumentation counters (resets, gate spins, overflow
+     events, peak ticket, ...); an empty list if uninstrumented. *)
+end
+
+(* First-class instance, used by the experiment harness to treat the zoo
+   uniformly. *)
+type instance = {
+  instance_name : string;
+  acquire : int -> unit;
+  release : int -> unit;
+  space_words : int;
+  stats : unit -> (string * int) list;
+}
+
+type family = {
+  family_name : string;
+  needs_bound : bool;
+  (* true if the bound materially changes behaviour (bakery variants) *)
+  two_process_only : bool;
+  make : nprocs:int -> bound:int -> instance;
+}
+
+let instance_of (type a) (module L : LOCK with type t = a) (lock : a) =
+  {
+    instance_name = L.name;
+    acquire = L.acquire lock;
+    release = L.release lock;
+    space_words = L.space_words lock;
+    stats = (fun () -> L.stats lock);
+  }
+
+let family_of (module L : LOCK) ?(needs_bound = false) ?(two_process_only = false)
+    () =
+  {
+    family_name = L.name;
+    needs_bound;
+    two_process_only;
+    make =
+      (fun ~nprocs ~bound ->
+        instance_of (module L) (L.create ~nprocs ~bound));
+  }

@@ -1,0 +1,47 @@
+(* Nodes are indexed by process id; [tail] and [next] hold indices with
+   -1 meaning "none", so every compare-and-set is on immediate ints
+   (OCaml's [Atomic.compare_and_set] is physical equality, which is only
+   dependable for immediates). *)
+
+type node = { locked : int Atomic.t; next : int Atomic.t }
+
+type t = { tail : int Atomic.t; nodes : node array }
+
+let name = "mcs"
+
+let create ~nprocs ~bound:_ =
+  if nprocs < 1 then invalid_arg "Mcs_lock.create: nprocs must be >= 1";
+  {
+    tail = Atomic.make (-1);
+    nodes = Array.init nprocs (fun _ -> { locked = Atomic.make 0; next = Atomic.make (-1) });
+  }
+
+let acquire t i =
+  let my = t.nodes.(i) in
+  Atomic.set my.locked 1;
+  Atomic.set my.next (-1);
+  let pred = Atomic.exchange t.tail i in
+  if pred >= 0 then begin
+    Atomic.set t.nodes.(pred).next i;
+    while Atomic.get my.locked = 1 do
+      Registers.Spin.relax ()
+    done
+  end
+
+let release t i =
+  let my = t.nodes.(i) in
+  if Atomic.get my.next < 0 then begin
+    (* No known successor: try to swing the tail back to empty; if a
+       newcomer raced us, wait for it to link itself, then hand off. *)
+    if not (Atomic.compare_and_set t.tail i (-1)) then begin
+      while Atomic.get my.next < 0 do
+        Registers.Spin.relax ()
+      done;
+      Atomic.set t.nodes.(Atomic.get my.next).locked 0
+    end
+  end
+  else Atomic.set t.nodes.(Atomic.get my.next).locked 0
+
+let space_words t = 1 + (2 * Array.length t.nodes)
+
+let stats _ = []

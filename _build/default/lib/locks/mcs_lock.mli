@@ -1,0 +1,4 @@
+(** MCS queue lock: explicit linked list of waiters, each spinning on its
+    own node's flag; the classic NUMA-friendly lock.  FIFO, RMW-based. *)
+
+include Lock_intf.LOCK

@@ -1,0 +1,5 @@
+(** Szymanski's flag-based algorithm (runtime): 3-bit registers, FCFS,
+    but with the multi-stage doorway protocol the paper calls "much more
+    complicated than Bakery++". *)
+
+include Lock_intf.LOCK

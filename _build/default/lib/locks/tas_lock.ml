@@ -1,0 +1,21 @@
+type t = { lock : int Atomic.t }
+
+let name = "tas"
+
+let create ~nprocs ~bound:_ =
+  if nprocs < 1 then invalid_arg "Tas_lock.create: nprocs must be >= 1";
+  { lock = Atomic.make 0 }
+
+let acquire t i =
+  ignore i;
+  while Atomic.exchange t.lock 1 = 1 do
+    Registers.Spin.relax ()
+  done
+
+let release t i =
+  ignore i;
+  Atomic.set t.lock 0
+
+let space_words _ = 1
+
+let stats _ = []

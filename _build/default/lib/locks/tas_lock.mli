@@ -1,0 +1,3 @@
+(** Test-and-set spin lock (atomic-exchange baseline). *)
+
+include Lock_intf.LOCK

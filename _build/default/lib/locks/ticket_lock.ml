@@ -1,0 +1,64 @@
+type t = {
+  next : int Atomic.t;
+  serving : int Atomic.t;
+  modulus : int option;
+  peak : int Atomic.t;
+}
+
+let name = "ticket"
+
+let create ~nprocs ~bound:_ =
+  if nprocs < 1 then invalid_arg "Ticket_lock.create: nprocs must be >= 1";
+  { next = Atomic.make 0; serving = Atomic.make 0; modulus = None; peak = Atomic.make 0 }
+
+let create_mod ~nprocs ~bound =
+  if nprocs < 1 then invalid_arg "Ticket_lock.create_mod: nprocs must be >= 1";
+  if bound < nprocs then
+    invalid_arg
+      "Ticket_lock.create_mod: modular tickets need bound >= nprocs (paper §8.1)";
+  {
+    next = Atomic.make 0;
+    serving = Atomic.make 0;
+    modulus = Some bound;
+    peak = Atomic.make 0;
+  }
+
+let rec bump_peak t v =
+  let current = Atomic.get t.peak in
+  if v > current && not (Atomic.compare_and_set t.peak current v) then
+    bump_peak t v
+
+(* Modular grab: an atomic compare-and-set loop so the counter always
+   holds a value < modulus (fetch-and-add would transiently overshoot —
+   i.e. overflow the register, which is what we are avoiding). *)
+let rec take_mod cell modulus =
+  let v = Atomic.get cell in
+  if Atomic.compare_and_set cell v ((v + 1) mod modulus) then v
+  else begin
+    Registers.Spin.relax ();
+    take_mod cell modulus
+  end
+
+let acquire t i =
+  ignore i;
+  let my =
+    match t.modulus with
+    | None -> Atomic.fetch_and_add t.next 1
+    | Some modulus -> take_mod t.next modulus
+  in
+  bump_peak t my;
+  while Atomic.get t.serving <> my do
+    Registers.Spin.relax ()
+  done
+
+let release t i =
+  ignore i;
+  let v = Atomic.get t.serving + 1 in
+  let v = match t.modulus with None -> v | Some modulus -> v mod modulus in
+  Atomic.set t.serving v
+
+let space_words _ = 2
+
+let peak_ticket t = Atomic.get t.peak
+
+let stats t = [ ("peak_ticket", peak_ticket t) ]

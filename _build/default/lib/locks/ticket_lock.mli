@@ -1,0 +1,11 @@
+(** Classic fetch-and-add ticket lock (practical baseline, needs atomic
+    read-modify-write).  The default variant uses unbounded counters;
+    {!create_mod} wraps both counters modulo the register bound, which is
+    sound while at most M processes hold tickets. *)
+
+include Lock_intf.LOCK
+
+val create_mod : nprocs:int -> bound:int -> t
+(** Modular variant ("ticket_mod"). *)
+
+val peak_ticket : t -> int

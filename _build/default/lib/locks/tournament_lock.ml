@@ -1,0 +1,67 @@
+(* One internal node = one two-process Peterson lock.  A process entering
+   from child [side] (0 or 1) plays role [side]. *)
+type node = { flag0 : int Atomic.t; flag1 : int Atomic.t; turn : int Atomic.t }
+
+type t = {
+  nprocs : int;
+  nodes : node array; (* heap layout: children of k are 2k+1, 2k+2 *)
+  paths : (int * int) array array; (* per process: (node, side), leaf to root *)
+}
+
+let name = "tournament"
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let create ~nprocs ~bound:_ =
+  if nprocs < 1 then invalid_arg "Tournament_lock.create: nprocs must be >= 1";
+  let leaves = next_pow2 (max 2 nprocs) in
+  let nnodes = leaves - 1 in
+  let nodes =
+    Array.init nnodes (fun _ ->
+        { flag0 = Atomic.make 0; flag1 = Atomic.make 0; turn = Atomic.make 0 })
+  in
+  let path_of pid =
+    let rec climb idx acc =
+      if idx = 0 then acc
+      else
+        let parent = (idx - 1) / 2 in
+        let side = idx - 1 - (2 * parent) in
+        climb parent ((parent, side) :: acc)
+    in
+    (* leaf-to-root order = reverse of the accumulated root-to-leaf list *)
+    Array.of_list (List.rev (climb (nnodes + pid) []))
+  in
+  { nprocs; nodes; paths = Array.init nprocs path_of }
+
+let flag node side = if side = 0 then node.flag0 else node.flag1
+
+let node_acquire node side =
+  Atomic.set (flag node side) 1;
+  Atomic.set node.turn (1 - side);
+  while
+    Atomic.get (flag node (1 - side)) = 1 && Atomic.get node.turn = 1 - side
+  do
+    Registers.Spin.relax ()
+  done
+
+let node_release node side = Atomic.set (flag node side) 0
+
+let acquire t i =
+  let path = t.paths.(i) in
+  for k = 0 to Array.length path - 1 do
+    let node, side = path.(k) in
+    node_acquire t.nodes.(node) side
+  done
+
+let release t i =
+  let path = t.paths.(i) in
+  for k = Array.length path - 1 downto 0 do
+    let node, side = path.(k) in
+    node_release t.nodes.(node) side
+  done
+
+let space_words t = 3 * Array.length t.nodes
+
+let stats _ = []

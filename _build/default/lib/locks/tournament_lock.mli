@@ -1,0 +1,5 @@
+(** Tournament lock: a balanced binary tree of two-process Peterson locks.
+    Each process climbs from its leaf to the root, playing Peterson at
+    every internal node; O(log N) entry steps, O(N) space. *)
+
+include Lock_intf.LOCK

@@ -1,0 +1,29 @@
+type t = { lock : int Atomic.t }
+
+let name = "ttas"
+
+let create ~nprocs ~bound:_ =
+  if nprocs < 1 then invalid_arg "Ttas_lock.create: nprocs must be >= 1";
+  { lock = Atomic.make 0 }
+
+let acquire t i =
+  ignore i;
+  let backoff = Registers.Backoff.create () in
+  let rec attempt () =
+    while Atomic.get t.lock = 1 do
+      Registers.Spin.relax ()
+    done;
+    if Atomic.exchange t.lock 1 = 1 then begin
+      Registers.Backoff.once backoff;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let release t i =
+  ignore i;
+  Atomic.set t.lock 0
+
+let space_words _ = 1
+
+let stats _ = []

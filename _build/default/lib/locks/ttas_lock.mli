@@ -1,0 +1,4 @@
+(** Test-and-test-and-set lock with exponential backoff: spins on a plain
+    read and only attempts the atomic exchange when the lock looks free. *)
+
+include Lock_intf.LOCK

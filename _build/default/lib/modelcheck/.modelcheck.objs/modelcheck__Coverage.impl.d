@@ -1,0 +1,1 @@
+lib/modelcheck/coverage.ml: Array Explore Format List Mxlang System Vec

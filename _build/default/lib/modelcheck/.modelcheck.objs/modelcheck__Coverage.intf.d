@@ -1,0 +1,1 @@
+lib/modelcheck/coverage.mli: Explore Format Mxlang State System

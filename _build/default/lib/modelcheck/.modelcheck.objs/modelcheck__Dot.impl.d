@@ -1,0 +1,1 @@
+lib/modelcheck/dot.ml: Array Buffer Explore List Mxlang Printf State String System Trace Vec

@@ -1,0 +1,1 @@
+lib/modelcheck/dot.mli: State System Trace

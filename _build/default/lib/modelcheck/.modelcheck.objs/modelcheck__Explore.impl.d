@@ -1,0 +1,1 @@
+lib/modelcheck/explore.ml: Array Hashtbl Invariant Lazy List Queue State System Trace Unix Vec

@@ -1,0 +1,1 @@
+lib/modelcheck/explore.mli: Invariant State System Trace Vec

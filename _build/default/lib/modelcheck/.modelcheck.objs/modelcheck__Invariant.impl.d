@@ -1,0 +1,1 @@
+lib/modelcheck/invariant.ml: Array List Mxlang Printf State String System

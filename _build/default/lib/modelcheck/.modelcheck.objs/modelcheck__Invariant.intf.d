@@ -1,0 +1,1 @@
+lib/modelcheck/invariant.mli: Mxlang State System

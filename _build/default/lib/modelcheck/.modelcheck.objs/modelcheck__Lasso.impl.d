@@ -1,0 +1,1 @@
+lib/modelcheck/lasso.ml: Array Explore Hashtbl List Mxlang Queue State System Trace Vec

@@ -1,0 +1,1 @@
+lib/modelcheck/lasso.mli: Explore Mxlang State System Trace

@@ -1,0 +1,1 @@
+lib/modelcheck/par_explore.ml: Array Domain Explore Hashtbl Invariant List State System Unix Vec

@@ -1,0 +1,1 @@
+lib/modelcheck/par_explore.mli: Explore Invariant State System

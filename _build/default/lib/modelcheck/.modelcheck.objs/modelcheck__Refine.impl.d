@@ -1,0 +1,1 @@
+lib/modelcheck/refine.ml: Array Hashtbl List Mxlang Queue State System Trace Vec

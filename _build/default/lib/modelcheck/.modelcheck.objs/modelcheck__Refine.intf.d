@@ -1,0 +1,1 @@
+lib/modelcheck/refine.mli: State System Trace

@@ -1,0 +1,1 @@
+lib/modelcheck/report.ml: Array Buffer Explore Format Lasso Printf Refine String System Trace

@@ -1,0 +1,1 @@
+lib/modelcheck/report.mli: Explore Format Lasso Refine System

@@ -1,0 +1,1 @@
+lib/modelcheck/state.ml: Array Format List Mxlang Printf String

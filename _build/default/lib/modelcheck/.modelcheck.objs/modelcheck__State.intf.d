@@ -1,0 +1,1 @@
+lib/modelcheck/state.mli: Format Mxlang

@@ -1,0 +1,1 @@
+lib/modelcheck/system.ml: Array List Mxlang State

@@ -1,0 +1,1 @@
+lib/modelcheck/system.mli: Mxlang State

@@ -1,0 +1,1 @@
+lib/modelcheck/trace.ml: Format List State System

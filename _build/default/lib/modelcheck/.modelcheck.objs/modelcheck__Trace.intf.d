@@ -1,0 +1,1 @@
+lib/modelcheck/trace.mli: Format State System

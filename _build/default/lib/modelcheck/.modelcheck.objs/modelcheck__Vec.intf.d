@@ -1,0 +1,1 @@
+lib/modelcheck/vec.mli:

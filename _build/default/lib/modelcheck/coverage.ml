@@ -1,0 +1,52 @@
+type entry = {
+  step_name : string;
+  pc : int;
+  kind : Mxlang.Ast.kind;
+  fired : int;
+}
+
+type t = { entries : entry list; total_transitions : int }
+
+let of_graph (g : Explore.graph) =
+  let p = System.program g.sys in
+  let counts = Array.make (Array.length p.steps) 0 in
+  let total = ref 0 in
+  (* Count every transition generated from a stored state (TLC's notion
+     of action coverage), not just the BFS spanning-tree edges. *)
+  Vec.iteri
+    (fun _ s ->
+      List.iter
+        (fun (m : System.move) ->
+          counts.(m.from_pc) <- counts.(m.from_pc) + 1;
+          incr total)
+        (System.successors g.sys s))
+    g.states;
+  let entries =
+    List.init (Array.length p.steps) (fun pc ->
+        {
+          step_name = p.steps.(pc).step_name;
+          pc;
+          kind = p.steps.(pc).kind;
+          fired = counts.(pc);
+        })
+  in
+  { entries; total_transitions = !total }
+
+let measure ?constraint_ ?max_states sys =
+  let graph, _ = Explore.run_graph ?constraint_ ?max_states sys in
+  of_graph graph
+
+let uncovered t =
+  List.filter_map
+    (fun e -> if e.fired = 0 then Some e.step_name else None)
+    t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-20s %-8s %8d%s@," e.step_name
+        (Mxlang.Pretty.kind e.kind) e.fired
+        (if e.fired = 0 then "   <- never fired" else ""))
+    t.entries;
+  Format.fprintf ppf "total stored transitions: %d@]" t.total_transitions

@@ -1,0 +1,17 @@
+(** Graphviz (DOT) export of reachable state graphs — for inspecting
+    small instances and for documentation figures.
+
+    Nodes are labeled with program counters and shared memory; critical
+    states are highlighted; edges carry "p<i>: <label>".  A cap keeps the
+    output usable (state graphs explode quickly). *)
+
+val of_system :
+  ?max_states:int ->
+  ?constraint_:(System.t -> State.packed -> bool) ->
+  System.t ->
+  string
+(** Explore (BFS, capped at [max_states], default 500) and render.
+    If the cap truncates the graph, a dashed "…" node marks the cut. *)
+
+val of_trace : System.t -> Trace.t -> string
+(** Render a single trace as a path graph (e.g. a counterexample). *)

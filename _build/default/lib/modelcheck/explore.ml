@@ -1,0 +1,193 @@
+module Tbl = Hashtbl.Make (struct
+  type t = State.packed
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
+type stats = { generated : int; distinct : int; depth : int; runtime : float }
+
+type outcome =
+  | Pass
+  | Violation of { invariant : string; trace : Trace.t }
+  | Deadlock of { trace : Trace.t }
+  | Capacity
+
+type result = { outcome : outcome; stats : stats }
+
+type graph = {
+  sys : System.t;
+  states : State.packed Vec.t;
+  parent : int Vec.t;
+  via_pid : int Vec.t;
+  via_pc : int Vec.t;
+  id_of : State.packed -> int option;
+}
+
+let now () = Unix.gettimeofday ()
+
+type store = {
+  g : graph;
+  tbl : int Tbl.t;
+  depth_of : int Vec.t;
+}
+
+let make_store sys =
+  let tbl = Tbl.create 4096 in
+  let g =
+    {
+      sys;
+      states = Vec.create ();
+      parent = Vec.create ();
+      via_pid = Vec.create ();
+      via_pc = Vec.create ();
+      id_of = (fun s -> Tbl.find_opt tbl s);
+    }
+  in
+  { g; tbl; depth_of = Vec.create () }
+
+(* Returns [Some id] if the state is new. *)
+let add store ~parent ~pid ~pc ~depth s =
+  match Tbl.find_opt store.tbl s with
+  | Some _ -> None
+  | None ->
+      let id = Vec.push store.g.states s in
+      Tbl.add store.tbl s id;
+      ignore (Vec.push store.g.parent parent);
+      ignore (Vec.push store.g.via_pid pid);
+      ignore (Vec.push store.g.via_pc pc);
+      ignore (Vec.push store.depth_of depth);
+      Some id
+
+let trace_to (g : graph) id =
+  let p = System.program g.sys in
+  let rec walk id acc =
+    let pid = Vec.get g.via_pid id in
+    let entry =
+      {
+        Trace.pid;
+        step_name = (if pid < 0 then "<init>" else p.steps.(Vec.get g.via_pc id).step_name);
+        state = Vec.get g.states id;
+      }
+    in
+    let parent = Vec.get g.parent id in
+    if parent < 0 then entry :: acc else walk parent (entry :: acc)
+  in
+  walk id []
+
+let default_invariants = lazy [ Invariant.mutex; Invariant.no_overflow ]
+
+let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = true)
+    sys =
+  let invariants =
+    match invariants with Some l -> l | None -> Lazy.force default_invariants
+  in
+  let t0 = now () in
+  let store = make_store sys in
+  let queue = Queue.create () in
+  let generated = ref 0 in
+  let max_depth = ref 0 in
+  let finish outcome =
+    {
+      outcome;
+      stats =
+        {
+          generated = !generated;
+          distinct = Vec.length store.g.states;
+          depth = !max_depth;
+          runtime = now () -. t0;
+        };
+    }
+  in
+  let check_state id s =
+    let rec first_violated = function
+      | [] -> None
+      | inv :: rest ->
+          (match Invariant.check inv sys s with
+          | Some name -> Some name
+          | None -> first_violated rest)
+    in
+    match first_violated invariants with
+    | Some invariant -> Some (Violation { invariant; trace = trace_to store.g id })
+    | None -> None
+  in
+  let expand s =
+    match constraint_ with None -> true | Some c -> c sys s
+  in
+  let exception Stop of result in
+  try
+    let init = System.initial sys in
+    incr generated;
+    (match add store ~parent:(-1) ~pid:(-1) ~pc:(-1) ~depth:0 init with
+    | Some id -> (
+        match check_state id init with
+        | Some bad -> raise (Stop (finish bad))
+        | None -> if expand init then Queue.add id queue)
+    | None -> assert false);
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      let s = Vec.get store.g.states id in
+      let depth = Vec.get store.depth_of id in
+      if depth > !max_depth then max_depth := depth;
+      let moves = System.successors sys s in
+      if check_deadlock && moves = [] then
+        raise (Stop (finish (Deadlock { trace = trace_to store.g id })));
+      List.iter
+        (fun (m : System.move) ->
+          incr generated;
+          match
+            add store ~parent:id ~pid:m.pid ~pc:m.from_pc ~depth:(depth + 1)
+              m.dest
+          with
+          | None -> ()
+          | Some id' -> (
+              if Vec.length store.g.states > max_states then
+                raise (Stop (finish Capacity));
+              match check_state id' m.dest with
+              | Some bad -> raise (Stop (finish bad))
+              | None -> if expand m.dest then Queue.add id' queue))
+        moves
+    done;
+    finish Pass
+  with Stop r -> r
+
+let run_graph ?constraint_ ?(max_states = 5_000_000) sys =
+  let t0 = now () in
+  let store = make_store sys in
+  let queue = Queue.create () in
+  let generated = ref 0 in
+  let max_depth = ref 0 in
+  let expand s = match constraint_ with None -> true | Some c -> c sys s in
+  let init = System.initial sys in
+  incr generated;
+  (match add store ~parent:(-1) ~pid:(-1) ~pc:(-1) ~depth:0 init with
+  | Some id -> if expand init then Queue.add id queue
+  | None -> assert false);
+  let exception Full in
+  (try
+     while not (Queue.is_empty queue) do
+       let id = Queue.pop queue in
+       let s = Vec.get store.g.states id in
+       let depth = Vec.get store.depth_of id in
+       if depth > !max_depth then max_depth := depth;
+       List.iter
+         (fun (m : System.move) ->
+           incr generated;
+           match
+             add store ~parent:id ~pid:m.pid ~pc:m.from_pc ~depth:(depth + 1)
+               m.dest
+           with
+           | None -> ()
+           | Some id' ->
+               if Vec.length store.g.states > max_states then raise Full;
+               if expand m.dest then Queue.add id' queue)
+         (System.successors sys s)
+     done
+   with Full -> ());
+  ( store.g,
+    {
+      generated = !generated;
+      distinct = Vec.length store.g.states;
+      depth = !max_depth;
+      runtime = now () -. t0;
+    } )

@@ -1,0 +1,58 @@
+(** Breadth-first exhaustive exploration with invariant checking —
+    the core of the TLC-replacement checker.
+
+    BFS guarantees that a reported invariant violation comes with a
+    shortest-possible counterexample trace, matching TLC's behaviour. *)
+
+type stats = {
+  generated : int;  (** successor states generated (with duplicates) *)
+  distinct : int;  (** distinct states stored *)
+  depth : int;  (** BFS depth reached *)
+  runtime : float;  (** seconds *)
+}
+
+type outcome =
+  | Pass
+  | Violation of { invariant : string; trace : Trace.t }
+  | Deadlock of { trace : Trace.t }
+      (** a reachable state has no successor for any process *)
+  | Capacity
+      (** the [max_states] budget was exhausted before the frontier emptied *)
+
+type result = { outcome : outcome; stats : stats }
+
+(** Stored search graph, reusable by the SCC/lasso analyses. *)
+type graph = {
+  sys : System.t;
+  states : State.packed Vec.t;
+  parent : int Vec.t;  (** parent state id; -1 for the root *)
+  via_pid : int Vec.t;
+  via_pc : int Vec.t;
+  id_of : State.packed -> int option;
+}
+
+val run :
+  ?invariants:Invariant.t list ->
+  ?constraint_:(System.t -> State.packed -> bool) ->
+  ?max_states:int ->
+  ?check_deadlock:bool ->
+  System.t ->
+  result
+(** Explore all states reachable from the initial state.
+
+    [invariants] default to [[Invariant.mutex; Invariant.no_overflow]].
+    [constraint_] is TLC's state constraint: states violating it are
+    still checked against the invariants but not expanded, closing
+    otherwise-infinite state spaces (needed for the original, unbounded
+    Bakery).  [max_states] (default 5_000_000) bounds memory. *)
+
+val run_graph :
+  ?constraint_:(System.t -> State.packed -> bool) ->
+  ?max_states:int ->
+  System.t ->
+  graph * stats
+(** Exploration that keeps the whole reachable graph (no invariant
+    checking, no early exit); used by {!Lasso} and {!Refine}. *)
+
+val trace_to : graph -> int -> Trace.t
+(** Reconstruct the BFS path from the root to a stored state id. *)

@@ -1,0 +1,60 @@
+type t = { name : string; holds : System.t -> State.packed -> bool }
+
+let mutex =
+  {
+    name = "mutual-exclusion";
+    holds =
+      (fun sys s ->
+        let n = System.nprocs sys in
+        let rec count i acc =
+          if acc > 1 then acc
+          else if i >= n then acc
+          else count (i + 1) (if System.in_critical sys s i then acc + 1 else acc)
+        in
+        count 0 0 <= 1);
+  }
+
+let no_overflow =
+  {
+    name = "no-overflow";
+    holds =
+      (fun sys s ->
+        let p = System.program sys in
+        let lay = System.layout sys in
+        let m = System.bound sys in
+        let rec var_ok v =
+          v >= p.nvars
+          || ((not p.bounded.(v))
+             ||
+             let cells = Mxlang.Ast.cells_of ~nprocs:(System.nprocs sys) p v in
+             let rec cell_ok i =
+               i >= cells || (State.shared_cell lay s v i <= m && cell_ok (i + 1))
+             in
+             cell_ok 0)
+             && var_ok (v + 1)
+        in
+        var_ok 0);
+  }
+
+let bounded_by ~var ~limit =
+  {
+    name = Printf.sprintf "bounded(var %d <= %d)" var limit;
+    holds =
+      (fun sys s ->
+        let lay = System.layout sys in
+        let cells =
+          Mxlang.Ast.cells_of ~nprocs:(System.nprocs sys) (System.program sys) var
+        in
+        let rec ok i = i >= cells || (State.shared_cell lay s var i <= limit && ok (i + 1)) in
+        ok 0);
+  }
+
+let custom name holds = { name; holds }
+
+let all invs =
+  {
+    name = String.concat " & " (List.map (fun i -> i.name) invs);
+    holds = (fun sys s -> List.for_all (fun i -> i.holds sys s) invs);
+  }
+
+let check inv sys s = if inv.holds sys s then None else Some inv.name

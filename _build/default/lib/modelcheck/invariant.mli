@@ -1,0 +1,24 @@
+(** Named state predicates checked on every reachable state. *)
+
+type t = { name : string; holds : System.t -> State.packed -> bool }
+
+val mutex : t
+(** At most one process is at a [Critical]-kind step — the paper's
+    mutual-exclusion property (§6.2). *)
+
+val no_overflow : t
+(** Every cell of every register-bounded shared variable is [<= M] — the
+    paper's overflow-freedom property (§6.1).  A value of [M] itself is
+    legal (it is the largest storable value); [M + 1] is an overflow. *)
+
+val bounded_by : var:Mxlang.Ast.var -> limit:int -> t
+(** All cells of one variable stay [<= limit]. *)
+
+val custom : string -> (System.t -> State.packed -> bool) -> t
+
+val all : t list -> t
+(** Conjunction, reported under the name of the first failing conjunct. *)
+
+val check : t -> System.t -> State.packed -> string option
+(** [None] if the invariant holds, [Some name] of the violated
+    (sub-)invariant otherwise. *)

@@ -1,0 +1,156 @@
+module Tbl = Hashtbl.Make (struct
+  type t = State.packed
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
+let now () = Unix.gettimeofday ()
+
+(* Successors of one frontier slice, computed by a worker domain.  Only
+   pure state arithmetic happens here; no shared mutable structures. *)
+let expand_slice sys (frontier : State.packed array) lo hi =
+  let out = ref [] in
+  for k = hi - 1 downto lo do
+    let s = frontier.(k) in
+    List.iter
+      (fun (m : System.move) -> out := (k, m) :: !out)
+      (System.successors sys s)
+  done;
+  !out
+
+let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains sys =
+  let invariants =
+    match invariants with
+    | Some l -> l
+    | None -> [ Invariant.mutex; Invariant.no_overflow ]
+  in
+  let ndomains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Par_explore.run: domains must be >= 1"
+    | None -> min 8 (Domain.recommended_domain_count ())
+  in
+  let t0 = now () in
+  let tbl = Tbl.create 4096 in
+  let states = Vec.create () in
+  let parent = Vec.create () in
+  let via_pid = Vec.create () in
+  let via_pc = Vec.create () in
+  let graph_id_of s = Tbl.find_opt tbl s in
+  let graph =
+    {
+      Explore.sys;
+      states;
+      parent;
+      via_pid;
+      via_pc;
+      id_of = graph_id_of;
+    }
+  in
+  let generated = ref 0 in
+  let depth = ref 0 in
+  let finish outcome =
+    {
+      Explore.outcome;
+      stats =
+        {
+          generated = !generated;
+          distinct = Vec.length states;
+          depth = !depth;
+          runtime = now () -. t0;
+        };
+    }
+  in
+  let expand s =
+    match constraint_ with None -> true | Some c -> c sys s
+  in
+  let exception Stop of Explore.result in
+  let check id s =
+    let rec first = function
+      | [] -> None
+      | inv :: rest -> (
+          match Invariant.check inv sys s with
+          | Some name -> Some name
+          | None -> first rest)
+    in
+    match first invariants with
+    | Some invariant ->
+        raise
+          (Stop
+             (finish
+                (Explore.Violation { invariant; trace = Explore.trace_to graph id })))
+    | None -> ()
+  in
+  (* Insert a state discovered from [parent_id]; returns the new id if it
+     was unseen. *)
+  let insert ~parent_id ~pid ~pc s =
+    match Tbl.find_opt tbl s with
+    | Some _ -> None
+    | None ->
+        let id = Vec.push states s in
+        Tbl.add tbl s id;
+        ignore (Vec.push parent parent_id);
+        ignore (Vec.push via_pid pid);
+        ignore (Vec.push via_pc pc);
+        if Vec.length states > max_states then raise (Stop (finish Explore.Capacity));
+        check id s;
+        Some id
+  in
+  try
+    let init = System.initial sys in
+    incr generated;
+    let frontier = ref [||] in
+    (match insert ~parent_id:(-1) ~pid:(-1) ~pc:(-1) init with
+    | Some id -> if expand init then frontier := [| (id, init) |]
+    | None -> assert false);
+    while Array.length !frontier > 0 do
+      let fr = Array.map snd !frontier in
+      let ids = Array.map fst !frontier in
+      let n = Array.length fr in
+      let slices =
+        (* Split [0, n) into ndomains contiguous chunks. *)
+        List.init ndomains (fun d ->
+            let lo = n * d / ndomains and hi = n * (d + 1) / ndomains in
+            (lo, hi))
+        |> List.filter (fun (lo, hi) -> hi > lo)
+      in
+      let results =
+        match slices with
+        | [ (lo, hi) ] -> [ expand_slice sys fr lo hi ]
+        | _ ->
+            let workers =
+              List.map
+                (fun (lo, hi) ->
+                  Domain.spawn (fun () -> expand_slice sys fr lo hi))
+                slices
+            in
+            List.map Domain.join workers
+      in
+      (* Sequential dedup + insertion keeps ids and traces deterministic. *)
+      let next = ref [] in
+      let had_successor = Array.make n false in
+      List.iter
+        (fun moves ->
+          List.iter
+            (fun ((k : int), (m : System.move)) ->
+              had_successor.(k) <- true;
+              incr generated;
+              match insert ~parent_id:ids.(k) ~pid:m.pid ~pc:m.from_pc m.dest with
+              | None -> ()
+              | Some id -> if expand m.dest then next := (id, m.dest) :: !next)
+            moves)
+        results;
+      (* Deadlock: a frontier state with no successors at all. *)
+      Array.iteri
+        (fun k alive ->
+          if not alive then
+            raise
+              (Stop
+                 (finish (Explore.Deadlock { trace = Explore.trace_to graph ids.(k) }))))
+        had_successor;
+      if !next <> [] then incr depth;
+      frontier := Array.of_list (List.rev !next)
+    done;
+    finish Explore.Pass
+  with Stop r -> r

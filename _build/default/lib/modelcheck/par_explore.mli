@@ -1,0 +1,26 @@
+(** Level-synchronized parallel BFS over OCaml 5 domains.
+
+    Each BFS level's frontier is split across worker domains, which
+    generate successor states in parallel (the expensive part: guard
+    evaluation and effect application); deduplication against the global
+    state table happens sequentially between levels, so the result is
+    bit-identical to {!Explore.run}'s reachable set.
+
+    Invariants are checked on insertion.  Because levels are explored in
+    order, a reported violation still carries a shortest counterexample,
+    exactly like the sequential engine.
+
+    On a single-core machine this adds coordination overhead and no
+    speedup; it exists so the checker scales on real multi-core hosts and
+    is tested for agreement with the sequential engine. *)
+
+val run :
+  ?invariants:Invariant.t list ->
+  ?constraint_:(System.t -> State.packed -> bool) ->
+  ?max_states:int ->
+  ?domains:int ->
+  System.t ->
+  Explore.result
+(** [domains] defaults to [Domain.recommended_domain_count ()], capped
+    at 8.  With [domains = 1] the code path is still the parallel one
+    (single worker), useful for differential testing. *)

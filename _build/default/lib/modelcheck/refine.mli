@@ -1,0 +1,52 @@
+(** Refinement checking by stutter-closed trace inclusion.
+
+    The paper argues (§6.2) that "every execution of Bakery++ is a valid
+    execution of Bakery".  We make that checkable: given an implementation
+    system, a specification system, and an observation function mapping
+    states of either into a common finite observation space, verify that
+    every stutter-reduced observable trace of the implementation is also a
+    stutter-reduced observable trace of the specification.
+
+    The algorithm is the classical subset-construction simulation: explore
+    pairs (implementation state, set of specification states compatible
+    with the observation history).  If the specification set ever becomes
+    empty, the implementation produced an observable step the spec cannot
+    match, and the offending implementation trace is reported. *)
+
+type obs = int array
+(** An observation: any int-array fingerprint of a state (e.g. the vector
+    of per-process protocol phases). *)
+
+type failure = {
+  impl_trace : Trace.t;  (** implementation run that the spec cannot match *)
+  bad_obs : obs;  (** first unmatched observation *)
+}
+
+type result = {
+  included : bool;
+  failure : failure option;
+  complete : bool;  (** false if [max_pairs] stopped the search early *)
+  impl_pairs : int;  (** (impl state, spec set) pairs explored *)
+  spec_states : int;  (** distinct spec states reached during closure *)
+}
+
+val phase_obs : System.t -> State.packed -> obs
+(** Canonical observation: each process's protocol phase —
+    0 noncritical / 1 trying (entry, doorway, waiting) / 2 critical /
+    3 exit — derived from the step kinds.  This is the observation under
+    which "Bakery++ refines Bakery" is stated. *)
+
+val check :
+  impl:System.t ->
+  spec:System.t ->
+  ?obs_impl:(System.t -> State.packed -> obs) ->
+  ?obs_spec:(System.t -> State.packed -> obs) ->
+  ?spec_constraint:(System.t -> State.packed -> bool) ->
+  ?max_pairs:int ->
+  unit ->
+  result
+(** Observation functions default to {!phase_obs}.  [spec_constraint]
+    bounds the specification's closure (the unbounded Bakery needs a
+    ticket cap; any implementation observation still has to be matched
+    within the constrained spec space, so a too-tight constraint can only
+    cause false negatives, never false positives). *)

@@ -1,0 +1,17 @@
+(** TLC-style textual reports for checking runs. *)
+
+val result : System.t -> Format.formatter -> Explore.result -> unit
+(** e.g.
+    {v
+    Model checking bakery_pp (N=3, M=3)
+    Invariants hold. 41231 states generated, 10233 distinct, depth 37, 0.12s.
+    v}
+    or, on violation, the invariant name and the full counterexample. *)
+
+val result_string : System.t -> Explore.result -> string
+
+val refinement : impl:System.t -> spec:System.t -> Format.formatter -> Refine.result -> unit
+val refinement_string : impl:System.t -> spec:System.t -> Refine.result -> string
+
+val lasso : System.t -> victim:int -> Format.formatter -> Lasso.result -> unit
+val lasso_string : System.t -> victim:int -> Lasso.result -> string

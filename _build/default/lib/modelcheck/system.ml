@@ -1,0 +1,55 @@
+type t = { env : Mxlang.Eval.env; lay : State.layout }
+
+type move = { pid : int; from_pc : int; alt : int; dest : State.packed }
+
+let make program ~nprocs ~bound =
+  Mxlang.Validate.assert_valid program;
+  let env = Mxlang.Eval.make_env program ~nprocs ~bound in
+  { env; lay = State.layout env }
+
+let layout t = t.lay
+let program t = t.env.program
+let nprocs t = t.env.nprocs
+let bound t = t.env.bound
+let initial t = State.initial t.lay
+
+let successors_of_pid t (s : State.packed) pid =
+  let lay = t.lay in
+  let pc = State.pc lay s pid in
+  let shared = State.shared_part lay s in
+  let locals = State.locals_part lay s pid in
+  let step = t.env.program.steps.(pc) in
+  let moves = ref [] in
+  List.iteri
+    (fun alt (a : Mxlang.Ast.action) ->
+      if Mxlang.Eval.eval_b t.env ~shared ~locals ~pid a.guard then begin
+        let shared' = Array.copy shared and locals' = Array.copy locals in
+        Mxlang.Eval.apply t.env ~shared:shared' ~locals:locals' ~pid a;
+        let dest = Array.copy s in
+        State.write_back lay dest ~shared:shared' ~locals:locals' ~pid;
+        State.set_pc lay dest pid a.target;
+        moves := { pid; from_pc = pc; alt; dest } :: !moves
+      end)
+    step.actions;
+  List.rev !moves
+
+let successors t s =
+  let rec all pid =
+    if pid >= t.env.nprocs then []
+    else successors_of_pid t s pid @ all (pid + 1)
+  in
+  all 0
+
+let enabled t s pid =
+  let lay = t.lay in
+  let pc = State.pc lay s pid in
+  let shared = State.shared_part lay s in
+  let locals = State.locals_part lay s pid in
+  List.exists
+    (fun (a : Mxlang.Ast.action) ->
+      Mxlang.Eval.eval_b t.env ~shared ~locals ~pid a.guard)
+    t.env.program.steps.(pc).actions
+
+let kind_of_pc t pc = t.env.program.steps.(pc).kind
+
+let in_critical t s pid = kind_of_pc t (State.pc t.lay s pid) = Mxlang.Ast.Critical

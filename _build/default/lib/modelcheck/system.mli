@@ -1,0 +1,38 @@
+(** The transition system induced by an mxlang program: interleaving of
+    atomic labeled steps, exactly TLC's view of a PlusCal algorithm. *)
+
+type t
+
+type move = {
+  pid : int;
+  from_pc : int;
+  alt : int;  (** which alternative action of the step fired *)
+  dest : State.packed;
+}
+
+val make : Mxlang.Ast.program -> nprocs:int -> bound:int -> t
+(** Validates the program (see {!Mxlang.Validate.assert_valid}) and
+    precomputes the state layout. *)
+
+val layout : t -> State.layout
+val program : t -> Mxlang.Ast.program
+val nprocs : t -> int
+val bound : t -> int
+
+val initial : t -> State.packed
+
+val successors : t -> State.packed -> move list
+(** Every move of every process enabled in the given state, in
+    deterministic (pid, alternative) order. *)
+
+val successors_of_pid : t -> State.packed -> int -> move list
+(** Moves of one process only (used by the starvation search, which
+    freezes one process and lets the others run). *)
+
+val enabled : t -> State.packed -> int -> bool
+(** Does process [pid] have at least one enabled action? *)
+
+val in_critical : t -> State.packed -> int -> bool
+(** Is process [pid] at a [Critical]-kind step? *)
+
+val kind_of_pc : t -> int -> Mxlang.Ast.kind

@@ -1,0 +1,23 @@
+type entry = { pid : int; step_name : string; state : State.packed }
+
+type t = entry list
+
+let length = List.length
+
+let pp sys ppf (t : t) =
+  let lay = System.layout sys in
+  List.iteri
+    (fun i e ->
+      if e.pid < 0 then Format.fprintf ppf "State %d: <initial>@," (i + 1)
+      else
+        Format.fprintf ppf "State %d: process %d fired %s@," (i + 1) e.pid
+          e.step_name;
+      Format.fprintf ppf "  @[%a@]@," (State.pp lay) e.state)
+    t
+
+let pp_compact sys ppf (t : t) =
+  ignore sys;
+  List.iteri
+    (fun i e ->
+      if e.pid >= 0 then Format.fprintf ppf "%3d. p%d: %s@," i e.pid e.step_name)
+    t

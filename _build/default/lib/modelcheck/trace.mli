@@ -1,0 +1,19 @@
+(** Counterexample and witness traces. *)
+
+type entry = {
+  pid : int;  (** process that moved to reach this state; -1 for initial *)
+  step_name : string;  (** label it executed; "<init>" for initial *)
+  state : State.packed;
+}
+
+type t = entry list
+(** First element is the initial state. *)
+
+val pp : System.t -> Format.formatter -> t -> unit
+(** TLC-style rendering: "State 1: <init>", "State 2: process 0 fired L1", …
+    with the full state after each action. *)
+
+val pp_compact : System.t -> Format.formatter -> t -> unit
+(** One line per action: which process fired which label. *)
+
+val length : t -> int

@@ -1,0 +1,14 @@
+(** Minimal growable array, used by the checker's state store.
+    (OCaml 5.1 predates [Dynarray].) *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> int
+(** Append and return the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

@@ -1,0 +1,1 @@
+lib/mxlang/ast.ml: Array

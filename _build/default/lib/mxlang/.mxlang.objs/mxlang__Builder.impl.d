@@ -1,0 +1,1 @@
+lib/mxlang/builder.ml: Array Ast List

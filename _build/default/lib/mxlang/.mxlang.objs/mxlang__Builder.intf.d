@@ -1,0 +1,1 @@
+lib/mxlang/builder.mli: Ast

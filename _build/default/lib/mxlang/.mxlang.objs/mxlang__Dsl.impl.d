@@ -1,0 +1,1 @@
+lib/mxlang/dsl.ml: Ast

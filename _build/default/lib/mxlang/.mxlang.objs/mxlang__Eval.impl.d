@@ -1,0 +1,1 @@
+lib/mxlang/eval.ml: Array Ast List Printf

@@ -1,0 +1,1 @@
+lib/mxlang/eval.mli: Ast

@@ -1,0 +1,1 @@
+lib/mxlang/pretty.ml: Array Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/mxlang/pretty.mli: Ast

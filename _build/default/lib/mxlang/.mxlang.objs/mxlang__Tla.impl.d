@@ -1,0 +1,1 @@
+lib/mxlang/tla.ml: Array Ast Buffer Fun List Pretty Printf String

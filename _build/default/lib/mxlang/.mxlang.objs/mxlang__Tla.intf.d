@@ -1,0 +1,1 @@
+lib/mxlang/tla.mli: Ast

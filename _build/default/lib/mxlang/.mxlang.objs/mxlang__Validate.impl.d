@@ -1,0 +1,1 @@
+lib/mxlang/validate.ml: Array Ast List Printf String

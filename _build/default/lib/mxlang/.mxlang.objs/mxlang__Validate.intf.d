@@ -1,0 +1,1 @@
+lib/mxlang/validate.mli: Ast

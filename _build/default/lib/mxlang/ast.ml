@@ -1,0 +1,148 @@
+(* Abstract syntax for mxlang, the guarded-command algorithm language used
+   throughout this repository to describe mutual-exclusion algorithms.
+
+   The language mirrors PlusCal's execution model as interpreted by TLC:
+   a program is a finite array of labeled steps; a step is a set of
+   alternative guarded actions; executing an enabled action applies its
+   simultaneous assignments and moves the process to the action's target
+   label.  One action execution is atomic; processes interleave
+   arbitrarily between actions. *)
+
+(* Identifier of a shared variable.  Every shared variable is an integer
+   array; scalars are arrays of length 1. *)
+type var = int
+
+(* Identifier of a per-process local variable. *)
+type local = int
+
+type cmp = Clt | Cle | Ceq | Cne | Cgt | Cge
+
+(* Quantification ranges, relative to the executing process. *)
+type range =
+  | Rall (* q in 0 .. N-1 *)
+  | Rothers (* q <> self *)
+  | Rbelow (* q < self *)
+  | Rabove (* q > self *)
+
+(* Integer expressions, evaluated against (shared memory, process locals,
+   process id, process count, register bound). *)
+type expr =
+  | Int of int
+  | N (* number of processes *)
+  | M (* register capacity bound *)
+  | Pid (* identity of the executing process *)
+  | Qidx (* index bound by the innermost quantifier *)
+  | Local of local
+  | Rd of var * expr (* shared read: var[index] *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Mod of expr * expr
+  | Max_arr of var (* maximum element of a shared array *)
+  | Ite of bexpr * expr * expr
+
+(* Boolean expressions. *)
+and bexpr =
+  | True
+  | False
+  | Not of bexpr
+  | And of bexpr * bexpr
+  | Or of bexpr * bexpr
+  | Cmp of cmp * expr * expr
+  | Lex_lt of (expr * expr) * (expr * expr)
+      (* [Lex_lt ((a, b), (c, d))] is Lamport's ticket order:
+         (a, b) < (c, d)  iff  a < c or (a = c and b < d). *)
+  | Qexists of range * bexpr
+      (* [Qexists (r, p)]: some q in range r satisfies p, where p refers
+         to q through [Qidx] (e.g. [Rd (number, Qidx)]). *)
+  | Qall of range * bexpr
+
+(* Assignment targets. *)
+type lhs =
+  | Sh of var * expr (* shared write: var[index] := ... *)
+  | Lo of local
+
+(* A guarded action: if [guard] holds, apply all [effects] simultaneously
+   (right-hand sides and indices are evaluated in the pre-state) and move
+   to label [target]. *)
+type action = { guard : bexpr; effects : (lhs * expr) list; target : int }
+
+(* Classification of a step, used by invariants (mutual exclusion is
+   "at most one process at a [Critical] step") and by the metrics layer
+   (doorway-completion order for first-come-first-served analysis). *)
+type kind =
+  | Noncritical
+  | Entry (* overflow gate / start of the trying protocol *)
+  | Doorway (* ticket-choosing section *)
+  | Waiting (* scanning loop *)
+  | Critical
+  | Exit
+  | Plain
+
+type step = { step_name : string; kind : kind; actions : action list }
+
+(* A complete algorithm for a parametric number of processes.
+
+   [var_sizes.(v)] gives the length of shared array [v]; [per_process.(v)]
+   states that the array has one element per process and element [i] is
+   written only by process [i] (the paper's single-writer discipline,
+   needed by the crash model); [bounded.(v)] marks arrays whose elements
+   live in real registers and are subject to the no-overflow invariant
+   (values must stay <= M). *)
+type program = {
+  title : string;
+  nvars : int;
+  var_names : string array;
+  var_sizes : int array; (* -1 means "one cell per process" *)
+  per_process : bool array;
+  bounded : bool array;
+  nlocals : int;
+  local_names : string array;
+  steps : step array;
+  init_shared : int array; (* initial value for every cell of each var *)
+  init_locals : int array;
+  init_pc : int;
+}
+
+(* Size in cells of variable [v] when the program runs with [nprocs]
+   processes. *)
+let cells_of ~nprocs (p : program) v =
+  let s = p.var_sizes.(v) in
+  if s = -1 then nprocs else s
+
+(* Variable id by name; raises [Not_found]. *)
+let var_by_name (p : program) name =
+  let found = ref (-1) in
+  Array.iteri (fun v n -> if n = name then found := v) p.var_names;
+  if !found < 0 then raise Not_found;
+  !found
+
+(* Step index by label name; raises [Not_found]. *)
+let pc_by_name (p : program) name =
+  let found = ref (-1) in
+  Array.iteri (fun pc (s : step) -> if s.step_name = name then found := pc) p.steps;
+  if !found < 0 then raise Not_found;
+  !found
+
+let string_of_cmp = function
+  | Clt -> "<"
+  | Cle -> "<="
+  | Ceq -> "="
+  | Cne -> "/="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let compare_with c a b =
+  match c with
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+(* Convenience constructors for the common "quantify a comparison over
+   the cells of one array" shape, e.g. the paper's
+   "exists q: number[q] >= M". *)
+let exists_cell ?(range = Rall) v c e = Qexists (range, Cmp (c, Rd (v, Qidx), e))
+let forall_cell ?(range = Rall) v c e = Qall (range, Cmp (c, Rd (v, Qidx), e))

@@ -1,0 +1,106 @@
+type label = { id : int; lbl_name : string; mutable pc : int }
+
+type pending = { lab : label; p_kind : Ast.kind; p_actions : act list }
+
+and act = {
+  pa_guard : Ast.bexpr;
+  pa_effects : (Ast.lhs * Ast.expr) list;
+  pa_target : label;
+}
+
+type t = {
+  title : string;
+  mutable vars : (string * int * bool * bool * int) list; (* name, size, per_process, bounded, init; reversed *)
+  mutable locals : (string * int) list; (* reversed *)
+  mutable labels : label list; (* reversed *)
+  mutable steps : pending list; (* reversed, in definition order *)
+  mutable nlabels : int;
+  mutable built : bool;
+}
+
+let create ~title =
+  { title; vars = []; locals = []; labels = []; steps = []; nlabels = 0; built = false }
+
+let shared b name ~size ?(bounded = false) ?(init = 0) () =
+  let id = List.length b.vars in
+  b.vars <- (name, size, false, bounded, init) :: b.vars;
+  id
+
+let shared_per_process b name ?(bounded = false) ?(init = 0) () =
+  let id = List.length b.vars in
+  b.vars <- (name, -1, true, bounded, init) :: b.vars;
+  id
+
+let local b ?(init = 0) name =
+  let id = List.length b.locals in
+  b.locals <- (name, init) :: b.locals;
+  id
+
+let fresh_label b lbl_name =
+  let lab = { id = b.nlabels; lbl_name; pc = -1 } in
+  b.nlabels <- b.nlabels + 1;
+  b.labels <- lab :: b.labels;
+  lab
+
+let define b lab ~kind actions =
+  if lab.pc >= 0 then failwith ("label defined twice: " ^ lab.lbl_name);
+  lab.pc <- List.length b.steps;
+  b.steps <- { lab; p_kind = kind; p_actions = actions } :: b.steps
+
+let action ?(guard = Ast.True) ?(effects = []) target =
+  { pa_guard = guard; pa_effects = effects; pa_target = target }
+
+let goto target = action target
+
+let ite cond then_ else_ =
+  [ action ~guard:cond then_; action ~guard:(Ast.Not cond) else_ ]
+
+let await cond target = [ action ~guard:cond target ]
+
+let define_here b name ~kind actions =
+  let lab = fresh_label b name in
+  define b lab ~kind actions;
+  lab
+
+let target_of lab =
+  if lab.pc < 0 then failwith ("label never defined: " ^ lab.lbl_name);
+  lab.pc
+
+let build b : Ast.program =
+  if b.built then failwith "build called twice";
+  b.built <- true;
+  List.iter
+    (fun lab ->
+      if lab.pc < 0 then failwith ("label never defined: " ^ lab.lbl_name))
+    b.labels;
+  let vars = Array.of_list (List.rev b.vars) in
+  let locals = Array.of_list (List.rev b.locals) in
+  let pendings = Array.of_list (List.rev b.steps) in
+  let compile_action (pa : act) : Ast.action =
+    { guard = pa.pa_guard; effects = pa.pa_effects; target = target_of pa.pa_target }
+  in
+  let steps =
+    Array.map
+      (fun p ->
+        {
+          Ast.step_name = p.lab.lbl_name;
+          kind = p.p_kind;
+          actions = List.map compile_action p.p_actions;
+        })
+      pendings
+  in
+  if Array.length steps = 0 then failwith "program has no steps";
+  {
+    Ast.title = b.title;
+    nvars = Array.length vars;
+    var_names = Array.map (fun (n, _, _, _, _) -> n) vars;
+    var_sizes = Array.map (fun (_, s, _, _, _) -> s) vars;
+    per_process = Array.map (fun (_, _, p, _, _) -> p) vars;
+    bounded = Array.map (fun (_, _, _, bd, _) -> bd) vars;
+    nlocals = Array.length locals;
+    local_names = Array.map fst locals;
+    steps;
+    init_shared = Array.map (fun (_, _, _, _, i) -> i) vars;
+    init_locals = Array.map snd locals;
+    init_pc = 0;
+  }

@@ -1,0 +1,68 @@
+(** Imperative builder for mxlang programs.
+
+    Typical use, closely following how the paper lists its algorithms:
+
+    {[
+      let b = Builder.create ~title:"bakery" in
+      let number = Builder.shared_per_process b "number" ~bounded:true in
+      let j = Builder.local b "j" in
+      let l1 = Builder.fresh_label b "L1" in
+      ...
+      Builder.define b l1 ~kind:Entry [ Builder.goto l2 ];
+      ...
+      Builder.build b
+    ]}
+
+    Labels may be referenced before they are defined ([fresh_label] then
+    [define]); [build] checks that every label was defined exactly once. *)
+
+type t
+
+type label
+
+type act
+(** A builder-level action whose target is a (possibly not yet defined)
+    label; compiled to {!Ast.action} by {!build}. *)
+
+val create : title:string -> t
+
+val shared : t -> string -> size:int -> ?bounded:bool -> ?init:int -> unit -> Ast.var
+(** Declare a shared integer array of fixed [size]. *)
+
+val shared_per_process :
+  t -> string -> ?bounded:bool -> ?init:int -> unit -> Ast.var
+(** Declare a shared array with one single-writer cell per process
+    (the paper's [number] and [choosing] arrays). *)
+
+val local : t -> ?init:int -> string -> Ast.local
+(** Declare a per-process local variable. *)
+
+val fresh_label : t -> string -> label
+(** Allocate a label that can be targeted before it is defined. *)
+
+val define : t -> label -> kind:Ast.kind -> act list -> unit
+(** Attach a step to a label.  Steps execute in no particular textual
+    order; control flow is entirely explicit through action targets. *)
+
+val define_here : t -> string -> kind:Ast.kind -> act list -> label
+(** [fresh_label] + [define] in one call, for straight-line steps whose
+    label is only ever targeted after this point. *)
+
+(* Action constructors.  Guards default to [True]. *)
+
+val goto : label -> act
+val action : ?guard:Ast.bexpr -> ?effects:(Ast.lhs * Ast.expr) list -> label -> act
+
+val ite : Ast.bexpr -> label -> label -> act list
+(** Two alternative actions: branch on a condition. *)
+
+val await : Ast.bexpr -> label -> act list
+(** Blocking await: the process can only move (to the label) once the
+    condition holds — TLC's interpretation of PlusCal's [await]/spin. *)
+
+val target_of : label -> int
+(** Resolve a label to its program counter; only valid after [build].
+    Raises [Failure] on undefined labels. *)
+
+val build : t -> Ast.program
+(** Finalize; validates label definitions and returns the program. *)

@@ -1,0 +1,42 @@
+(* Thin shorthands over {!Ast} so algorithm definitions read close to the
+   paper's pseudocode.  Purely syntactic; see ast.ml for semantics. *)
+
+let int k = Ast.Int k
+let zero = Ast.Int 0
+let one = Ast.Int 1
+let n = Ast.N
+let m = Ast.M
+let self = Ast.Pid
+let q = Ast.Qidx
+let lv l = Ast.Local l
+let rd v ix = Ast.Rd (v, ix)
+let rd_own v = Ast.Rd (v, Ast.Pid)
+let ( +: ) a b = Ast.Add (a, b)
+let ( -: ) a b = Ast.Sub (a, b)
+let ( *: ) a b = Ast.Mul (a, b)
+let ( %: ) a b = Ast.Mod (a, b)
+let max_arr v = Ast.Max_arr v
+let ite c a b = Ast.Ite (c, a, b)
+
+let tt = Ast.True
+let ff = Ast.False
+let not_ b = Ast.Not b
+let ( &&: ) a b = Ast.And (a, b)
+let ( ||: ) a b = Ast.Or (a, b)
+let ( =: ) a b = Ast.Cmp (Ast.Ceq, a, b)
+let ( <>: ) a b = Ast.Cmp (Ast.Cne, a, b)
+let ( <: ) a b = Ast.Cmp (Ast.Clt, a, b)
+let ( <=: ) a b = Ast.Cmp (Ast.Cle, a, b)
+let ( >: ) a b = Ast.Cmp (Ast.Cgt, a, b)
+let ( >=: ) a b = Ast.Cmp (Ast.Cge, a, b)
+
+let lex_lt (a, b) (c, d) = Ast.Lex_lt ((a, b), (c, d))
+let exists ?range v c e = Ast.exists_cell ?range v c e
+let forall ?range v c e = Ast.forall_cell ?range v c e
+let qexists range p = Ast.Qexists (range, p)
+let qall range p = Ast.Qall (range, p)
+
+(* Assignment pairs for action effects. *)
+let set_own v e : Ast.lhs * Ast.expr = (Ast.Sh (v, Ast.Pid), e)
+let set v ix e : Ast.lhs * Ast.expr = (Ast.Sh (v, ix), e)
+let set_local l e : Ast.lhs * Ast.expr = (Ast.Lo l, e)

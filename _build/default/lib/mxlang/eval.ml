@@ -1,0 +1,156 @@
+exception Error of string
+
+type env = {
+  program : Ast.program;
+  nprocs : int;
+  bound : int;
+  offsets : int array;
+  shared_cells : int;
+}
+
+let make_env (p : Ast.program) ~nprocs ~bound =
+  if nprocs <= 0 then raise (Error "make_env: nprocs must be positive");
+  if bound < 1 then raise (Error "make_env: bound must be at least 1");
+  let offsets = Array.make p.nvars 0 in
+  let total = ref 0 in
+  for v = 0 to p.nvars - 1 do
+    offsets.(v) <- !total;
+    total := !total + Ast.cells_of ~nprocs p v
+  done;
+  { program = p; nprocs; bound; offsets; shared_cells = !total }
+
+let offset env v = env.offsets.(v)
+
+let cells env v = Ast.cells_of ~nprocs:env.nprocs env.program v
+
+let init_shared env =
+  let a = Array.make env.shared_cells 0 in
+  for v = 0 to env.program.nvars - 1 do
+    let o = env.offsets.(v) and n = cells env v in
+    Array.fill a o n env.program.init_shared.(v)
+  done;
+  a
+
+let init_locals env = Array.copy env.program.init_locals
+
+let read env shared v idx =
+  let n = cells env v in
+  if idx < 0 || idx >= n then
+    raise
+      (Error
+         (Printf.sprintf "read %s[%d]: index out of range 0..%d"
+            env.program.var_names.(v) idx (n - 1)));
+  shared.(env.offsets.(v) + idx)
+
+(* [q] is the index bound by the innermost enclosing quantifier;
+   [-1] when no quantifier is open. *)
+let rec eval_q env ~shared ~locals ~pid ~q (e : Ast.expr) =
+  match e with
+  | Int k -> k
+  | N -> env.nprocs
+  | M -> env.bound
+  | Pid -> pid
+  | Qidx -> if q < 0 then raise (Error "Qidx used outside a quantifier") else q
+  | Local l -> locals.(l)
+  | Rd (v, ix) -> read env shared v (eval_q env ~shared ~locals ~pid ~q ix)
+  | Add (a, b) ->
+      eval_q env ~shared ~locals ~pid ~q a + eval_q env ~shared ~locals ~pid ~q b
+  | Sub (a, b) ->
+      eval_q env ~shared ~locals ~pid ~q a - eval_q env ~shared ~locals ~pid ~q b
+  | Mul (a, b) ->
+      eval_q env ~shared ~locals ~pid ~q a * eval_q env ~shared ~locals ~pid ~q b
+  | Mod (a, b) ->
+      let d = eval_q env ~shared ~locals ~pid ~q b in
+      if d = 0 then raise (Error "modulo by zero");
+      ((eval_q env ~shared ~locals ~pid ~q a mod d) + d) mod d
+  | Max_arr v ->
+      let o = env.offsets.(v) and n = cells env v in
+      let best = ref shared.(o) in
+      for i = 1 to n - 1 do
+        if shared.(o + i) > !best then best := shared.(o + i)
+      done;
+      !best
+  | Ite (c, a, b) ->
+      if eval_bq env ~shared ~locals ~pid ~q c then
+        eval_q env ~shared ~locals ~pid ~q a
+      else eval_q env ~shared ~locals ~pid ~q b
+
+and in_range ~pid range i =
+  match range with
+  | Ast.Rall -> true
+  | Rothers -> i <> pid
+  | Rbelow -> i < pid
+  | Rabove -> i > pid
+
+and eval_bq env ~shared ~locals ~pid ~q (b : Ast.bexpr) =
+  match b with
+  | True -> true
+  | False -> false
+  | Not x -> not (eval_bq env ~shared ~locals ~pid ~q x)
+  | And (x, y) ->
+      eval_bq env ~shared ~locals ~pid ~q x
+      && eval_bq env ~shared ~locals ~pid ~q y
+  | Or (x, y) ->
+      eval_bq env ~shared ~locals ~pid ~q x
+      || eval_bq env ~shared ~locals ~pid ~q y
+  | Cmp (c, x, y) ->
+      Ast.compare_with c
+        (eval_q env ~shared ~locals ~pid ~q x)
+        (eval_q env ~shared ~locals ~pid ~q y)
+  | Lex_lt ((a, b1), (c, d)) ->
+      let a = eval_q env ~shared ~locals ~pid ~q a
+      and b1 = eval_q env ~shared ~locals ~pid ~q b1
+      and c = eval_q env ~shared ~locals ~pid ~q c
+      and d = eval_q env ~shared ~locals ~pid ~q d in
+      a < c || (a = c && b1 < d)
+  | Qexists (range, p) ->
+      let rec loop i =
+        i < env.nprocs
+        && ((in_range ~pid range i
+            && eval_bq env ~shared ~locals ~pid ~q:i p)
+           || loop (i + 1))
+      in
+      loop 0
+  | Qall (range, p) ->
+      let rec loop i =
+        i >= env.nprocs
+        || (((not (in_range ~pid range i))
+            || eval_bq env ~shared ~locals ~pid ~q:i p)
+           && loop (i + 1))
+      in
+      loop 0
+
+let eval env ~shared ~locals ~pid e = eval_q env ~shared ~locals ~pid ~q:(-1) e
+
+let eval_b env ~shared ~locals ~pid b =
+  eval_bq env ~shared ~locals ~pid ~q:(-1) b
+
+let enabled_actions env ~shared ~locals ~pid ~pc =
+  let step = env.program.steps.(pc) in
+  List.filter (fun (a : Ast.action) -> eval_b env ~shared ~locals ~pid a.guard) step.actions
+
+let apply env ~shared ~locals ~pid (a : Ast.action) =
+  (* Simultaneous assignment: evaluate every right-hand side and every
+     destination index in the pre-state, then write. *)
+  let writes =
+    List.map
+      (fun (l, e) ->
+        let value = eval env ~shared ~locals ~pid e in
+        match l with
+        | Ast.Lo l -> `Local (l, value)
+        | Ast.Sh (v, ix) ->
+            let idx = eval env ~shared ~locals ~pid ix in
+            let n = cells env v in
+            if idx < 0 || idx >= n then
+              raise
+                (Error
+                   (Printf.sprintf "write %s[%d]: index out of range"
+                      env.program.var_names.(v) idx));
+            `Shared (env.offsets.(v) + idx, value))
+      a.effects
+  in
+  List.iter
+    (function
+      | `Local (l, value) -> locals.(l) <- value
+      | `Shared (cell, value) -> shared.(cell) <- value)
+    writes

@@ -1,0 +1,52 @@
+(** Evaluation of mxlang expressions and actions against a concrete
+    machine state.
+
+    The state layout is shared with the model checker and the simulator:
+    shared memory is a flat [int array] (variables laid out back to back,
+    per-process arrays expanded to [nprocs] cells), and each process owns a
+    flat [int array] of locals. *)
+
+exception Error of string
+(** Raised on dynamic errors: out-of-range shared index, modulo by zero. *)
+
+type env = {
+  program : Ast.program;
+  nprocs : int;  (** number of processes, the paper's N *)
+  bound : int;  (** register capacity, the paper's M *)
+  offsets : int array;  (** start offset of each shared variable *)
+  shared_cells : int;  (** total number of shared cells *)
+}
+
+val make_env : Ast.program -> nprocs:int -> bound:int -> env
+(** Precompute the memory layout of [program] for [nprocs] processes. *)
+
+val offset : env -> Ast.var -> int
+(** Offset of the first cell of a variable in the flat shared array. *)
+
+val init_shared : env -> int array
+(** Freshly allocated initial shared memory. *)
+
+val init_locals : env -> int array
+(** Freshly allocated initial locals for one process. *)
+
+val eval : env -> shared:int array -> locals:int array -> pid:int -> Ast.expr -> int
+(** Evaluate an integer expression. *)
+
+val eval_b : env -> shared:int array -> locals:int array -> pid:int -> Ast.bexpr -> bool
+(** Evaluate a boolean expression. *)
+
+val enabled_actions :
+  env -> shared:int array -> locals:int array -> pid:int -> pc:int -> Ast.action list
+(** All actions of the step at [pc] whose guards hold in the given state. *)
+
+val apply :
+  env ->
+  shared:int array ->
+  locals:int array ->
+  pid:int ->
+  Ast.action ->
+  unit
+(** Apply an action's effects in place (simultaneous-assignment semantics:
+    all right-hand sides and indices are evaluated before any write).
+    The caller is responsible for updating the process's program counter
+    to [action.target]. *)

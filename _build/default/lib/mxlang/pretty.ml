@@ -1,0 +1,104 @@
+let kind = function
+  | Ast.Noncritical -> "ncs"
+  | Ast.Entry -> "entry"
+  | Ast.Doorway -> "doorway"
+  | Ast.Waiting -> "waiting"
+  | Ast.Critical -> "CS"
+  | Ast.Exit -> "exit"
+  | Ast.Plain -> ""
+
+(* Precedence-free rendering: binary arithmetic is parenthesized, which is
+   unambiguous and keeps the printer trivial to audit. *)
+let rec expr (p : Ast.program) (e : Ast.expr) =
+  match e with
+  | Int k -> string_of_int k
+  | N -> "N"
+  | M -> "M"
+  | Pid -> "self"
+  | Qidx -> "q"
+  | Local l -> p.local_names.(l)
+  | Rd (v, ix) -> Printf.sprintf "%s[%s]" p.var_names.(v) (expr p ix)
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (expr p a) (expr p b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr p a) (expr p b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr p a) (expr p b)
+  | Mod (a, b) -> Printf.sprintf "(%s mod %s)" (expr p a) (expr p b)
+  | Max_arr v -> Printf.sprintf "maximum(%s)" p.var_names.(v)
+  | Ite (c, a, b) ->
+      Printf.sprintf "(if %s then %s else %s)" (bexpr p c) (expr p a) (expr p b)
+
+and bexpr (p : Ast.program) (b : Ast.bexpr) =
+  match b with
+  | True -> "true"
+  | False -> "false"
+  | Not x -> Printf.sprintf "not (%s)" (bexpr p x)
+  | And (x, y) -> Printf.sprintf "(%s and %s)" (bexpr p x) (bexpr p y)
+  | Or (x, y) -> Printf.sprintf "(%s or %s)" (bexpr p x) (bexpr p y)
+  | Cmp (c, x, y) ->
+      Printf.sprintf "%s %s %s" (expr p x) (Ast.string_of_cmp c) (expr p y)
+  | Lex_lt ((a, b1), (c, d)) ->
+      Printf.sprintf "(%s, %s) << (%s, %s)" (expr p a) (expr p b1) (expr p c)
+        (expr p d)
+  | Qexists (r, pred) ->
+      Printf.sprintf "exists q %s: %s" (range r) (bexpr p pred)
+  | Qall (r, pred) ->
+      Printf.sprintf "forall q %s: %s" (range r) (bexpr p pred)
+
+and range = function
+  | Ast.Rall -> "in 0..N-1"
+  | Rothers -> "<> self"
+  | Rbelow -> "< self"
+  | Rabove -> "> self"
+
+let lhs (p : Ast.program) = function
+  | Ast.Lo l -> p.local_names.(l)
+  | Ast.Sh (v, ix) -> Printf.sprintf "%s[%s]" p.var_names.(v) (expr p ix)
+
+let action (p : Ast.program) (a : Ast.action) =
+  let guard =
+    match a.guard with Ast.True -> "" | g -> Printf.sprintf "when %s " (bexpr p g)
+  in
+  let effects =
+    match a.effects with
+    | [] -> ""
+    | es ->
+        String.concat "; "
+          (List.map (fun (l, e) -> Printf.sprintf "%s := %s" (lhs p l) (expr p e)) es)
+        ^ " "
+  in
+  Printf.sprintf "%s%sgoto %s" guard effects p.steps.(a.target).step_name
+
+let step (p : Ast.program) pc =
+  let s = p.steps.(pc) in
+  let tag = match kind s.kind with "" -> "" | k -> Printf.sprintf " (%s)" k in
+  let body =
+    match s.actions with
+    | [] -> "    <halt>"
+    | actions ->
+        String.concat "\n"
+          (List.map (fun a -> "    " ^ action p a) actions)
+  in
+  Printf.sprintf "%s:%s\n%s" s.step_name tag body
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "algorithm %s\n" p.title);
+  for v = 0 to p.nvars - 1 do
+    let size =
+      if p.var_sizes.(v) = -1 then "[1..N]" else Printf.sprintf "[%d]" p.var_sizes.(v)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  shared %s%s init %d%s%s\n" p.var_names.(v) size
+         p.init_shared.(v)
+         (if p.bounded.(v) then " (register-bounded)" else "")
+         (if p.per_process.(v) then " (single-writer)" else ""))
+  done;
+  for l = 0 to p.nlocals - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  local %s init %d\n" p.local_names.(l) p.init_locals.(l))
+  done;
+  Array.iteri
+    (fun pc _ ->
+      Buffer.add_string buf (step p pc);
+      Buffer.add_char buf '\n')
+    p.steps;
+  Buffer.contents buf

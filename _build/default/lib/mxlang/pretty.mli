@@ -1,0 +1,14 @@
+(** Pseudocode rendering of mxlang programs, in the style of the paper's
+    Algorithm 1 / Algorithm 2 listings. *)
+
+val expr : Ast.program -> Ast.expr -> string
+val bexpr : Ast.program -> Ast.bexpr -> string
+val lhs : Ast.program -> Ast.lhs -> string
+val action : Ast.program -> Ast.action -> string
+val step : Ast.program -> int -> string
+(** One step with its label, kind tag and actions. *)
+
+val program : Ast.program -> string
+(** The whole listing. *)
+
+val kind : Ast.kind -> string

@@ -1,0 +1,204 @@
+let module_name (p : Ast.program) =
+  let b = Buffer.create 16 in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    p.title;
+  let s = Buffer.contents b in
+  if s = "" then "Algorithm" else String.capitalize_ascii s
+
+(* Locals are modeled as one TLA+ function per local variable, indexed by
+   process id; [pc] likewise. *)
+let local_var (p : Ast.program) l = "lv_" ^ p.local_names.(l)
+
+let rec expr (p : Ast.program) ~self (e : Ast.expr) =
+  match e with
+  | Int k -> string_of_int k
+  | N -> "NProc"
+  | M -> "MaxReg"
+  | Pid -> self
+  | Qidx -> "q"
+  | Local l -> Printf.sprintf "%s[%s]" (local_var p l) self
+  | Rd (v, ix) -> Printf.sprintf "%s[%s]" p.var_names.(v) (expr p ~self ix)
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (expr p ~self a) (expr p ~self b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr p ~self a) (expr p ~self b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr p ~self a) (expr p ~self b)
+  | Mod (a, b) -> Printf.sprintf "(%s %% %s)" (expr p ~self a) (expr p ~self b)
+  | Max_arr v -> Printf.sprintf "MaxOf(%s)" p.var_names.(v)
+  | Ite (c, a, b) ->
+      Printf.sprintf "(IF %s THEN %s ELSE %s)" (bexpr p ~self c)
+        (expr p ~self a) (expr p ~self b)
+
+and bexpr (p : Ast.program) ~self (b : Ast.bexpr) =
+  match b with
+  | True -> "TRUE"
+  | False -> "FALSE"
+  | Not x -> Printf.sprintf "~(%s)" (bexpr p ~self x)
+  | And (x, y) -> Printf.sprintf "(%s /\\ %s)" (bexpr p ~self x) (bexpr p ~self y)
+  | Or (x, y) -> Printf.sprintf "(%s \\/ %s)" (bexpr p ~self x) (bexpr p ~self y)
+  | Cmp (c, x, y) ->
+      let op =
+        match c with
+        | Ast.Clt -> "<"
+        | Cle -> "<="
+        | Ceq -> "="
+        | Cne -> "#"
+        | Cgt -> ">"
+        | Cge -> ">="
+      in
+      Printf.sprintf "(%s %s %s)" (expr p ~self x) op (expr p ~self y)
+  | Lex_lt ((a, b1), (c, d)) ->
+      Printf.sprintf "LexLt(%s, %s, %s, %s)" (expr p ~self a) (expr p ~self b1)
+        (expr p ~self c) (expr p ~self d)
+  | Qexists (r, pred) ->
+      Printf.sprintf "\\E q \\in %s : %s" (tla_range ~self r) (bexpr p ~self pred)
+  | Qall (r, pred) ->
+      Printf.sprintf "\\A q \\in %s : %s" (tla_range ~self r) (bexpr p ~self pred)
+
+and tla_range ~self = function
+  | Ast.Rall -> "Procs"
+  | Rothers -> Printf.sprintf "(Procs \\ {%s})" self
+  | Rbelow -> Printf.sprintf "(0 .. %s - 1)" self
+  | Rabove -> Printf.sprintf "(%s + 1 .. NProc - 1)" self
+
+(* Render the primed-state relation of one action: a conjunction of one
+   EXCEPT-update per written variable plus UNCHANGED for the rest. *)
+let action_updates (p : Ast.program) ~self (a : Ast.action) =
+  (* Group writes by destination variable so multiple writes chain inside
+     a single EXCEPT. *)
+  let shared_writes = Array.make p.nvars [] in
+  let local_writes = Array.make p.nlocals [] in
+  List.iter
+    (fun (l, e) ->
+      match l with
+      | Ast.Sh (v, ix) -> shared_writes.(v) <- (ix, e) :: shared_writes.(v)
+      | Ast.Lo l -> local_writes.(l) <- e :: local_writes.(l))
+    a.effects;
+  let conjuncts = ref [] in
+  let unchanged = ref [] in
+  for v = p.nvars - 1 downto 0 do
+    match shared_writes.(v) with
+    | [] -> unchanged := p.var_names.(v) :: !unchanged
+    | writes ->
+        let excepts =
+          List.rev_map
+            (fun (ix, e) ->
+              Printf.sprintf "![%s] = %s" (expr p ~self ix) (expr p ~self e))
+            writes
+        in
+        conjuncts :=
+          Printf.sprintf "%s' = [%s EXCEPT %s]" p.var_names.(v)
+            p.var_names.(v)
+            (String.concat ", " excepts)
+          :: !conjuncts
+  done;
+  for l = p.nlocals - 1 downto 0 do
+    match local_writes.(l) with
+    | [] -> unchanged := local_var p l :: !unchanged
+    | e :: _ ->
+        conjuncts :=
+          Printf.sprintf "%s' = [%s EXCEPT ![%s] = %s]" (local_var p l)
+            (local_var p l) self (expr p ~self e)
+          :: !conjuncts
+  done;
+  let pc_update =
+    Printf.sprintf "pc' = [pc EXCEPT ![%s] = %d]" self a.target
+  in
+  let unchanged_clause =
+    match !unchanged with
+    | [] -> []
+    | vs -> [ Printf.sprintf "UNCHANGED <<%s>>" (String.concat ", " vs) ]
+  in
+  !conjuncts @ [ pc_update ] @ unchanged_clause
+
+let export (p : Ast.program) =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let self = "self" in
+  let all_vars =
+    Array.to_list p.var_names
+    @ List.init p.nlocals (local_var p)
+    @ [ "pc" ]
+  in
+  out "---- MODULE %s ----\n" (module_name p);
+  out "\\* Generated from the mxlang model %S.\n" p.title;
+  out "\\* Step atomicity matches TLC's PlusCal semantics: one label = one action.\n";
+  out "EXTENDS Naturals, Integers\n\n";
+  out "CONSTANTS NProc, MaxReg\n\n";
+  out "Procs == 0 .. (NProc - 1)\n";
+  out "MaxOf(f) == CHOOSE m \\in {f[q] : q \\in Procs} : \\A q \\in Procs : f[q] <= m\n";
+  out "LexLt(a, b, c, d) == (a < c) \\/ (a = c /\\ b < d)\n\n";
+  out "VARIABLES %s\n\n" (String.concat ", " all_vars);
+  out "vars == <<%s>>\n\n" (String.concat ", " all_vars);
+  out "Init ==\n";
+  for v = 0 to p.nvars - 1 do
+    let dom =
+      if p.var_sizes.(v) = -1 then "Procs"
+      else Printf.sprintf "0 .. %d" (p.var_sizes.(v) - 1)
+    in
+    out "  /\\ %s = [q \\in %s |-> %d]\n" p.var_names.(v) dom p.init_shared.(v)
+  done;
+  for l = 0 to p.nlocals - 1 do
+    out "  /\\ %s = [q \\in Procs |-> %d]\n" (local_var p l) p.init_locals.(l)
+  done;
+  out "  /\\ pc = [q \\in Procs |-> %d]\n\n" p.init_pc;
+  (* One named action per (step, alternative). *)
+  Array.iteri
+    (fun pc (step : Ast.step) ->
+      List.iteri
+        (fun k (a : Ast.action) ->
+          out "\\* step %s%s, alternative %d\n" step.step_name
+            (match Pretty.kind step.kind with "" -> "" | s -> " (" ^ s ^ ")")
+            k;
+          out "Step_%d_%d(%s) ==\n" pc k self;
+          out "  /\\ pc[%s] = %d\n" self pc;
+          (match a.guard with
+          | Ast.True -> ()
+          | g -> out "  /\\ %s\n" (bexpr p ~self g));
+          List.iter (fun c -> out "  /\\ %s\n" c) (action_updates p ~self a);
+          out "\n")
+        step.actions)
+    p.steps;
+  out "Next ==\n  \\E %s \\in Procs :\n" self;
+  let disjuncts =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun pc (step : Ast.step) ->
+              List.mapi (fun k _ -> Printf.sprintf "Step_%d_%d(%s)" pc k self) step.actions)
+            p.steps))
+  in
+  List.iteri
+    (fun i d -> out "    %s %s\n" (if i = 0 then "  " else "\\/") d)
+    disjuncts;
+  out "\nSpec == Init /\\ [][Next]_vars\n\n";
+  let cs_pcs =
+    Array.to_list
+      (Array.mapi (fun pc (s : Ast.step) -> (pc, s.kind)) p.steps)
+    |> List.filter (fun (_, k) -> k = Ast.Critical)
+    |> List.map fst
+  in
+  (match cs_pcs with
+  | [] -> out "Mutex == TRUE  \\* no critical step in this model\n"
+  | pcs ->
+      let in_cs q =
+        String.concat " \\/ "
+          (List.map (fun pc -> Printf.sprintf "pc[%s] = %d" q pc) pcs)
+      in
+      out "InCS(q) == %s\n" (in_cs "q");
+      out "Mutex == \\A i, j \\in Procs : (i # j) => ~(InCS(i) /\\ InCS(j))\n");
+  let bounded_vars =
+    List.filter (fun v -> p.bounded.(v)) (List.init p.nvars Fun.id)
+  in
+  (match bounded_vars with
+  | [] -> out "NoOverflow == TRUE\n"
+  | vs ->
+      out "NoOverflow ==\n";
+      List.iter
+        (fun v ->
+          out "  /\\ \\A q \\in Procs : %s[q] <= MaxReg\n" p.var_names.(v))
+        vs);
+  out "====\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Export of an mxlang program to a TLA+ module.
+
+    The paper specified Bakery++ in PlusCal and checked it with TLC; this
+    exporter closes the loop the other way: any algorithm modeled in this
+    repository can be emitted as a plain-TLA+ specification (explicit
+    [Init]/[Next] relation, [Mutex] and [NoOverflow] invariants) that TLC
+    can check directly, should a TLA+ toolbox be available. *)
+
+val module_name : Ast.program -> string
+(** Sanitized name usable as a TLA+ module identifier. *)
+
+val export : Ast.program -> string
+(** The full module text.  The module declares constants [NProc] and
+    [MaxReg] (the paper's N and M), one variable per shared array, a [pc]
+    function and one function per local variable. *)

@@ -1,0 +1,97 @@
+type issue = { severity : [ `Error | `Warning ]; message : string }
+
+let error fmt = Printf.ksprintf (fun message -> { severity = `Error; message }) fmt
+let warning fmt = Printf.ksprintf (fun message -> { severity = `Warning; message }) fmt
+
+(* Collect every variable/local reference in an expression. *)
+let rec expr_refs (e : Ast.expr) k_var k_local =
+  match e with
+  | Int _ | N | M | Pid | Qidx -> ()
+  | Local l -> k_local l
+  | Rd (v, ix) ->
+      k_var v;
+      expr_refs ix k_var k_local
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Mod (a, b) ->
+      expr_refs a k_var k_local;
+      expr_refs b k_var k_local
+  | Max_arr v -> k_var v
+  | Ite (c, a, b) ->
+      bexpr_refs c k_var k_local;
+      expr_refs a k_var k_local;
+      expr_refs b k_var k_local
+
+and bexpr_refs (b : Ast.bexpr) k_var k_local =
+  match b with
+  | True | False -> ()
+  | Not x -> bexpr_refs x k_var k_local
+  | And (x, y) | Or (x, y) ->
+      bexpr_refs x k_var k_local;
+      bexpr_refs y k_var k_local
+  | Cmp (_, x, y) ->
+      expr_refs x k_var k_local;
+      expr_refs y k_var k_local
+  | Lex_lt ((a, b1), (c, d)) ->
+      List.iter (fun e -> expr_refs e k_var k_local) [ a; b1; c; d ]
+  | Qexists (_, p) | Qall (_, p) -> bexpr_refs p k_var k_local
+
+let check (p : Ast.program) =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let nsteps = Array.length p.steps in
+  if p.init_pc < 0 || p.init_pc >= nsteps then
+    add (error "initial pc %d out of range" p.init_pc);
+  if Array.length p.var_names <> p.nvars || Array.length p.var_sizes <> p.nvars
+  then add (error "variable table arrays disagree with nvars = %d" p.nvars);
+  if Array.length p.local_names <> p.nlocals then
+    add (error "local table disagrees with nlocals = %d" p.nlocals);
+  Array.iteri
+    (fun v size ->
+      if size <> -1 && size <= 0 then
+        add (error "variable %s has invalid size %d" p.var_names.(v) size))
+    p.var_sizes;
+  let check_var where v =
+    if v < 0 || v >= p.nvars then add (error "%s: bad variable id %d" where v)
+  and check_local where l =
+    if l < 0 || l >= p.nlocals then add (error "%s: bad local id %d" where l)
+  in
+  let reachable = Array.make nsteps false in
+  Array.iteri
+    (fun pc (step : Ast.step) ->
+      let where = Printf.sprintf "step %s (pc %d)" step.step_name pc in
+      if step.actions = [] then add (warning "%s: no actions (dead end)" where);
+      List.iter
+        (fun (a : Ast.action) ->
+          if a.target < 0 || a.target >= nsteps then
+            add (error "%s: target %d out of range" where a.target)
+          else reachable.(a.target) <- true;
+          bexpr_refs a.guard (check_var where) (check_local where);
+          List.iter
+            (fun (l, e) ->
+              expr_refs e (check_var where) (check_local where);
+              match l with
+              | Ast.Lo l -> check_local where l
+              | Ast.Sh (v, ix) ->
+                  check_var where v;
+                  expr_refs ix (check_var where) (check_local where))
+            a.effects)
+        step.actions)
+    p.steps;
+  reachable.(p.init_pc) <- true;
+  Array.iteri
+    (fun pc r ->
+      if not r then
+        add (warning "step %s (pc %d) is unreachable" p.steps.(pc).step_name pc))
+    reachable;
+  if not (Array.exists (fun (s : Ast.step) -> s.kind = Ast.Critical) p.steps)
+  then add (warning "no step is marked Critical; mutex invariant is vacuous");
+  List.rev !issues
+
+let assert_valid p =
+  let errors =
+    List.filter (fun i -> i.severity = `Error) (check p)
+  in
+  if errors <> [] then
+    invalid_arg
+      (String.concat "\n"
+         (Printf.sprintf "program %s is invalid:" p.title
+         :: List.map (fun i -> "  " ^ i.message) errors))

@@ -1,0 +1,13 @@
+(** Static sanity checks over a built program. *)
+
+type issue = { severity : [ `Error | `Warning ]; message : string }
+
+val check : Ast.program -> issue list
+(** All detected issues: dangling label targets, out-of-range variable or
+    local references, missing [Critical] step, unreachable steps, steps
+    whose action guards cannot be exhaustive ([`Warning] only, since
+    blocking awaits are intentionally non-exhaustive). *)
+
+val assert_valid : Ast.program -> unit
+(** Raises [Invalid_argument] with a readable listing if [check] found
+    any [`Error]-severity issue. *)

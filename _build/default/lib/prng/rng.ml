@@ -1,0 +1,33 @@
+type t = { mutable state : int }
+
+let create seed = { state = seed lxor 0x1fe3779b97f4a7c1 }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step, truncated to OCaml's 63-bit ints.  The constants are
+   the reference ones with the top bit dropped, which preserves the
+   generator's avalanche behaviour for our purposes. *)
+let next t =
+  t.state <- (t.state + 0x1e3779b97f4a7c15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14b603a9caa36d9b land max_int in
+  (z lxor (z lsr 31)) land (max_int lsr 1)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let float t bound = float_of_int (next t) /. float_of_int (max_int lsr 1) *. bound
+
+let bool t = next t land 1 = 1
+
+let split t = create (next t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

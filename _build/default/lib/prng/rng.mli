@@ -1,0 +1,28 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Used instead of [Stdlib.Random] so that simulator schedules, workloads
+    and property tests replay identically across runs and platforms. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator.  Equal seeds produce equal streams. *)
+
+val copy : t -> t
+
+val next : t -> int
+(** Next raw 62-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -1,0 +1,1 @@
+lib/registers/atomic_array.ml: Array Atomic

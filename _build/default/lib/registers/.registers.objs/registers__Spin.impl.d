@@ -1,0 +1,1 @@
+lib/registers/spin.ml: Domain Unix

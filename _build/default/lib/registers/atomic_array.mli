@@ -1,0 +1,29 @@
+(** Arrays of atomic integer registers with index striding to reduce
+    false sharing between logically adjacent cells.
+
+    OCaml boxes each [Atomic.t]; striding the pointer array spreads the
+    pointers across cache lines, which in practice also spreads the boxes
+    allocated together.  This is a best-effort mitigation, sufficient for
+    the throughput-shape experiments (we compare algorithms under the same
+    memory layout, not absolute hardware numbers). *)
+
+type t
+
+val create : ?stride:int -> int -> int -> t
+(** [create n v]: [n] cells initialized to [v].  [stride] defaults to 8
+    (64 bytes of pointers between consecutive cells). *)
+
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val fetch_and_add : t -> int -> int -> int
+(** Atomic; returns the pre-value. *)
+
+val compare_and_set : t -> int -> int -> int -> bool
+val exchange : t -> int -> int -> int
+
+val max_of : t -> int
+(** Maximum over a one-cell-at-a-time scan, 0 for an empty array. *)
+
+val words : t -> int
+(** Shared memory footprint in words (cells only, not padding). *)

@@ -1,0 +1,12 @@
+(** Bounded exponential backoff for spin loops. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+(** Defaults: 4 to 1024 [cpu_relax]es per wave. *)
+
+val once : t -> unit
+(** Spin one wave ([Domain.cpu_relax] in a loop) and double the next wave
+    up to the cap. *)
+
+val reset : t -> unit

@@ -1,0 +1,40 @@
+exception Overflow of { value : int; bound : int }
+
+type policy = Trap | Wrap | Saturate
+
+type t = {
+  cell : int Atomic.t;
+  bound : int;
+  policy : policy;
+  overflows : int Atomic.t;
+}
+
+let create ?(policy = Trap) ~bound v =
+  if bound < 1 then invalid_arg "Bounded.create: bound must be >= 1";
+  if v < 0 || v > bound then invalid_arg "Bounded.create: initial value out of range";
+  { cell = Atomic.make v; bound; policy; overflows = Atomic.make 0 }
+
+let get t = Atomic.get t.cell
+
+let set t v =
+  if v <= t.bound then Atomic.set t.cell v
+  else begin
+    Atomic.incr t.overflows;
+    match t.policy with
+    | Trap -> raise (Overflow { value = v; bound = t.bound })
+    | Wrap -> Atomic.set t.cell (v mod (t.bound + 1))
+    | Saturate -> Atomic.set t.cell t.bound
+  end
+
+let bound t = t.bound
+let overflow_count t = Atomic.get t.overflows
+
+let array ?policy ~bound n v = Array.init n (fun _ -> create ?policy ~bound v)
+
+let max_of a =
+  let best = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    let v = get a.(i) in
+    if v > !best then best := v
+  done;
+  !best

@@ -1,0 +1,36 @@
+(** Bounded atomic registers.
+
+    A real machine register holds at most [M]; the paper defines an
+    overflow as an attempt to store [v > M] (§3).  This module makes that
+    event explicit and observable: every store is checked against the
+    bound, and the policy decides what a too-large store does.  All
+    operations are sequentially consistent ([Atomic] underneath), which is
+    a stronger register than Bakery requires — safety results transfer. *)
+
+exception Overflow of { value : int; bound : int }
+
+type policy =
+  | Trap  (** raise {!Overflow} — for time-to-first-overflow experiments *)
+  | Wrap  (** store [v mod (M + 1)] — silent corruption, like real hardware *)
+  | Saturate  (** store [M] *)
+
+type t
+
+val create : ?policy:policy -> bound:int -> int -> t
+(** [create ~bound v] is a register holding [v]; [policy] defaults to
+    [Trap].  Raises [Invalid_argument] if [v] itself exceeds [bound]. *)
+
+val get : t -> int
+val set : t -> int -> unit
+(** Applies the overflow policy when the value exceeds the bound. *)
+
+val bound : t -> int
+val overflow_count : t -> int
+(** Stores that exceeded the bound so far (counted under every policy). *)
+
+val array : ?policy:policy -> bound:int -> int -> int -> t array
+(** [array ~bound n v]: [n] registers initialized to [v]. *)
+
+val max_of : t array -> int
+(** Maximum of current values — Bakery's [maximum] over a scan; reads one
+    register at a time, in index order, like the real algorithm. *)

@@ -1,0 +1,8 @@
+let yield_period = 32
+
+let key = Domain.DLS.new_key (fun () -> ref 0)
+
+let relax () =
+  let counter = Domain.DLS.get key in
+  incr counter;
+  if !counter mod yield_period = 0 then Unix.sleepf 0.0 else Domain.cpu_relax ()

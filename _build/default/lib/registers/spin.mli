@@ -1,0 +1,16 @@
+(** Spin-wait primitive used by every lock in the zoo.
+
+    On a multi-core machine a pure [Domain.cpu_relax] loop is right; on a
+    single-core machine (or with more domains than cores) a waiting
+    domain must yield the processor or the lock holder never runs and
+    every handoff costs a full preemption timeslice.  [relax] therefore
+    interleaves pause instructions with an occasional zero-length sleep,
+    which on Linux reschedules the calling thread.
+
+    All algorithms use the same primitive, so relative comparisons remain
+    fair. *)
+
+val relax : unit -> unit
+
+val yield_period : int
+(** Every [yield_period]-th call yields to the OS scheduler. *)

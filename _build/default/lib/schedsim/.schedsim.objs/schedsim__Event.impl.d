@@ -1,0 +1,1 @@
+lib/schedsim/event.ml: Array List Mxlang Printf String

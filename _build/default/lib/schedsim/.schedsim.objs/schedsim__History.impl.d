@@ -1,0 +1,1 @@
+lib/schedsim/history.ml: Array Buffer Event List Mxlang Printf Runner String

@@ -1,0 +1,1 @@
+lib/schedsim/history.mli: Mxlang Runner

@@ -1,0 +1,1 @@
+lib/schedsim/metrics.ml: Array Event List Mxlang Runner

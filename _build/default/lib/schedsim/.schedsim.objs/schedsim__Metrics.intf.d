@@ -1,0 +1,1 @@
+lib/schedsim/metrics.mli: Mxlang Runner

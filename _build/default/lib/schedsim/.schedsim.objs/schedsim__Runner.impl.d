@@ -1,0 +1,1 @@
+lib/schedsim/runner.ml: Array Event Fun List Mxlang Prng Scheduler

@@ -1,0 +1,1 @@
+lib/schedsim/runner.mli: Event Mxlang Scheduler

@@ -1,0 +1,1 @@
+lib/schedsim/scheduler.ml: Array Printf Prng String

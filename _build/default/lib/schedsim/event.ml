@@ -1,0 +1,41 @@
+(* Simulator events.  [time] is the global atomic-step counter. *)
+
+type t =
+  | Step of { time : int; pid : int; pc : int }
+  | Cs_enter of { time : int; pid : int }
+  | Cs_exit of { time : int; pid : int }
+  | Doorway_done of { time : int; pid : int }
+  | Overflow of { time : int; pid : int; var : int; cell : int; value : int }
+  | Mutex_violation of { time : int; pids : int list }
+  | Crash of { time : int; pid : int }
+  | Restart of { time : int; pid : int }
+  | Flicker of { time : int; pid : int; cell : int; value : int }
+
+let time = function
+  | Step { time; _ }
+  | Cs_enter { time; _ }
+  | Cs_exit { time; _ }
+  | Doorway_done { time; _ }
+  | Overflow { time; _ }
+  | Mutex_violation { time; _ }
+  | Crash { time; _ }
+  | Restart { time; _ }
+  | Flicker { time; _ } ->
+      time
+
+let to_string (p : Mxlang.Ast.program) = function
+  | Step { time; pid; pc } ->
+      Printf.sprintf "%8d p%d step %s" time pid p.steps.(pc).step_name
+  | Cs_enter { time; pid } -> Printf.sprintf "%8d p%d ENTER CS" time pid
+  | Cs_exit { time; pid } -> Printf.sprintf "%8d p%d exit CS" time pid
+  | Doorway_done { time; pid } -> Printf.sprintf "%8d p%d doorway done" time pid
+  | Overflow { time; pid; var; cell; value } ->
+      Printf.sprintf "%8d p%d OVERFLOW %s[%d] = %d" time pid p.var_names.(var)
+        cell value
+  | Mutex_violation { time; pids } ->
+      Printf.sprintf "%8d MUTEX VIOLATION: processes %s in CS" time
+        (String.concat "," (List.map string_of_int pids))
+  | Crash { time; pid } -> Printf.sprintf "%8d p%d crash" time pid
+  | Restart { time; pid } -> Printf.sprintf "%8d p%d restart" time pid
+  | Flicker { time; pid; cell; value } ->
+      Printf.sprintf "%8d p%d flickered read cell %d -> %d" time pid cell value

@@ -1,0 +1,44 @@
+let schedule_of (r : Runner.result) =
+  Array.of_list
+    (List.filter_map
+       (function Event.Step { pid; _ } -> Some pid | _ -> None)
+       r.events)
+
+let to_text (p : Mxlang.Ast.program) (r : Runner.result) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Event.to_string p e);
+      Buffer.add_char buf '\n')
+    r.events;
+  Buffer.contents buf
+
+let csv_row time kind pid detail =
+  Printf.sprintf "%d,%s,%s,%s\n" time kind
+    (if pid < 0 then "" else string_of_int pid)
+    detail
+
+let to_csv (p : Mxlang.Ast.program) (r : Runner.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time,event,pid,detail\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (match e with
+        | Event.Step { time; pid; pc } ->
+            csv_row time "step" pid p.steps.(pc).step_name
+        | Event.Cs_enter { time; pid } -> csv_row time "cs_enter" pid ""
+        | Event.Cs_exit { time; pid } -> csv_row time "cs_exit" pid ""
+        | Event.Doorway_done { time; pid } -> csv_row time "doorway_done" pid ""
+        | Event.Overflow { time; pid; var; cell; value } ->
+            csv_row time "overflow" pid
+              (Printf.sprintf "%s[%d]=%d" p.var_names.(var) cell value)
+        | Event.Mutex_violation { time; pids } ->
+            csv_row time "mutex_violation" (-1)
+              (String.concat ";" (List.map string_of_int pids))
+        | Event.Crash { time; pid } -> csv_row time "crash" pid ""
+        | Event.Restart { time; pid } -> csv_row time "restart" pid ""
+        | Event.Flicker { time; pid; cell; value } ->
+            csv_row time "flicker" pid (Printf.sprintf "cell %d -> %d" cell value)))
+    r.events;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Event-log utilities: textual and CSV export, and schedule extraction
+    for deterministic replay.
+
+    Replay contract: a crash-free, flicker-free run picks exactly one
+    runnable process per step, so its [Step] events are its complete
+    scheduling history; re-running the same program and configuration
+    with [Scheduler.Replay (schedule_of result)] reproduces the run
+    event-for-event.  Crashes and flicker consume scheduler decisions
+    without emitting steps, so such runs are not replayable this way. *)
+
+val schedule_of : Runner.result -> int array
+(** The pid sequence of all executed steps (requires the run to have been
+    made with [record_events = true]). *)
+
+val to_text : Mxlang.Ast.program -> Runner.result -> string
+(** One line per event, human-readable. *)
+
+val to_csv : Mxlang.Ast.program -> Runner.result -> string
+(** Columns: time, event, pid, detail. *)

@@ -1,0 +1,71 @@
+(** Randomized execution of an mxlang algorithm under a chosen scheduler —
+    the "run it for a long time on one machine" counterpart to the
+    exhaustive model checker.
+
+    The runner implements the paper's full failure model: processes may
+    crash at any instant, a crashed process resets its own single-writer
+    shared cells and its locals to their initial values, and restarts in
+    its noncritical section after a delay (§1.2, condition 4).  It can
+    also inject safe-register read anomalies ("flicker"): a read of a cell
+    that another process is about to write may return an arbitrary value,
+    the paper's "a read that overlaps a write may return any value". *)
+
+type crash_config = {
+  crash_prob : float;  (** per-step probability that some process crashes *)
+  restart_delay : int;  (** steps before the crashed process restarts *)
+  only_outside_cs : bool;
+      (** restrict crashes to processes outside both their critical
+          section and their exit protocol (a process there still holds
+          the resource) *)
+}
+
+type flicker_config = {
+  flicker_prob : float;  (** probability a concurrently-written cell flickers *)
+  max_value : int;  (** flickered reads are uniform in [0, max_value] *)
+}
+
+type overflow_policy =
+  | Detect  (** record the event and keep running with the too-large value *)
+  | Stop  (** record and end the run (time-to-overflow measurements) *)
+  | Wrap  (** record and store [v mod (M+1)] — a real register's behaviour *)
+
+type config = {
+  nprocs : int;
+  bound : int;  (** the paper's M *)
+  strategy : Scheduler.strategy;
+  max_steps : int;
+  stop_after_cs : int option;  (** stop once this many total CS entries occurred *)
+  overflow_policy : overflow_policy;
+  crash : crash_config option;
+  flicker : flicker_config option;
+  seed : int;  (** drives crash and flicker randomness *)
+  record_events : bool;  (** keep the full event log (memory-heavy) *)
+}
+
+val default_config : nprocs:int -> bound:int -> config
+(** Round-robin, 100_000 steps, no crashes, no flicker, [Detect]. *)
+
+type outcome = Completed | Steps_exhausted | Overflow_stop | Stuck
+(** [Completed]: [stop_after_cs] reached.  [Stuck]: no process runnable
+    and none will restart. *)
+
+type result = {
+  outcome : outcome;
+  steps : int;  (** atomic steps executed *)
+  cs_entries : int array;  (** per process *)
+  label_counts : int array array;  (** [pid][pc]: executions of each step *)
+  overflow_events : int;
+  mutex_violations : int;
+      (** entries into a state with >= 2 processes in their CS *)
+  fcfs_inversions : int;
+      (** CS entries that overtook a process with an earlier completed
+          doorway (first-come-first-served violations) *)
+  crashes : int;
+  flickers : int;
+  events : Event.t list;  (** chronological; empty unless [record_events] *)
+  final_shared : int array;
+}
+
+val run : Mxlang.Ast.program -> config -> result
+
+val total_cs : result -> int

@@ -1,0 +1,125 @@
+type strategy =
+  | Round_robin
+  | Uniform of int
+  | Weighted of float array * int
+  | Handicap of { victim : int; period : int; seed : int }
+  | Replay of int array
+
+type t = {
+  nprocs : int;
+  strategy : strategy;
+  rng : Prng.Rng.t;
+  mutable cursor : int; (* round-robin position *)
+  mutable decisions : int; (* scheduling decisions made, for Handicap *)
+  scratch : int array; (* candidate buffer, avoids per-step allocation *)
+}
+
+let make ~nprocs strategy =
+  let seed =
+    match strategy with
+    | Round_robin | Replay _ -> 0
+    | Uniform s | Weighted (_, s) | Handicap { seed = s; _ } -> s
+  in
+  (match strategy with
+  | Weighted (w, _) ->
+      if Array.length w <> nprocs then
+        invalid_arg "Scheduler.make: weight vector length must equal nprocs";
+      Array.iter
+        (fun x -> if x < 0.0 then invalid_arg "Scheduler.make: negative weight")
+        w
+  | Handicap { victim; period; _ } ->
+      if victim < 0 || victim >= nprocs then
+        invalid_arg "Scheduler.make: victim out of range";
+      if period < 1 then invalid_arg "Scheduler.make: period must be >= 1"
+  | Replay pids ->
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= nprocs then
+            invalid_arg "Scheduler.make: replayed pid out of range")
+        pids
+  | Round_robin | Uniform _ -> ());
+  {
+    nprocs;
+    strategy;
+    rng = Prng.Rng.create seed;
+    cursor = 0;
+    decisions = 0;
+    scratch = Array.make nprocs 0;
+  }
+
+let candidates t ~runnable ~skip =
+  let n = ref 0 in
+  for i = 0 to t.nprocs - 1 do
+    if runnable.(i) && i <> skip then begin
+      t.scratch.(!n) <- i;
+      incr n
+    end
+  done;
+  !n
+
+let pick t ~runnable =
+  if Array.length runnable <> t.nprocs then
+    invalid_arg "Scheduler.pick: runnable vector length must equal nprocs";
+  t.decisions <- t.decisions + 1;
+  match t.strategy with
+  | Round_robin ->
+      let rec scan tried =
+        if tried >= t.nprocs then None
+        else
+          let i = (t.cursor + tried) mod t.nprocs in
+          if runnable.(i) then begin
+            t.cursor <- (i + 1) mod t.nprocs;
+            Some i
+          end
+          else scan (tried + 1)
+      in
+      scan 0
+  | Uniform _ ->
+      let n = candidates t ~runnable ~skip:(-1) in
+      if n = 0 then None else Some t.scratch.(Prng.Rng.int t.rng n)
+  | Weighted (w, _) ->
+      let n = candidates t ~runnable ~skip:(-1) in
+      if n = 0 then None
+      else begin
+        let total = ref 0.0 in
+        for k = 0 to n - 1 do
+          total := !total +. w.(t.scratch.(k))
+        done;
+        if !total <= 0.0 then Some t.scratch.(Prng.Rng.int t.rng n)
+        else begin
+          let target = Prng.Rng.float t.rng !total in
+          let rec find k acc =
+            if k >= n - 1 then t.scratch.(n - 1)
+            else
+              let acc = acc +. w.(t.scratch.(k)) in
+              if target < acc then t.scratch.(k) else find (k + 1) acc
+          in
+          Some (find 0 0.0)
+        end
+      end
+  | Handicap { victim; period; _ } ->
+      let victims_turn = t.decisions mod period = 0 in
+      if victims_turn && runnable.(victim) then Some victim
+      else
+        let n = candidates t ~runnable ~skip:victim in
+        if n > 0 then Some t.scratch.(Prng.Rng.int t.rng n)
+        else if runnable.(victim) then Some victim
+        else None
+  | Replay pids ->
+      (* [decisions] was already incremented for this call. *)
+      let k = t.decisions - 1 in
+      if k >= Array.length pids then None
+      else
+        let pid = pids.(k) in
+        if runnable.(pid) then Some pid else None
+
+let describe = function
+  | Round_robin -> "round-robin"
+  | Uniform seed -> Printf.sprintf "uniform(seed=%d)" seed
+  | Weighted (w, seed) ->
+      Printf.sprintf "weighted([%s], seed=%d)"
+        (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.2f") w)))
+        seed
+  | Handicap { victim; period; seed } ->
+      Printf.sprintf "handicap(victim=%d, period=%d, seed=%d)" victim period seed
+  | Replay pids -> Printf.sprintf "replay(%d decisions)" (Array.length pids)

@@ -1,0 +1,29 @@
+(** Scheduling strategies for the interleaving simulator.
+
+    A scheduler picks which runnable process takes the next atomic step.
+    All strategies are deterministic given their seed. *)
+
+type t
+
+type strategy =
+  | Round_robin
+  | Uniform of int  (** uniformly random runnable process; seeded *)
+  | Weighted of float array * int
+      (** per-process relative speeds (the paper's "no assumption about
+          execution speeds" — this lets us create the §6.3 slow process);
+          seeded *)
+  | Handicap of { victim : int; period : int; seed : int }
+      (** adversarial: the victim is runnable only every [period]-th
+          scheduling decision, everyone else is picked uniformly *)
+  | Replay of int array
+      (** replay a recorded pid sequence (see {!History.schedule_of});
+          once the recording is exhausted, or if the recorded process is
+          not runnable, no process is picked *)
+
+val make : nprocs:int -> strategy -> t
+
+val pick : t -> runnable:bool array -> int option
+(** Choose a process among those with [runnable.(i)]; [None] if no
+    process is runnable. *)
+
+val describe : strategy -> string

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithms Array Core Harness List Modelcheck Mxlang Printf String

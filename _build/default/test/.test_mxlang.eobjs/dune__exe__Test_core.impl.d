@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algorithms Array Core Domain Fun Harness List Modelcheck Mxlang Printf QCheck QCheck_alcotest Schedsim String

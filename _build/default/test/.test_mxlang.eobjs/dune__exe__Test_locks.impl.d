@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Atomic Core Domain Harness List Locks Printf Registers Unix

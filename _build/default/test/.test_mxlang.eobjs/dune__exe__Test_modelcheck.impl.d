@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Algorithms Array Core List Modelcheck Mxlang Printf String

@@ -1,0 +1,1 @@
+test/test_mxlang.ml: Alcotest Array Ast Builder Core Dsl Eval List Modelcheck Mxlang Pretty Printf Prng QCheck QCheck_alcotest Schedsim String Tla Validate

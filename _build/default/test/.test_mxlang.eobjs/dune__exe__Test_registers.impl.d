@@ -1,0 +1,1 @@
+test/test_registers.ml: Alcotest Array Domain Fun List Printf Prng QCheck QCheck_alcotest Registers

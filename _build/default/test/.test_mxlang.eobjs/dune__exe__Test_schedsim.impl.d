@@ -1,0 +1,1 @@
+test/test_schedsim.ml: Alcotest Algorithms Array Core List Mxlang Printf Schedsim String

@@ -1,0 +1,280 @@
+(* Model-zoo tests: every algorithm model is statically valid, satisfies
+   (or demonstrably violates) mutual exclusion at small sizes, and
+   carries the structural properties the experiments rely on (doorway
+   marking, single-writer discipline, bounded flags). *)
+
+module MC = Modelcheck
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let mutex_outcome program ~nprocs ~bound ?constraint_ () =
+  let sys = MC.System.make program ~nprocs ~bound in
+  (MC.Explore.run ~invariants:[ MC.Invariant.mutex ] ?constraint_ sys).outcome
+
+let expect_pass name outcome =
+  match outcome with
+  | MC.Explore.Pass -> ()
+  | _ -> Alcotest.fail (name ^ ": expected mutex to hold")
+
+let expect_mutex_violation name outcome =
+  match outcome with
+  | MC.Explore.Violation { invariant = "mutual-exclusion"; _ } -> ()
+  | _ -> Alcotest.fail (name ^ ": expected a mutex violation")
+
+(* ------------------------------------------------------------ validity *)
+
+let all_models_valid () =
+  List.iter
+    (fun (name, prog) ->
+      match Mxlang.Validate.assert_valid prog with
+      | () -> ()
+      | exception Invalid_argument msg ->
+          Alcotest.fail (Printf.sprintf "%s invalid: %s" name msg))
+    Harness.Registry.models
+
+let all_models_have_cs () =
+  List.iter
+    (fun (name, prog) ->
+      check bool_t (name ^ " has a critical step") true
+        (Array.exists
+           (fun (s : Mxlang.Ast.step) -> s.kind = Mxlang.Ast.Critical)
+           prog.Mxlang.Ast.steps))
+    Harness.Registry.models
+
+let registry_lookup () =
+  check bool_t "model_names nonempty" true
+    (List.length Harness.Registry.model_names >= 14);
+  let p = Harness.Registry.find_model "bakery_pp" in
+  check bool_t "find_model builds" true (p.Mxlang.Ast.title <> "");
+  match Harness.Registry.find_model "no_such" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown model must raise"
+
+(* ------------------------------------------------ positive mutex checks *)
+
+let cap c = Core.Verify.ticket_cap_constraint ~cap:c
+
+let bakery_mutex () =
+  expect_pass "bakery coarse N2"
+    (mutex_outcome (Algorithms.Bakery.program ()) ~nprocs:2 ~bound:2
+       ~constraint_:(cap 4) ());
+  expect_pass "bakery fine N2"
+    (mutex_outcome
+       (Algorithms.Bakery.program ~granularity:Algorithms.Common.Fine ())
+       ~nprocs:2 ~bound:2 ~constraint_:(cap 4) ());
+  expect_pass "bakery coarse N3"
+    (mutex_outcome (Algorithms.Bakery.program ()) ~nprocs:3 ~bound:2
+       ~constraint_:(cap 4) ())
+
+let blackwhite_mutex_and_bounded () =
+  let sys =
+    MC.System.make (Algorithms.Blackwhite.program ()) ~nprocs:2 ~bound:2
+  in
+  let r =
+    MC.Explore.run
+      ~invariants:[ MC.Invariant.mutex; MC.Invariant.no_overflow ]
+      sys
+  in
+  (match r.outcome with
+  | MC.Explore.Pass -> ()
+  | _ -> Alcotest.fail "black-white: mutex + tickets <= N expected");
+  check int_t "ticket bound is N" 2 (Algorithms.Blackwhite.ticket_bound ~nprocs:2)
+
+let two_process_classics () =
+  expect_pass "peterson2"
+    (mutex_outcome (Algorithms.Peterson2.program ()) ~nprocs:2 ~bound:4 ());
+  expect_pass "dekker"
+    (mutex_outcome (Algorithms.Dekker.program ()) ~nprocs:2 ~bound:4 ())
+
+let n_process_algorithms () =
+  expect_pass "filter N3"
+    (mutex_outcome (Algorithms.Filter_lock.program ()) ~nprocs:3 ~bound:4 ());
+  expect_pass "szymanski N3"
+    (mutex_outcome (Algorithms.Szymanski.program ()) ~nprocs:3 ~bound:4 ());
+  expect_pass "tas N3"
+    (mutex_outcome (Algorithms.Tas_model.program ()) ~nprocs:3 ~bound:4 ());
+  expect_pass "fast_mutex N3"
+    (mutex_outcome (Algorithms.Fast_mutex.program ()) ~nprocs:3 ~bound:4 ());
+  expect_pass "burns_lynch N4"
+    (mutex_outcome (Algorithms.Burns_lynch.program ()) ~nprocs:4 ~bound:4 ());
+  expect_pass "eisenberg_mcguire N3"
+    (mutex_outcome (Algorithms.Eisenberg.program ()) ~nprocs:3 ~bound:4 ());
+  expect_pass "knuth N3"
+    (mutex_outcome (Algorithms.Knuth.program ()) ~nprocs:3 ~bound:4 ())
+
+let ticket_variants () =
+  (* Unbounded ticket lock: mutex under a counter cap. *)
+  let next_cap cap sys st =
+    let p = MC.System.program sys in
+    let lay = MC.System.layout sys in
+    let v = Mxlang.Ast.var_by_name p "next_ticket" in
+    MC.State.shared_cell lay st v 0 <= cap
+  in
+  expect_pass "ticket N3"
+    (mutex_outcome (Algorithms.Ticket_model.program ()) ~nprocs:3 ~bound:8
+       ~constraint_:(next_cap 8) ());
+  (* Modular: safe iff N <= M (the paper's §8.1 boundary, exactly). *)
+  expect_pass "ticket_mod N2 M2"
+    (mutex_outcome (Algorithms.Ticket_model.program_mod ()) ~nprocs:2 ~bound:2 ());
+  expect_pass "ticket_mod N3 M3"
+    (mutex_outcome (Algorithms.Ticket_model.program_mod ()) ~nprocs:3 ~bound:3 ());
+  expect_mutex_violation "ticket_mod N3 M2"
+    (mutex_outcome (Algorithms.Ticket_model.program_mod ()) ~nprocs:3 ~bound:2 ())
+
+(* ------------------------------------------------ negative mutex checks *)
+
+let no_lock_violates () =
+  expect_mutex_violation "no_lock"
+    (mutex_outcome (Algorithms.No_lock.program ()) ~nprocs:2 ~bound:2 ())
+
+let naive_modulo_violates () =
+  expect_mutex_violation "bakery_mod_naive N2 M3"
+    (mutex_outcome (Algorithms.Bakery_mod.program ()) ~nprocs:2 ~bound:3 ())
+
+let dekker_needs_two () =
+  (* Dekker with 3 processes is nonsense: "the other process" is 1 - i,
+     which for process 2 is register -1.  The checker surfaces the
+     out-of-range access instead of silently passing. *)
+  match mutex_outcome (Algorithms.Dekker.program ()) ~nprocs:3 ~bound:4 () with
+  | exception Mxlang.Eval.Error _ -> ()
+  | _ -> Alcotest.fail "dekker at N=3 must fail loudly"
+
+(* --------------------------------------------------------- structural *)
+
+let single_writer_discipline () =
+  (* bakery, bakery_pp: every shared variable is per-process
+     single-writer — the property the paper emphasises. *)
+  List.iter
+    (fun name ->
+      let p = Harness.Registry.find_model name in
+      Array.iteri
+        (fun v per ->
+          check bool_t
+            (Printf.sprintf "%s: %s single-writer" name p.Mxlang.Ast.var_names.(v))
+            true per)
+        p.Mxlang.Ast.per_process)
+    [ "bakery"; "bakery_pp" ];
+  (* black-white bakery and peterson2 are NOT single-writer. *)
+  let bw = Harness.Registry.find_model "black_white_bakery" in
+  check bool_t "black-white has a multi-writer variable" true
+    (Array.exists not bw.Mxlang.Ast.per_process);
+  let p2 = Harness.Registry.find_model "peterson2" in
+  check bool_t "peterson2 has a multi-writer variable" true
+    (Array.exists not p2.Mxlang.Ast.per_process)
+
+let doorway_marking () =
+  List.iter
+    (fun (name, expected) ->
+      let p = Harness.Registry.find_model name in
+      check bool_t
+        (Printf.sprintf "%s doorway marking" name)
+        expected
+        (Array.exists
+           (fun (s : Mxlang.Ast.step) -> s.kind = Mxlang.Ast.Doorway)
+           p.Mxlang.Ast.steps))
+    [
+      ("bakery", true);
+      ("bakery_pp", true);
+      ("black_white_bakery", true);
+      ("ticket", true);
+      ("szymanski", true);
+      ("filter", false);
+      ("tas", false);
+      ("no_lock", false);
+    ]
+
+let bounded_flags () =
+  List.iter
+    (fun (name, var, expected) ->
+      let p = Harness.Registry.find_model name in
+      let v = Mxlang.Ast.var_by_name p var in
+      check bool_t
+        (Printf.sprintf "%s: %s bounded=%b" name var expected)
+        expected p.Mxlang.Ast.bounded.(v))
+    [
+      ("bakery", "number", true);
+      ("bakery_pp", "number", true);
+      ("black_white_bakery", "number", true);
+      ("ticket", "next_ticket", true);
+      ("szymanski", "flag", false);
+    ]
+
+let all_models_pretty_print () =
+  (* Every registry model renders to pseudocode that names its critical
+     section, and exports to a structurally complete TLA+ module. *)
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (name, prog) ->
+      let listing = Mxlang.Pretty.program prog in
+      check bool_t (name ^ " listing has CS") true (contains listing "(CS)");
+      let tla = Mxlang.Tla.export prog in
+      List.iter
+        (fun needle ->
+          check bool_t
+            (Printf.sprintf "%s TLA has %s" name needle)
+            true (contains tla needle))
+        [ "Init =="; "Next =="; "Mutex =="; "====" ])
+    Harness.Registry.models
+
+let fine_and_coarse_agree () =
+  (* Both granularities of Bakery++ pass both invariants and have the
+     same observable phase language at N=2, M=2 (mutual refinement). *)
+  let coarse =
+    MC.System.make (Core.Bakery_pp_model.program ()) ~nprocs:2 ~bound:2
+  in
+  let fine =
+    MC.System.make
+      (Core.Bakery_pp_model.program ~granularity:Algorithms.Common.Fine ())
+      ~nprocs:2 ~bound:2
+  in
+  let r1 = MC.Refine.check ~impl:fine ~spec:coarse () in
+  check bool_t "fine refines coarse" true r1.included;
+  let r2 = MC.Refine.check ~impl:coarse ~spec:fine () in
+  check bool_t "coarse refines fine" true r2.included
+
+let () =
+  Alcotest.run "algorithms"
+    [
+      ( "validity",
+        [
+          Alcotest.test_case "all models statically valid" `Quick
+            all_models_valid;
+          Alcotest.test_case "all models have a CS" `Quick all_models_have_cs;
+          Alcotest.test_case "registry lookup" `Quick registry_lookup;
+        ] );
+      ( "mutex-positive",
+        [
+          Alcotest.test_case "bakery (both granularities)" `Quick bakery_mutex;
+          Alcotest.test_case "black-white bakery" `Quick
+            blackwhite_mutex_and_bounded;
+          Alcotest.test_case "peterson2 and dekker" `Quick two_process_classics;
+          Alcotest.test_case "filter, szymanski, tas" `Quick
+            n_process_algorithms;
+          Alcotest.test_case "ticket variants incl. §8.1 boundary" `Quick
+            ticket_variants;
+        ] );
+      ( "mutex-negative",
+        [
+          Alcotest.test_case "no_lock violates" `Quick no_lock_violates;
+          Alcotest.test_case "naive modulo bakery violates" `Quick
+            naive_modulo_violates;
+          Alcotest.test_case "dekker breaks at N=3" `Quick dekker_needs_two;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "single-writer discipline" `Quick
+            single_writer_discipline;
+          Alcotest.test_case "doorway marking" `Quick doorway_marking;
+          Alcotest.test_case "bounded flags" `Quick bounded_flags;
+          Alcotest.test_case "pretty and TLA for every model" `Quick
+            all_models_pretty_print;
+          Alcotest.test_case "fine/coarse mutual refinement" `Quick
+            fine_and_coarse_agree;
+        ] );
+    ]

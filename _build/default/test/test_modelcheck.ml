@@ -1,0 +1,444 @@
+(* Tests for the explicit-state model checker: state packing, the
+   growable vector, BFS exploration (positive and negative), trace
+   reconstruction, deadlock detection, state constraints, refinement and
+   the lasso search — each on small systems with known answers. *)
+
+module MC = Modelcheck
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* ------------------------------------------------------------------ vec *)
+
+let vec_basics () =
+  let v = MC.Vec.create () in
+  check int_t "empty" 0 (MC.Vec.length v);
+  for i = 0 to 99 do
+    let id = MC.Vec.push v (i * 2) in
+    check int_t "push returns index" i id
+  done;
+  check int_t "length" 100 (MC.Vec.length v);
+  check int_t "get" 84 (MC.Vec.get v 42);
+  MC.Vec.set v 42 7;
+  check int_t "set" 7 (MC.Vec.get v 42);
+  let sum = ref 0 in
+  MC.Vec.iteri (fun i x -> sum := !sum + i + x) v;
+  check bool_t "iteri covers all" true (!sum > 0);
+  (match MC.Vec.get v 100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds get must raise");
+  check int_t "to_list length" 100 (List.length (MC.Vec.to_list v))
+
+(* ---------------------------------------------------------------- state *)
+
+let sys_of ?(nprocs = 2) ?(bound = 3) prog = MC.System.make prog ~nprocs ~bound
+
+let state_roundtrip () =
+  let sys = sys_of (Core.Bakery_pp_model.program ()) in
+  let lay = MC.System.layout sys in
+  let s = MC.System.initial sys in
+  check int_t "initial pc of 0" 0 (MC.State.pc lay s 0);
+  MC.State.set_pc lay s 1 3;
+  check int_t "set_pc" 3 (MC.State.pc lay s 1);
+  let shared = MC.State.shared_part lay s in
+  let locals = MC.State.locals_part lay s 1 in
+  shared.(0) <- 9;
+  locals.(0) <- 5;
+  MC.State.write_back lay s ~shared ~locals ~pid:1;
+  check int_t "written back shared" 9 (MC.State.shared_part lay s).(0);
+  check int_t "written back locals" 5 (MC.State.locals_part lay s 1).(0)
+
+let state_hash_equal () =
+  let sys = sys_of (Core.Bakery_pp_model.program ()) in
+  let a = MC.System.initial sys in
+  let b = MC.System.initial sys in
+  check bool_t "equal initials" true (MC.State.equal a b);
+  check bool_t "equal hashes" true (MC.State.hash a = MC.State.hash b);
+  b.(0) <- b.(0) + 1;
+  check bool_t "different states differ" false (MC.State.equal a b);
+  (* FNV must see words beyond the polymorphic-hash prefix: states
+     differing only in the last word must hash differently (almost
+     surely). *)
+  let c = Array.copy a and d = Array.copy a in
+  d.(Array.length d - 1) <- 123456;
+  check bool_t "suffix change changes hash" true
+    (MC.State.hash c <> MC.State.hash d)
+
+(* ---------------------------------------------------------- exploration *)
+
+let explore_counts () =
+  (* no_lock with N processes has exactly 3^N states and mutex fails. *)
+  let sys = sys_of ~nprocs:2 (Algorithms.No_lock.program ()) in
+  let r = MC.Explore.run ~invariants:[] sys in
+  (match r.outcome with
+  | MC.Explore.Pass -> ()
+  | _ -> Alcotest.fail "no invariants: must pass");
+  check int_t "3^2 states" 9 r.stats.distinct;
+  let sys3 = sys_of ~nprocs:3 (Algorithms.No_lock.program ()) in
+  let r3 = MC.Explore.run ~invariants:[] sys3 in
+  check int_t "3^3 states" 27 r3.stats.distinct
+
+let explore_violation_shortest () =
+  let sys = sys_of ~nprocs:2 (Algorithms.No_lock.program ()) in
+  let r = MC.Explore.run ~invariants:[ MC.Invariant.mutex ] sys in
+  match r.outcome with
+  | MC.Explore.Violation { invariant; trace } ->
+      check Alcotest.string "invariant name" "mutual-exclusion" invariant;
+      (* Shortest counterexample: init, p fires ncs, q fires ncs. *)
+      check int_t "BFS counterexample is shortest" 3 (MC.Trace.length trace)
+  | _ -> Alcotest.fail "expected mutex violation"
+
+let explore_deadlock () =
+  (* One process, one step whose only action has guard False: after the
+     first (blocked) state is reached, nothing is enabled. *)
+  let b = Mxlang.Builder.create ~title:"stuck" in
+  let l = Mxlang.Builder.fresh_label b "l" in
+  Mxlang.Builder.define b l ~kind:Mxlang.Ast.Critical
+    [ Mxlang.Builder.action ~guard:Mxlang.Ast.False l ];
+  let prog = Mxlang.Builder.build b in
+  let sys = sys_of ~nprocs:1 prog in
+  let r = MC.Explore.run ~invariants:[] sys in
+  match r.outcome with
+  | MC.Explore.Deadlock { trace } ->
+      check int_t "deadlock at initial state" 1 (MC.Trace.length trace)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let explore_constraint_closes_space () =
+  (* Unbounded bakery has an infinite space; the ticket cap closes it. *)
+  let sys = sys_of ~nprocs:2 ~bound:2 (Algorithms.Bakery.program ()) in
+  let r =
+    MC.Explore.run
+      ~invariants:[ MC.Invariant.mutex ]
+      ~constraint_:(Core.Verify.ticket_cap_constraint ~cap:4)
+      sys
+  in
+  (match r.outcome with
+  | MC.Explore.Pass -> ()
+  | _ -> Alcotest.fail "bakery satisfies mutex under cap");
+  check bool_t "space is finite and modest" true (r.stats.distinct < 100_000)
+
+let explore_capacity () =
+  let sys = sys_of ~nprocs:2 ~bound:2 (Algorithms.Bakery.program ()) in
+  let r = MC.Explore.run ~invariants:[] ~max_states:100 sys in
+  match r.outcome with
+  | MC.Explore.Capacity -> ()
+  | _ -> Alcotest.fail "expected capacity exhaustion"
+
+let trace_states_connected () =
+  (* Every state in a counterexample trace must follow from its
+     predecessor by exactly one move. *)
+  let sys = sys_of ~nprocs:2 ~bound:2 (Algorithms.Bakery.program ()) in
+  let r = MC.Explore.run ~invariants:[ MC.Invariant.no_overflow ] sys in
+  match r.outcome with
+  | MC.Explore.Violation { trace; _ } ->
+      let rec walk = function
+        | a :: (b : MC.Trace.entry) :: rest ->
+            let succs = MC.System.successors sys a.MC.Trace.state in
+            check bool_t "consecutive trace states are connected" true
+              (List.exists
+                 (fun (m : MC.System.move) -> MC.State.equal m.dest b.state)
+                 succs);
+            walk (b :: rest)
+        | _ -> ()
+      in
+      walk trace
+  | _ -> Alcotest.fail "expected overflow violation"
+
+(* ----------------------------------------------------------- invariants *)
+
+let invariant_combinators () =
+  let sys = sys_of (Core.Bakery_pp_model.program ()) in
+  let s = MC.System.initial sys in
+  check bool_t "mutex holds initially" true
+    (MC.Invariant.check MC.Invariant.mutex sys s = None);
+  check bool_t "no_overflow holds initially" true
+    (MC.Invariant.check MC.Invariant.no_overflow sys s = None);
+  let all = MC.Invariant.all [ MC.Invariant.mutex; MC.Invariant.no_overflow ] in
+  check bool_t "conjunction holds" true (MC.Invariant.check all sys s = None);
+  let broken = MC.Invariant.custom "always-false" (fun _ _ -> false) in
+  check bool_t "custom violation reported" true
+    (MC.Invariant.check broken sys s = Some "always-false")
+
+let invariant_bounded_by () =
+  let sys = sys_of (Core.Bakery_pp_model.program ()) in
+  let prog = MC.System.program sys in
+  let number = Mxlang.Ast.var_by_name prog "number" in
+  let s = MC.System.initial sys in
+  let inv0 = MC.Invariant.bounded_by ~var:number ~limit:0 in
+  check bool_t "zeros are within limit 0" true
+    (MC.Invariant.check inv0 sys s = None);
+  let lay = MC.System.layout sys in
+  ignore lay;
+  s.(0) <- 1;
+  (* first shared cell belongs to var 0 (choosing); bump number instead *)
+  s.(2) <- 5;
+  let invn = MC.Invariant.bounded_by ~var:number ~limit:4 in
+  check bool_t "limit 4 violated by 5" true
+    (MC.Invariant.check invn sys s <> None)
+
+(* ------------------------------------------------------------ refinement *)
+
+let refinement_self () =
+  (* Any system refines itself. *)
+  let impl = sys_of ~nprocs:2 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let spec = sys_of ~nprocs:2 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let r = MC.Refine.check ~impl ~spec () in
+  check bool_t "self refinement" true r.included
+
+let refinement_negative () =
+  (* no_lock does NOT refine peterson2: two-in-CS is observable. *)
+  let impl = sys_of ~nprocs:2 (Algorithms.No_lock.program ()) in
+  let spec = sys_of ~nprocs:2 (Algorithms.Peterson2.program ()) in
+  let r = MC.Refine.check ~impl ~spec () in
+  check bool_t "not included" false r.included;
+  match r.failure with
+  | Some f -> check bool_t "trace nonempty" true (List.length f.impl_trace > 0)
+  | None -> Alcotest.fail "failure detail expected"
+
+let refinement_bakery_pp () =
+  let r = Core.Verify.refines_bakery ~nprocs:2 ~bound:2 () in
+  check bool_t "bakery_pp refines bakery" true r.included;
+  check bool_t "search complete" true r.complete
+
+(* ---------------------------------------------------------------- lasso *)
+
+let lasso_found_at_gate () =
+  let r = Core.Verify.starvation_lasso ~nprocs:3 ~bound:2 () in
+  match r.witness with
+  | Some w ->
+      check bool_t "cycle nonempty" true (List.length w.cycle > 0);
+      check bool_t "others enter CS" true (w.cs_entries_in_cycle >= 1)
+  | None -> Alcotest.fail "gate lasso expected at N=3 M=2"
+
+let lasso_fair_variant () =
+  let r =
+    Core.Verify.starvation_lasso ~require_victim_disabled:true ~nprocs:3
+      ~bound:2 ()
+  in
+  match r.witness with
+  | Some w ->
+      check bool_t "victim disabled somewhere on the cycle" false
+        w.victim_continuously_enabled
+  | None -> Alcotest.fail "fair gate lasso expected at N=3 M=2"
+
+let lasso_none_in_waiting_room () =
+  let sys = sys_of ~nprocs:3 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let r =
+    MC.Lasso.find ~victim:0
+      ~stuck_at:(MC.Lasso.stuck_at_kind Mxlang.Ast.Waiting)
+      sys
+  in
+  check bool_t "FCFS waiting room admits no lasso" true (r.witness = None)
+
+let lasso_cycle_is_closed () =
+  (* The cycle's moves must all be valid transitions and return to the
+     cycle's starting state. *)
+  let sys = sys_of ~nprocs:3 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let r =
+    MC.Lasso.find ~victim:0
+      ~stuck_at:(MC.Lasso.stuck_at_label Core.Bakery_pp_model.gate_label)
+      sys
+  in
+  match r.witness with
+  | None -> Alcotest.fail "expected lasso"
+  | Some w ->
+      let start =
+        match List.rev w.prefix with
+        | last :: _ -> last.MC.Trace.state
+        | [] -> Alcotest.fail "prefix empty"
+      in
+      let final =
+        match List.rev w.cycle with
+        | last :: _ -> last.MC.Trace.state
+        | [] -> Alcotest.fail "cycle empty"
+      in
+      check bool_t "cycle returns to its entry state" true
+        (MC.State.equal start final)
+
+(* ------------------------------------------------------------- parallel *)
+
+let outcome_equal a b =
+  match (a, b) with
+  | MC.Explore.Pass, MC.Explore.Pass -> true
+  | ( MC.Explore.Violation { invariant = i1; trace = t1 },
+      MC.Explore.Violation { invariant = i2; trace = t2 } ) ->
+      (* Same invariant and same (shortest) counterexample length; the
+         exact interleaving may differ between engines. *)
+      i1 = i2 && List.length t1 = List.length t2
+  | MC.Explore.Deadlock _, MC.Explore.Deadlock _ -> true
+  | MC.Explore.Capacity, MC.Explore.Capacity -> true
+  | _ -> false
+
+let par_agrees_with_sequential () =
+  let cases =
+    [
+      (Core.Bakery_pp_model.program (), 2, 2, None);
+      (Core.Bakery_pp_model.program (), 3, 2, None);
+      (Algorithms.Bakery.program (), 2, 2, None);
+      (Algorithms.No_lock.program (), 2, 4, None);
+      ( Algorithms.Bakery.program (),
+        2,
+        2,
+        Some (Core.Verify.ticket_cap_constraint ~cap:4) );
+    ]
+  in
+  List.iter
+    (fun (prog, n, m, constraint_) ->
+      let sys = sys_of ~nprocs:n ~bound:m prog in
+      let seq = MC.Explore.run ?constraint_ sys in
+      List.iter
+        (fun domains ->
+          let par = MC.Par_explore.run ?constraint_ ~domains sys in
+          check bool_t
+            (Printf.sprintf "%s N=%d M=%d (%d domains): same outcome"
+               prog.Mxlang.Ast.title n m domains)
+            true
+            (outcome_equal seq.outcome par.outcome);
+          check int_t
+            (Printf.sprintf "%s N=%d M=%d (%d domains): same state count"
+               prog.Mxlang.Ast.title n m domains)
+            seq.stats.distinct par.stats.distinct)
+        [ 1; 3 ])
+    cases
+
+let par_deadlock () =
+  let b = Mxlang.Builder.create ~title:"stuck_par" in
+  let l = Mxlang.Builder.fresh_label b "l" in
+  Mxlang.Builder.define b l ~kind:Mxlang.Ast.Plain
+    [ Mxlang.Builder.action ~guard:Mxlang.Ast.False l ];
+  let prog = Mxlang.Builder.build b in
+  let sys = sys_of ~nprocs:1 prog in
+  match (MC.Par_explore.run ~invariants:[] ~domains:2 sys).outcome with
+  | MC.Explore.Deadlock _ -> ()
+  | _ -> Alcotest.fail "parallel engine must detect the deadlock"
+
+(* ------------------------------------------------------------- coverage *)
+
+let coverage_counts () =
+  let sys = sys_of ~nprocs:2 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let c = MC.Coverage.measure sys in
+  check bool_t "total transitions positive" true (c.total_transitions > 0);
+  let fired name =
+    (List.find (fun (e : MC.Coverage.entry) -> e.step_name = name) c.entries)
+      .fired
+  in
+  check bool_t "cs fired" true (fired "cs" > 0);
+  check bool_t "reset fired at M=2" true (fired "reset" > 0);
+  check (Alcotest.list Alcotest.string) "full coverage at N=2 M=2" []
+    (MC.Coverage.uncovered c)
+
+let coverage_uncovered_solo () =
+  (* With one process the overflow machinery never fires: max is always
+     0, so reset is dead — coverage should say so. *)
+  let sys = sys_of ~nprocs:1 ~bound:3 (Core.Bakery_pp_model.program ()) in
+  let c = MC.Coverage.measure sys in
+  check bool_t "reset uncovered at N=1" true
+    (List.mem "reset" (MC.Coverage.uncovered c))
+
+(* ------------------------------------------------------------------ dot *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let dot_export () =
+  let sys = sys_of ~nprocs:2 ~bound:2 (Algorithms.No_lock.program ()) in
+  let dot = MC.Dot.of_system sys in
+  check bool_t "digraph header" true (contains dot "digraph");
+  check bool_t "nodes present" true (contains dot "s0 [");
+  check bool_t "critical highlighted" true (contains dot "lightcoral");
+  check bool_t "edges labeled" true (contains dot "p0:");
+  (* 9 states for 2-process no_lock; no truncation marker *)
+  check bool_t "no truncation at 9 states" false (contains dot "truncated")
+
+let dot_truncation () =
+  let sys = sys_of ~nprocs:2 ~bound:3 (Core.Bakery_pp_model.program ()) in
+  let dot = MC.Dot.of_system ~max_states:20 sys in
+  check bool_t "truncation marked" true (contains dot "truncated")
+
+let dot_trace () =
+  let sys = sys_of ~nprocs:2 (Algorithms.No_lock.program ()) in
+  let r = MC.Explore.run ~invariants:[ MC.Invariant.mutex ] sys in
+  match r.outcome with
+  | MC.Explore.Violation { trace; _ } ->
+      let dot = MC.Dot.of_trace sys trace in
+      check bool_t "trace path rendered" true (contains dot "t0 -> t1")
+  | _ -> Alcotest.fail "expected violation"
+
+(* --------------------------------------------------------------- report *)
+
+let report_strings () =
+  let sys = sys_of ~nprocs:2 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let r = MC.Explore.run sys in
+  let s = MC.Report.result_string sys r in
+  check bool_t "mentions the model" true
+    (let needle = "bakery_pp_coarse" in
+     let n = String.length needle and h = String.length s in
+     let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ("vec", [ Alcotest.test_case "growable vector" `Quick vec_basics ]);
+      ( "state",
+        [
+          Alcotest.test_case "pack/unpack round trip" `Quick state_roundtrip;
+          Alcotest.test_case "hash and equality" `Quick state_hash_equal;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "state counts on known graph" `Quick
+            explore_counts;
+          Alcotest.test_case "violation with shortest trace" `Quick
+            explore_violation_shortest;
+          Alcotest.test_case "deadlock detection" `Quick explore_deadlock;
+          Alcotest.test_case "state constraint closes infinite space" `Quick
+            explore_constraint_closes_space;
+          Alcotest.test_case "max_states capacity" `Quick explore_capacity;
+          Alcotest.test_case "trace states are connected" `Quick
+            trace_states_connected;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "combinators" `Quick invariant_combinators;
+          Alcotest.test_case "bounded_by" `Quick invariant_bounded_by;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "reflexive" `Quick refinement_self;
+          Alcotest.test_case "negative case" `Quick refinement_negative;
+          Alcotest.test_case "bakery_pp refines bakery" `Quick
+            refinement_bakery_pp;
+        ] );
+      ( "lasso",
+        [
+          Alcotest.test_case "found at the L1 gate" `Quick lasso_found_at_gate;
+          Alcotest.test_case "fairness-consistent variant" `Quick
+            lasso_fair_variant;
+          Alcotest.test_case "none in the waiting room" `Quick
+            lasso_none_in_waiting_room;
+          Alcotest.test_case "cycle closes" `Quick lasso_cycle_is_closed;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "agrees with sequential engine" `Slow
+            par_agrees_with_sequential;
+          Alcotest.test_case "detects deadlock" `Quick par_deadlock;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "action counts" `Quick coverage_counts;
+          Alcotest.test_case "dead branch at N=1" `Quick
+            coverage_uncovered_solo;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "system export" `Quick dot_export;
+          Alcotest.test_case "truncation marker" `Quick dot_truncation;
+          Alcotest.test_case "trace export" `Quick dot_trace;
+        ] );
+      ("report", [ Alcotest.test_case "render" `Quick report_strings ]);
+    ]
