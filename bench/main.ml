@@ -6,9 +6,46 @@
      dune exec bench/main.exe              # everything, full sizes
      dune exec bench/main.exe -- --quick   # everything, small sizes
      dune exec bench/main.exe -- e4 e6     # selected experiments
-     dune exec bench/main.exe -- micro     # microbenchmarks only *)
+     dune exec bench/main.exe -- micro     # microbenchmarks only
+     dune exec bench/main.exe -- --json out.json e11
+                                           # machine-readable results
+
+   Experiments that record datapoints (currently E11) also leave
+   BENCH_modelcheck.json in the working directory, so perf trajectories
+   can be tracked across PRs. *)
 
 let say fmt = Printf.printf fmt
+
+(* ------------------------------------------------------ JSON output *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path entries =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (exp, metric, value) ->
+      Printf.fprintf oc
+        "  {\"experiment\": \"%s\", \"metric\": \"%s\", \"value\": %.6g}%s\n"
+        (json_escape exp) (json_escape metric) value
+        (if i = last then "" else ","))
+    entries;
+  output_string oc "]\n";
+  close_out oc;
+  say "wrote %d datapoint(s) to %s\n%!" (List.length entries) path
 
 (* ------------------------------------------------------- microbenches *)
 
@@ -98,6 +135,18 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let args = List.filter (fun a -> a <> "--quick") args in
+  let json_path = ref None in
+  let rec strip_json = function
+    | [] -> []
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file argument";
+        exit 2
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        strip_json rest
+    | a :: rest -> a :: strip_json rest
+  in
+  let args = strip_json args in
   let wanted = if args = [] then [ "all" ] else args in
   let all_ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in
   say "Bakery++ reproduction bench driver (mode: %s)\n"
@@ -129,4 +178,10 @@ let () =
           say "unknown experiment %S; known: %s, micro, all\n" id
             (String.concat ", " all_ids ^ ", figures");
           exit 2)
-    wanted
+    wanted;
+  let metrics = Harness.Experiments.take_metrics () in
+  (match !json_path with
+  | Some path -> write_json path metrics
+  | None -> ());
+  let modelcheck = List.filter (fun (exp, _, _) -> exp = "e11") metrics in
+  if modelcheck <> [] then write_json "BENCH_modelcheck.json" modelcheck

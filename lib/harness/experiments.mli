@@ -40,6 +40,20 @@ val e9 : quick:bool -> Table.t list
 val e10 : quick:bool -> Table.t list
 (** §8.1: more processes than ticket values (N > M). *)
 
+val e11 : quick:bool -> Table.t list
+(** Model-checker throughput: the compiled successor engine and the
+    persistent-pool parallel BFS against the AST-interpreter baseline,
+    on the same exhaustive Bakery++ workloads.  Records
+    (experiment, metric, value) triples via {!record_metric}. *)
+
+val record_metric : exp:string -> metric:string -> float -> unit
+(** Record one machine-readable datapoint (drained by the bench driver
+    into [--json] output and [BENCH_modelcheck.json]). *)
+
+val take_metrics : unit -> (string * string * float) list
+(** All datapoints recorded since the last call, oldest first; clears
+    the buffer. *)
+
 val a1 : quick:bool -> Table.t list
 (** Ablation: Bakery++ without the L1 gate (safety survives). *)
 

@@ -1,3 +1,19 @@
+(* Sequential BFS over the induced transition system.
+
+   Two engines share this file and produce bit-identical results:
+
+   - the default path ([interpreted = false]) runs the compiled actions
+     fused with dedup: each candidate successor is built in one reusable
+     scratch buffer, probed against the allocation-free arena-backed
+     {!Store}, and blitted into the arena only if genuinely new.  Most
+     generated states of a big search are duplicates, so the steady
+     state allocates nothing at all;
+   - [interpreted = true] is the seed engine, kept verbatim as the
+     measured baseline and differential reference: list-of-moves
+     successors from the AST interpreter, one boxed array per generated
+     state, a generic [Hashtbl] keyed on packed arrays, a [Queue.t]
+     frontier. *)
+
 module Tbl = Hashtbl.Make (struct
   type t = State.packed
 
@@ -26,122 +42,192 @@ type graph = {
 
 let now () = Unix.gettimeofday ()
 
-type store = {
-  g : graph;
-  tbl : int Tbl.t;
-  depth_of : int Vec.t;
-}
-
-let make_store sys =
-  let tbl = Tbl.create 4096 in
-  let g =
-    {
-      sys;
-      states = Vec.create ();
-      parent = Vec.create ();
-      via_pid = Vec.create ();
-      via_pc = Vec.create ();
-      id_of = (fun s -> Tbl.find_opt tbl s);
-    }
-  in
-  { g; tbl; depth_of = Vec.create () }
-
-(* Returns [Some id] if the state is new. *)
-let add store ~parent ~pid ~pc ~depth s =
-  match Tbl.find_opt store.tbl s with
-  | Some _ -> None
-  | None ->
-      let id = Vec.push store.g.states s in
-      Tbl.add store.tbl s id;
-      ignore (Vec.push store.g.parent parent);
-      ignore (Vec.push store.g.via_pid pid);
-      ignore (Vec.push store.g.via_pc pc);
-      ignore (Vec.push store.depth_of depth);
-      Some id
-
-let trace_to (g : graph) id =
-  let p = System.program g.sys in
+let trace_of sys ~state_of ~parent ~via_pid ~via_pc id =
+  let p = System.program sys in
   let rec walk id acc =
-    let pid = Vec.get g.via_pid id in
+    let pid = Vec.get via_pid id in
     let entry =
       {
         Trace.pid;
-        step_name = (if pid < 0 then "<init>" else p.steps.(Vec.get g.via_pc id).step_name);
-        state = Vec.get g.states id;
+        step_name =
+          (if pid < 0 then "<init>" else p.steps.(Vec.get via_pc id).step_name);
+        state = state_of id;
       }
     in
-    let parent = Vec.get g.parent id in
-    if parent < 0 then entry :: acc else walk parent (entry :: acc)
+    let par = Vec.get parent id in
+    if par < 0 then entry :: acc else walk par (entry :: acc)
   in
   walk id []
+
+let trace_to (g : graph) id =
+  trace_of g.sys ~state_of:(Vec.get g.states) ~parent:g.parent
+    ~via_pid:g.via_pid ~via_pc:g.via_pc id
 
 let default_invariants = lazy [ Invariant.mutex; Invariant.no_overflow ]
 
 let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = true)
-    sys =
+    ?(interpreted = false) sys =
   let invariants =
     match invariants with Some l -> l | None -> Lazy.force default_invariants
   in
   let t0 = now () in
-  let store = make_store sys in
-  let queue = Queue.create () in
+  let parent = Vec.create () in
+  let via_pid = Vec.create () in
+  let via_pc = Vec.create () in
   let generated = ref 0 in
   let max_depth = ref 0 in
-  let finish outcome =
+  let finish ~distinct outcome =
     {
       outcome;
       stats =
         {
           generated = !generated;
-          distinct = Vec.length store.g.states;
+          distinct;
           depth = !max_depth;
           runtime = now () -. t0;
         };
     }
   in
-  let check_state id s =
-    let rec first_violated = function
+  let first_violated s =
+    let rec go = function
       | [] -> None
       | inv :: rest ->
           (match Invariant.check inv sys s with
           | Some name -> Some name
-          | None -> first_violated rest)
+          | None -> go rest)
     in
-    match first_violated invariants with
-    | Some invariant -> Some (Violation { invariant; trace = trace_to store.g id })
-    | None -> None
+    go invariants
   in
   let expand s =
     match constraint_ with None -> true | Some c -> c sys s
   in
+  let push_meta ~parent:par ~pid ~pc =
+    ignore (Vec.push parent par);
+    ignore (Vec.push via_pid pid);
+    ignore (Vec.push via_pc pc)
+  in
   let exception Stop of result in
-  try
+  (* The compiled engine: dedup-before-copy BFS on the arena store,
+     frontier as a cursor over an int vector. *)
+  let run_compiled () =
+    let idx = Store.create () in
+    let finish outcome = finish ~distinct:(Store.length idx) outcome in
+    let trace id =
+      trace_of sys ~state_of:(Store.get idx) ~parent ~via_pid ~via_pc id
+    in
+    let lay = System.layout sys in
+    let scratch = Array.make lay.State.words 0 in
+    let current = Array.make lay.State.words 0 in
+    let queue = Vec.create () in
+    let qhead = ref 0 in
+    (* Invariants are staged once per run (layouts and step kinds
+       resolved up front); they and the state constraint run on the
+       scratch buffer (identical contents to what was just stored). *)
+    let staged =
+      Array.of_list
+        (List.map (fun inv -> (inv.Invariant.name, Invariant.stage inv sys)) invariants)
+    in
+    let nstaged = Array.length staged in
+    let first_violated_staged buf =
+      let rec go k =
+        if k >= nstaged then None
+        else
+          let name, holds = Array.unsafe_get staged k in
+          if holds buf then go (k + 1) else Some name
+      in
+      go 0
+    in
+    let vet id' buf =
+      if Store.length idx > max_states then raise (Stop (finish Capacity));
+      match first_violated_staged buf with
+      | Some invariant ->
+          raise (Stop (finish (Violation { invariant; trace = trace id' })))
+      | None -> if expand buf then ignore (Vec.push queue id')
+    in
     let init = System.initial sys in
     incr generated;
-    (match add store ~parent:(-1) ~pid:(-1) ~pc:(-1) ~depth:0 init with
+    (match Store.add idx init with
+    | Some id ->
+        push_meta ~parent:(-1) ~pid:(-1) ~pc:(-1);
+        vet id init
+    | None -> assert false);
+    (* BFS depth by wave boundary: ids enter the queue in depth order, so
+       no per-state depth needs storing. *)
+    let boundary = ref (Vec.length queue) in
+    while !qhead < Vec.length queue do
+      if !qhead = !boundary then begin
+        incr max_depth;
+        boundary := Vec.length queue
+      end;
+      let id = Vec.get queue !qhead in
+      incr qhead;
+      Store.read_into idx id current;
+      let any = ref false in
+      System.iter_successors_scratch sys current ~scratch
+        (fun ~pid ~from_pc ~alt:_ ->
+          any := true;
+          incr generated;
+          if Store.probe idx scratch = -1 then begin
+            let id' = Store.add_probed idx scratch in
+            push_meta ~parent:id ~pid ~pc:from_pc;
+            vet id' scratch
+          end);
+      if check_deadlock && not !any then
+        raise (Stop (finish (Deadlock { trace = trace id })))
+    done;
+    finish Pass
+  in
+  (* The seed engine, preserved as baseline: one hash to probe, a second
+     to insert, a move list per state, a fresh array per candidate. *)
+  let run_interpreted () =
+    let tbl = Tbl.create 4096 in
+    let states = Vec.create () in
+    let finish outcome = finish ~distinct:(Vec.length states) outcome in
+    let trace id =
+      trace_of sys ~state_of:(Vec.get states) ~parent ~via_pid ~via_pc id
+    in
+    let queue = Queue.create () in
+    let add ~parent ~pid ~pc s =
+      match Tbl.find_opt tbl s with
+      | Some _ -> None
+      | None ->
+          let id = Vec.push states s in
+          Tbl.add tbl s id;
+          push_meta ~parent ~pid ~pc;
+          Some id
+    in
+    let check_state id s =
+      match first_violated s with
+      | Some invariant -> Some (Violation { invariant; trace = trace id })
+      | None -> None
+    in
+    let init = System.initial sys in
+    incr generated;
+    (match add ~parent:(-1) ~pid:(-1) ~pc:(-1) init with
     | Some id -> (
         match check_state id init with
         | Some bad -> raise (Stop (finish bad))
         | None -> if expand init then Queue.add id queue)
     | None -> assert false);
+    let this_wave = ref (Queue.length queue) in
     while not (Queue.is_empty queue) do
+      if !this_wave = 0 then begin
+        incr max_depth;
+        this_wave := Queue.length queue
+      end;
+      decr this_wave;
       let id = Queue.pop queue in
-      let s = Vec.get store.g.states id in
-      let depth = Vec.get store.depth_of id in
-      if depth > !max_depth then max_depth := depth;
-      let moves = System.successors sys s in
+      let s = Vec.get states id in
+      let moves = System.successors_interpreted sys s in
       if check_deadlock && moves = [] then
-        raise (Stop (finish (Deadlock { trace = trace_to store.g id })));
+        raise (Stop (finish (Deadlock { trace = trace id })));
       List.iter
         (fun (m : System.move) ->
           incr generated;
-          match
-            add store ~parent:id ~pid:m.pid ~pc:m.from_pc ~depth:(depth + 1)
-              m.dest
-          with
+          match add ~parent:id ~pid:m.pid ~pc:m.from_pc m.dest with
           | None -> ()
           | Some id' -> (
-              if Vec.length store.g.states > max_states then
+              if Vec.length states > max_states then
                 raise (Stop (finish Capacity));
               match check_state id' m.dest with
               | Some bad -> raise (Stop (finish bad))
@@ -149,45 +235,68 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
         moves
     done;
     finish Pass
+  in
+  try if interpreted then run_interpreted () else run_compiled ()
   with Stop r -> r
 
 let run_graph ?constraint_ ?(max_states = 5_000_000) sys =
   let t0 = now () in
-  let store = make_store sys in
-  let queue = Queue.create () in
+  let idx = Store.create () in
+  let parent = Vec.create () in
+  let via_pid = Vec.create () in
+  let via_pc = Vec.create () in
   let generated = ref 0 in
   let max_depth = ref 0 in
   let expand s = match constraint_ with None -> true | Some c -> c sys s in
+  let push_meta ~parent:par ~pid ~pc =
+    ignore (Vec.push parent par);
+    ignore (Vec.push via_pid pid);
+    ignore (Vec.push via_pc pc)
+  in
+  let lay = System.layout sys in
+  let scratch = Array.make lay.State.words 0 in
+  let current = Array.make lay.State.words 0 in
+  let queue = Vec.create () in
+  let qhead = ref 0 in
   let init = System.initial sys in
   incr generated;
-  (match add store ~parent:(-1) ~pid:(-1) ~pc:(-1) ~depth:0 init with
-  | Some id -> if expand init then Queue.add id queue
+  (match Store.add idx init with
+  | Some id ->
+      push_meta ~parent:(-1) ~pid:(-1) ~pc:(-1);
+      if expand init then ignore (Vec.push queue id)
   | None -> assert false);
+  let boundary = ref (Vec.length queue) in
   let exception Full in
   (try
-     while not (Queue.is_empty queue) do
-       let id = Queue.pop queue in
-       let s = Vec.get store.g.states id in
-       let depth = Vec.get store.depth_of id in
-       if depth > !max_depth then max_depth := depth;
-       List.iter
-         (fun (m : System.move) ->
+     while !qhead < Vec.length queue do
+       if !qhead = !boundary then begin
+         incr max_depth;
+         boundary := Vec.length queue
+       end;
+       let id = Vec.get queue !qhead in
+       incr qhead;
+       Store.read_into idx id current;
+       System.iter_successors_scratch sys current ~scratch
+         (fun ~pid ~from_pc ~alt:_ ->
            incr generated;
-           match
-             add store ~parent:id ~pid:m.pid ~pc:m.from_pc ~depth:(depth + 1)
-               m.dest
-           with
-           | None -> ()
-           | Some id' ->
-               if Vec.length store.g.states > max_states then raise Full;
-               if expand m.dest then Queue.add id' queue)
-         (System.successors sys s)
+           if Store.probe idx scratch = -1 then begin
+             let id' = Store.add_probed idx scratch in
+             push_meta ~parent:id ~pid ~pc:from_pc;
+             if Store.length idx > max_states then raise Full;
+             if expand scratch then ignore (Vec.push queue id')
+           end)
      done
    with Full -> ());
-  ( store.g,
+  (* Materialize boxed states for the graph consumers (lassos, coverage,
+     dot rendering): one pass, outside the search loop. *)
+  let states = Vec.create () in
+  for id = 0 to Store.length idx - 1 do
+    ignore (Vec.push states (Store.get idx id))
+  done;
+  ( { sys; states; parent; via_pid; via_pc; id_of = (fun s -> Store.find_opt idx s) },
     {
       generated = !generated;
-      distinct = Vec.length store.g.states;
+      distinct = Store.length idx;
       depth = !max_depth;
       runtime = now () -. t0;
     } )

@@ -36,6 +36,7 @@ val run :
   ?constraint_:(System.t -> State.packed -> bool) ->
   ?max_states:int ->
   ?check_deadlock:bool ->
+  ?interpreted:bool ->
   System.t ->
   result
 (** Explore all states reachable from the initial state.
@@ -44,7 +45,11 @@ val run :
     [constraint_] is TLC's state constraint: states violating it are
     still checked against the invariants but not expanded, closing
     otherwise-infinite state spaces (needed for the original, unbounded
-    Bakery).  [max_states] (default 5_000_000) bounds memory. *)
+    Bakery).  [max_states] (default 5_000_000) bounds memory.
+    [interpreted] (default [false]) generates successors with the AST
+    interpreter instead of the compiled closures — the reference engine
+    for differential tests and the throughput experiment's baseline;
+    outcome, traces, and state counts are identical either way. *)
 
 val run_graph :
   ?constraint_:(System.t -> State.packed -> bool) ->
@@ -56,3 +61,15 @@ val run_graph :
 
 val trace_to : graph -> int -> Trace.t
 (** Reconstruct the BFS path from the root to a stored state id. *)
+
+val trace_of :
+  System.t ->
+  state_of:(int -> State.packed) ->
+  parent:int Vec.t ->
+  via_pid:int Vec.t ->
+  via_pc:int Vec.t ->
+  int ->
+  Trace.t
+(** {!trace_to} over any id-indexed representation of the search —
+    {!Par_explore} stores states in a {!Store} arena rather than a
+    boxed-state graph and materializes only the trace path. *)

@@ -1,4 +1,8 @@
-type t = { name : string; holds : System.t -> State.packed -> bool }
+type t = {
+  name : string;
+  holds : System.t -> State.packed -> bool;
+  prepare : (System.t -> State.packed -> bool) option;
+}
 
 let mutex =
   {
@@ -12,6 +16,30 @@ let mutex =
           else count (i + 1) (if System.in_critical sys s i then acc + 1 else acc)
         in
         count 0 0 <= 1);
+    (* Staged form: resolve "is pc critical?" once per run into a table
+       indexed by pc, so the per-state check is [nprocs] array loads. *)
+    prepare =
+      Some
+        (fun sys ->
+          let p = System.program sys in
+          let lay = System.layout sys in
+          let n = System.nprocs sys in
+          let critical =
+            Array.map
+              (fun (st : Mxlang.Ast.step) -> st.kind = Mxlang.Ast.Critical)
+              p.steps
+          in
+          let pcs_off = lay.State.pcs_off in
+          fun s ->
+            let rec count i acc =
+              if i >= n then acc
+              else
+                count (i + 1)
+                  (if Array.unsafe_get critical (Array.unsafe_get s (pcs_off + i))
+                   then acc + 1
+                   else acc)
+            in
+            count 0 0 <= 1);
   }
 
 let no_overflow =
@@ -34,6 +62,36 @@ let no_overflow =
              && var_ok (v + 1)
         in
         var_ok 0);
+    (* Staged form: the register-bounded variables occupy a fixed set of
+       shared cells; collect their (first, last) cell ranges once, then
+       scan those words directly. *)
+    prepare =
+      Some
+        (fun sys ->
+          let p = System.program sys in
+          let lay = System.layout sys in
+          let m = System.bound sys in
+          let nprocs = System.nprocs sys in
+          let ranges = ref [] in
+          for v = p.nvars - 1 downto 0 do
+            if p.bounded.(v) then begin
+              let o = Mxlang.Eval.offset lay.State.env v in
+              let cells = Mxlang.Ast.cells_of ~nprocs p v in
+              ranges := (o, o + cells - 1) :: !ranges
+            end
+          done;
+          let ranges = Array.of_list !ranges in
+          fun s ->
+            let rec range_ok r =
+              r >= Array.length ranges
+              ||
+              let lo, hi = Array.unsafe_get ranges r in
+              let rec cell_ok i =
+                i > hi || (Array.unsafe_get s i <= m && cell_ok (i + 1))
+              in
+              cell_ok lo && range_ok (r + 1)
+            in
+            range_ok 0);
   }
 
 let bounded_by ~var ~limit =
@@ -47,14 +105,22 @@ let bounded_by ~var ~limit =
         in
         let rec ok i = i >= cells || (State.shared_cell lay s var i <= limit && ok (i + 1)) in
         ok 0);
+    prepare = None;
   }
 
-let custom name holds = { name; holds }
+let custom name holds = { name; holds; prepare = None }
 
 let all invs =
   {
     name = String.concat " & " (List.map (fun i -> i.name) invs);
     holds = (fun sys s -> List.for_all (fun i -> i.holds sys s) invs);
+    prepare = None;
   }
 
 let check inv sys s = if inv.holds sys s then None else Some inv.name
+
+(* Staged checker: specialize once per (invariant, system).  Falls back
+   to the generic [holds] partially applied when no staged form exists;
+   the two must agree on every state. *)
+let stage inv sys =
+  match inv.prepare with Some p -> p sys | None -> inv.holds sys

@@ -1,6 +1,13 @@
 (** Named state predicates checked on every reachable state. *)
 
-type t = { name : string; holds : System.t -> State.packed -> bool }
+type t = {
+  name : string;
+  holds : System.t -> State.packed -> bool;
+  prepare : (System.t -> State.packed -> bool) option;
+      (** Optional staged form: specialize the check against one system
+          (resolve layouts, step kinds, cell offsets) and return a
+          per-state closure.  Must agree with [holds] on every state. *)
+}
 
 val mutex : t
 (** At most one process is at a [Critical]-kind step — the paper's
@@ -22,3 +29,9 @@ val all : t list -> t
 val check : t -> System.t -> State.packed -> string option
 (** [None] if the invariant holds, [Some name] of the violated
     (sub-)invariant otherwise. *)
+
+val stage : t -> System.t -> State.packed -> bool
+(** Specialize an invariant for one system: uses [prepare] when present
+    (paying layout/offset resolution once, not per state), otherwise
+    partially applies [holds].  Used by the compiled explorer's hot
+    loop. *)

@@ -1,52 +1,43 @@
-module Tbl = Hashtbl.Make (struct
-  type t = State.packed
-
-  let equal = State.equal
-  let hash = State.hash
-end)
-
 let now () = Unix.gettimeofday ()
 
-(* Successors of one frontier slice, computed by a worker domain.  Only
-   pure state arithmetic happens here; no shared mutable structures. *)
-let expand_slice sys (frontier : State.packed array) lo hi =
-  let out = ref [] in
-  for k = hi - 1 downto lo do
-    let s = frontier.(k) in
-    List.iter
-      (fun (m : System.move) -> out := (k, m) :: !out)
-      (System.successors sys s)
-  done;
-  !out
+(* Per-worker wave output, allocated once per run and reused: the move
+   buffer plus, for each move, the frontier index it came from (needed
+   for parent ids and deadlock detection).  Workers write only their own
+   buffers; the main domain reads them after the pool barrier. *)
+type wave_out = { owners : int Vec.t; moves : System.move Vec.t }
 
-let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains sys =
+let expand_slice sys (frontier : State.packed array) ~lo ~hi out =
+  Vec.clear out.owners;
+  Vec.clear out.moves;
+  for k = lo to hi - 1 do
+    let before = Vec.length out.moves in
+    System.successors_into sys frontier.(k) out.moves;
+    for _ = before to Vec.length out.moves - 1 do
+      ignore (Vec.push out.owners k)
+    done
+  done
+
+let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool sys =
   let invariants =
     match invariants with
     | Some l -> l
     | None -> [ Invariant.mutex; Invariant.no_overflow ]
   in
   let ndomains =
-    match domains with
-    | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Par_explore.run: domains must be >= 1"
-    | None -> min 8 (Domain.recommended_domain_count ())
+    match (pool, domains) with
+    | Some p, _ -> Pool.size p
+    | None, Some d when d >= 1 -> d
+    | None, Some _ -> invalid_arg "Par_explore.run: domains must be >= 1"
+    | None, None -> min 8 (Domain.recommended_domain_count ())
   in
   let t0 = now () in
-  let tbl = Tbl.create 4096 in
-  let states = Vec.create () in
+  let idx = Store.create () in
   let parent = Vec.create () in
   let via_pid = Vec.create () in
   let via_pc = Vec.create () in
-  let graph_id_of s = Tbl.find_opt tbl s in
-  let graph =
-    {
-      Explore.sys;
-      states;
-      parent;
-      via_pid;
-      via_pc;
-      id_of = graph_id_of;
-    }
+  (* Only the trace path is ever materialized out of the arena. *)
+  let trace id =
+    Explore.trace_of sys ~state_of:(Store.get idx) ~parent ~via_pid ~via_pc id
   in
   let generated = ref 0 in
   let depth = ref 0 in
@@ -56,7 +47,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains sys =
       stats =
         {
           generated = !generated;
-          distinct = Vec.length states;
+          distinct = Store.length idx;
           depth = !depth;
           runtime = now () -. t0;
         };
@@ -66,91 +57,115 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains sys =
     match constraint_ with None -> true | Some c -> c sys s
   in
   let exception Stop of Explore.result in
+  let staged =
+    Array.of_list
+      (List.map (fun inv -> (inv.Invariant.name, Invariant.stage inv sys)) invariants)
+  in
   let check id s =
-    let rec first = function
-      | [] -> None
-      | inv :: rest -> (
-          match Invariant.check inv sys s with
-          | Some name -> Some name
-          | None -> first rest)
+    let rec first k =
+      if k >= Array.length staged then None
+      else
+        let name, holds = staged.(k) in
+        if holds s then first (k + 1) else Some name
     in
-    match first invariants with
+    match first 0 with
     | Some invariant ->
-        raise
-          (Stop
-             (finish
-                (Explore.Violation { invariant; trace = Explore.trace_to graph id })))
+        raise (Stop (finish (Explore.Violation { invariant; trace = trace id })))
     | None -> ()
   in
   (* Insert a state discovered from [parent_id]; returns the new id if it
-     was unseen. *)
+     was unseen.  The workers' dest arrays are blitted into the arena;
+     duplicates pay only the index probe. *)
   let insert ~parent_id ~pid ~pc s =
-    match Tbl.find_opt tbl s with
-    | Some _ -> None
-    | None ->
-        let id = Vec.push states s in
-        Tbl.add tbl s id;
+    match Store.probe idx s with
+    | i when i >= 0 -> None
+    | _ ->
+        let id = Store.add_probed idx s in
         ignore (Vec.push parent parent_id);
         ignore (Vec.push via_pid pid);
         ignore (Vec.push via_pc pc);
-        if Vec.length states > max_states then raise (Stop (finish Explore.Capacity));
+        if Store.length idx > max_states then
+          raise (Stop (finish Explore.Capacity));
         check id s;
         Some id
   in
-  try
+  let outs =
+    Array.init ndomains (fun _ -> { owners = Vec.create (); moves = Vec.create () })
+  in
+  let next_ids = Vec.create () in
+  let next_states = Vec.create () in
+  (* The search itself, parameterized by how a wave's slices are run:
+     through a persistent pool, or inline when there is one worker. *)
+  let search run_wave =
     let init = System.initial sys in
     incr generated;
-    let frontier = ref [||] in
+    let fr = ref [||] in
+    let ids = ref [||] in
     (match insert ~parent_id:(-1) ~pid:(-1) ~pc:(-1) init with
-    | Some id -> if expand init then frontier := [| (id, init) |]
+    | Some id ->
+        if expand init then begin
+          fr := [| init |];
+          ids := [| id |]
+        end
     | None -> assert false);
-    while Array.length !frontier > 0 do
-      let fr = Array.map snd !frontier in
-      let ids = Array.map fst !frontier in
-      let n = Array.length fr in
-      let slices =
-        (* Split [0, n) into ndomains contiguous chunks. *)
-        List.init ndomains (fun d ->
-            let lo = n * d / ndomains and hi = n * (d + 1) / ndomains in
-            (lo, hi))
-        |> List.filter (fun (lo, hi) -> hi > lo)
-      in
-      let results =
-        match slices with
-        | [ (lo, hi) ] -> [ expand_slice sys fr lo hi ]
-        | _ ->
-            let workers =
-              List.map
-                (fun (lo, hi) ->
-                  Domain.spawn (fun () -> expand_slice sys fr lo hi))
-                slices
-            in
-            List.map Domain.join workers
-      in
-      (* Sequential dedup + insertion keeps ids and traces deterministic. *)
-      let next = ref [] in
+    while Array.length !fr > 0 do
+      let frontier = !fr and fids = !ids in
+      let n = Array.length frontier in
+      (* Contiguous slices keep each worker's output in ascending
+         frontier order, so the sequential merge below visits moves in
+         exactly the order the sequential engine would generate them. *)
+      let slice d = (n * d / ndomains, n * (d + 1) / ndomains) in
+      run_wave ~n (fun w ->
+          let lo, hi = slice w in
+          expand_slice sys frontier ~lo ~hi outs.(w));
+      Vec.clear next_ids;
+      Vec.clear next_states;
       let had_successor = Array.make n false in
-      List.iter
-        (fun moves ->
-          List.iter
-            (fun ((k : int), (m : System.move)) ->
-              had_successor.(k) <- true;
-              incr generated;
-              match insert ~parent_id:ids.(k) ~pid:m.pid ~pc:m.from_pc m.dest with
-              | None -> ()
-              | Some id -> if expand m.dest then next := (id, m.dest) :: !next)
-            moves)
-        results;
+      for w = 0 to ndomains - 1 do
+        let out = outs.(w) in
+        for j = 0 to Vec.length out.moves - 1 do
+          let k = Vec.get out.owners j in
+          let (m : System.move) = Vec.get out.moves j in
+          had_successor.(k) <- true;
+          incr generated;
+          match insert ~parent_id:fids.(k) ~pid:m.pid ~pc:m.from_pc m.dest with
+          | None -> ()
+          | Some id ->
+              if expand m.dest then begin
+                ignore (Vec.push next_ids id);
+                ignore (Vec.push next_states m.dest)
+              end
+        done
+      done;
       (* Deadlock: a frontier state with no successors at all. *)
       Array.iteri
         (fun k alive ->
           if not alive then
             raise
               (Stop
-                 (finish (Explore.Deadlock { trace = Explore.trace_to graph ids.(k) }))))
+                 (finish (Explore.Deadlock { trace = trace fids.(k) }))))
         had_successor;
-      if !next <> [] then incr depth;
-      frontier := Array.of_list (List.rev !next)
+      let nnext = Vec.length next_ids in
+      if nnext > 0 then incr depth;
+      fr := Array.init nnext (Vec.get next_states);
+      ids := Array.init nnext (Vec.get next_ids)
     done;
     finish Explore.Pass
+  in
+  let inline_wave ~n:_ job =
+    for w = 0 to ndomains - 1 do
+      job w
+    done
+  in
+  let pooled_wave p ~n job =
+    (* A one-state wave is cheaper expanded in place than handed over
+       the barrier; every worker's buffers still get reset. *)
+    if n < 2 then inline_wave ~n job else Pool.run p job
+  in
+  try
+    match pool with
+    | Some p -> search (pooled_wave p)
+    | None ->
+        if ndomains = 1 then search inline_wave
+        else Pool.with_pool ndomains (fun p -> search (pooled_wave p))
   with Stop r -> r

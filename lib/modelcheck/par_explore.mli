@@ -1,10 +1,17 @@
-(** Level-synchronized parallel BFS over OCaml 5 domains.
+(** Level-synchronized parallel BFS over a persistent pool of OCaml 5
+    domains.
 
-    Each BFS level's frontier is split across worker domains, which
-    generate successor states in parallel (the expensive part: guard
-    evaluation and effect application); deduplication against the global
-    state table happens sequentially between levels, so the result is
-    bit-identical to {!Explore.run}'s reachable set.
+    Each BFS level's frontier is split into contiguous slices across
+    worker domains, which generate successor states in parallel (the
+    expensive part: compiled guard evaluation and effect application)
+    into per-worker reusable buffers; deduplication against the global
+    state table happens sequentially between levels, in frontier order,
+    so the result is bit-identical to {!Explore.run}'s reachable set.
+
+    The worker domains are spawned once per run (or borrowed from a
+    caller-supplied {!Pool.t}) and parked between waves — not respawned
+    per level, which used to cost a [Domain.spawn]/[join] pair per
+    worker per wave.
 
     Invariants are checked on insertion.  Because levels are explored in
     order, a reported violation still carries a shortest counterexample,
@@ -19,8 +26,12 @@ val run :
   ?constraint_:(System.t -> State.packed -> bool) ->
   ?max_states:int ->
   ?domains:int ->
+  ?pool:Pool.t ->
   System.t ->
   Explore.result
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
-    at 8.  With [domains = 1] the code path is still the parallel one
-    (single worker), useful for differential testing. *)
+    at 8.  With [domains = 1] the wave machinery still runs (useful for
+    differential testing) but slices are expanded inline, with no domain
+    spawned.  [pool] reuses an existing pool across runs — it overrides
+    [domains], is left running on return, and must not be used
+    concurrently from another thread. *)

@@ -50,7 +50,7 @@ let hash (s : packed) =
   for i = 0 to Array.length s - 1 do
     (* Mix all 63 bits of each word through FNV-1a, one byte at a time
        being unnecessary for ints: a full-word xor-multiply mixes well. *)
-    h := (!h lxor s.(i)) * 0x100000001b3
+    h := (!h lxor Array.unsafe_get s i) * 0x100000001b3
   done;
   !h land max_int
 

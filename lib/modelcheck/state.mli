@@ -43,6 +43,8 @@ val hash : packed -> int
 (** FNV-1a over all words (the polymorphic hash only samples a prefix). *)
 
 val equal : packed -> packed -> bool
+(** Hashes are cached per stored state by {!Store}; dedup probes compare
+    cached codes first and arrays only on a code match. *)
 
 val pp : layout -> Format.formatter -> packed -> unit
 (** Human-readable rendering: pcs by label name plus all shared cells. *)

@@ -1,0 +1,154 @@
+(* The checker's state store: packed states in insertion order in a
+   chunked int arena, plus an open-addressing index from contents to id.
+
+   Replaces the generic [Hashtbl.Make] table and the
+   one-boxed-array-per-state storage on the hot path:
+
+   - probing allocates nothing (no key records, no [Some], no bucket
+     cells) and touches one word per step: each index entry packs a
+     31-bit hash tag with the state id;
+   - each stored state's full hash is kept in an id-indexed side vector,
+     so table growth re-places entries without rehashing any state;
+   - states live contiguously inside fixed-size arena chunks: storing
+     one is a blit, not an allocation, equality on a probe hit reads
+     sequential words, and the GC never traces millions of small
+     arrays.  Chunks are never moved or copied once allocated — growing
+     the store allocates a fresh chunk instead of re-blitting a doubled
+     arena, so insertion cost stays flat into the millions of states.
+
+   Single-writer by design: probes are safe from any thread, but only
+   one thread may insert. *)
+
+type t = {
+  mutable table : int array;
+      (* slot -> 0 when empty, else (hash high bits lsl 32) lor (id + 1) *)
+  mutable mask : int;
+  hashes : int Vec.t;  (* id -> full hash, for growth *)
+  mutable chunks : int array array;
+      (* state [id] at [(id land chunk_mask) * words] in
+         [chunks.(id lsr chunk_bits)] *)
+  mutable words : int;  (* per-state size; fixed by the first [add_probed] *)
+  mutable count : int;
+  mutable last_slot : int;
+  mutable last_hash : int;
+}
+
+let initial_slots = 4096
+let chunk_bits = 13
+let chunk_states = 1 lsl chunk_bits
+let chunk_mask = chunk_states - 1
+let tag_of h = (h lsr 32) lsl 32
+let id_of_entry e = (e land 0xffff_ffff) - 1
+
+let create () =
+  {
+    table = Array.make initial_slots 0;
+    mask = initial_slots - 1;
+    hashes = Vec.create ();
+    chunks = [||];
+    words = -1;
+    count = 0;
+    last_slot = 0;
+    last_hash = 0;
+  }
+
+let length t = t.count
+
+let read_into t id (dst : State.packed) =
+  Array.blit t.chunks.(id lsr chunk_bits) ((id land chunk_mask) * t.words) dst
+    0 t.words
+
+let get t id =
+  Array.sub t.chunks.(id lsr chunk_bits) ((id land chunk_mask) * t.words) t.words
+
+(* [State.equal] on the arena-resident state, without materializing it.
+   Indices are in range by construction (id < count, length s = words
+   checked first), so the scan uses unsafe reads. *)
+let equal_at t id (s : State.packed) =
+  let words = t.words in
+  Array.length s = words
+  &&
+  let chunk = Array.unsafe_get t.chunks (id lsr chunk_bits) in
+  let base = (id land chunk_mask) * words in
+  let rec loop i =
+    i >= words
+    || Array.unsafe_get chunk (base + i) = Array.unsafe_get s i && loop (i + 1)
+  in
+  loop 0
+
+let probe t (s : State.packed) =
+  let h = State.hash s in
+  let table = t.table and mask = t.mask in
+  let tag = tag_of h in
+  let i = ref (h land mask) in
+  let found = ref (-1) in
+  let scanning = ref true in
+  while !scanning do
+    let e = Array.unsafe_get table !i in
+    if e = 0 then scanning := false
+    else if
+      tag_of e = tag
+      &&
+      let id = id_of_entry e in
+      equal_at t id s
+    then begin
+      found := id_of_entry e;
+      scanning := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  t.last_slot <- !i;
+  t.last_hash <- h;
+  !found
+
+let find_opt t s = match probe t s with -1 -> None | id -> Some id
+
+let grow_table t =
+  let old = t.table in
+  (* Large tables quadruple instead of doubling: re-placing an entry is
+     a random write, so halving the number of growth rounds matters more
+     than the transiently lower load factor. *)
+  let n = (if Array.length old >= 1 lsl 18 then 4 else 2) * Array.length old in
+  let table = Array.make n 0 in
+  let mask = n - 1 in
+  for k = 0 to Array.length old - 1 do
+    let e = Array.unsafe_get old k in
+    if e <> 0 then begin
+      let h = Vec.get t.hashes (id_of_entry e) in
+      let i = ref (h land mask) in
+      while Array.unsafe_get table !i <> 0 do
+        i := (!i + 1) land mask
+      done;
+      Array.unsafe_set table !i e
+    end
+  done;
+  t.table <- table;
+  t.mask <- mask
+
+let add_probed t (s : State.packed) =
+  if t.words < 0 then t.words <- Array.length s;
+  let words = t.words in
+  let id = t.count in
+  let cid = id lsr chunk_bits in
+  if cid >= Array.length t.chunks then begin
+    let n = Array.length t.chunks in
+    let chunks = Array.make (max 8 (2 * n)) [||] in
+    Array.blit t.chunks 0 chunks 0 n;
+    t.chunks <- chunks
+  end;
+  if Array.length t.chunks.(cid) = 0 then
+    t.chunks.(cid) <- Array.make (chunk_states * words) 0;
+  Array.blit s 0 t.chunks.(cid) ((id land chunk_mask) * words) words;
+  t.count <- id + 1;
+  ignore (Vec.push t.hashes t.last_hash);
+  t.table.(t.last_slot) <- tag_of t.last_hash lor (id + 1);
+  (* Keep the load factor at or below 2/3: linear probing's sequential
+     cache lines tolerate it well, and the smaller table keeps more of
+     the index in cache than a half-full one twice the size. *)
+  if 3 * (id + 1) > 2 * (t.mask + 1) then grow_table t;
+  id
+
+let add t s =
+  match probe t s with
+  | -1 -> Some (add_probed t s)
+  | _ -> None

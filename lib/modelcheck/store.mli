@@ -1,0 +1,44 @@
+(** The checker's state store: packed states in insertion order in one
+    flat int arena, plus an allocation-free open-addressing index from
+    state contents to id.
+
+    Every stored state's hash is computed exactly once — a hash tag is
+    packed into the one-word index entry and the full hash kept in an
+    id-indexed side vector — so dedup lookups and table growth never
+    rehash a stored state.  Probing allocates nothing and touches one
+    word per step; storing a new state is an arena blit, not a boxed
+    allocation — at millions of states the GC otherwise spends more time
+    tracing state arrays than the search spends exploring.
+
+    All states in one store must have the same length (the packed layout
+    of one system).  Single-writer: only one thread may call
+    {!add_probed}/{!add}. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+
+val probe : t -> State.packed -> int
+(** Id of an equal stored state, or [-1].  Remembers the final probe
+    position; a following {!add_probed} reuses it (and the hash) instead
+    of probing again. *)
+
+val add_probed : t -> State.packed -> int
+(** Insert a state known absent — immediately after a missed {!probe}
+    for an equal state — by copying it into the arena.  The caller keeps
+    ownership of [s] (scratch buffers can be inserted directly).
+    Returns the new id. *)
+
+val get : t -> int -> State.packed
+(** Materialize a fresh boxed copy of a stored state. *)
+
+val read_into : t -> int -> State.packed -> unit
+(** Copy a stored state into a caller-owned buffer of the right length
+    (the allocation-free {!get}). *)
+
+val find_opt : t -> State.packed -> int option
+(** Allocating convenience wrapper around {!probe}. *)
+
+val add : t -> State.packed -> int option
+(** [probe] + [add_probed]: [Some id] if the state was new. *)

@@ -1,11 +1,16 @@
-type t = { env : Mxlang.Eval.env; lay : State.layout }
+type t = { env : Mxlang.Eval.env; lay : State.layout; comp : Mxlang.Compile.t }
 
 type move = { pid : int; from_pc : int; alt : int; dest : State.packed }
 
 let make program ~nprocs ~bound =
   Mxlang.Validate.assert_valid program;
   let env = Mxlang.Eval.make_env program ~nprocs ~bound in
-  { env; lay = State.layout env }
+  let lay = State.layout env in
+  let comp =
+    Mxlang.Compile.compile env ~local_base:(fun pid ->
+        lay.locals_off + (pid * lay.locals_per))
+  in
+  { env; lay; comp }
 
 let layout t = t.lay
 let program t = t.env.program
@@ -13,42 +18,108 @@ let nprocs t = t.env.nprocs
 let bound t = t.env.bound
 let initial t = State.initial t.lay
 
+(* The hot path: compiled guards run directly against the packed state
+   (no [Array.sub] copies); the destination array is allocated only for
+   an enabled action, and the compiled effects mutate it in place. *)
+let successors_into t (s : State.packed) out =
+  let lay = t.lay in
+  let actions = t.comp.actions in
+  for pid = 0 to t.env.nprocs - 1 do
+    let pc = s.(lay.pcs_off + pid) in
+    let alts = actions.(pc).(pid) in
+    for alt = 0 to Array.length alts - 1 do
+      let (a : Mxlang.Compile.caction) = alts.(alt) in
+      if a.enabled s then begin
+        let dest = Array.copy s in
+        a.perform dest;
+        dest.(lay.pcs_off + pid) <- a.target;
+        ignore (Vec.push out { pid; from_pc = pc; alt; dest })
+      end
+    done
+  done
+
+(* Fused variant for the sequential explorer: each enabled action's
+   destination is built in the caller's [scratch] buffer (blit + compiled
+   effects), and [f] decides whether it is worth an allocation.  Over a
+   big search most generated states are duplicates, so skipping the copy
+   for them is the single largest allocation saving in the checker. *)
+let iter_successors_scratch t (s : State.packed) ~scratch f =
+  let lay = t.lay in
+  let actions = t.comp.actions in
+  for pid = 0 to t.env.nprocs - 1 do
+    let pc = s.(lay.pcs_off + pid) in
+    let alts = actions.(pc).(pid) in
+    for alt = 0 to Array.length alts - 1 do
+      let (a : Mxlang.Compile.caction) = alts.(alt) in
+      if a.enabled s then begin
+        (* Manual copy: a packed state is a couple dozen words, short
+           enough that the loop beats [Array.blit]'s C stub call. *)
+        for i = 0 to lay.words - 1 do
+          Array.unsafe_set scratch i (Array.unsafe_get s i)
+        done;
+        a.perform scratch;
+        scratch.(lay.pcs_off + pid) <- a.target;
+        f ~pid ~from_pc:pc ~alt
+      end
+    done
+  done
+
 let successors_of_pid t (s : State.packed) pid =
   let lay = t.lay in
-  let pc = State.pc lay s pid in
-  let shared = State.shared_part lay s in
-  let locals = State.locals_part lay s pid in
-  let step = t.env.program.steps.(pc) in
+  let pc = s.(lay.pcs_off + pid) in
+  let alts = t.comp.actions.(pc).(pid) in
   let moves = ref [] in
-  List.iteri
-    (fun alt (a : Mxlang.Ast.action) ->
-      if Mxlang.Eval.eval_b t.env ~shared ~locals ~pid a.guard then begin
-        let shared' = Array.copy shared and locals' = Array.copy locals in
-        Mxlang.Eval.apply t.env ~shared:shared' ~locals:locals' ~pid a;
-        let dest = Array.copy s in
-        State.write_back lay dest ~shared:shared' ~locals:locals' ~pid;
-        State.set_pc lay dest pid a.target;
-        moves := { pid; from_pc = pc; alt; dest } :: !moves
-      end)
-    step.actions;
-  List.rev !moves
+  for alt = Array.length alts - 1 downto 0 do
+    let (a : Mxlang.Compile.caction) = alts.(alt) in
+    if a.enabled s then begin
+      let dest = Array.copy s in
+      a.perform dest;
+      dest.(lay.pcs_off + pid) <- a.target;
+      moves := { pid; from_pc = pc; alt; dest } :: !moves
+    end
+  done;
+  !moves
 
 let successors t s =
-  let rec all pid =
-    if pid >= t.env.nprocs then []
-    else successors_of_pid t s pid @ all (pid + 1)
+  let rec all pid acc =
+    if pid < 0 then acc else all (pid - 1) (successors_of_pid t s pid @ acc)
   in
-  all 0
+  all (t.env.nprocs - 1) []
+
+(* Reference implementation on the interpreter, kept as the differential
+   baseline for the compiled path (and as the "before" engine in the
+   throughput experiment).  Single linear pass; no quadratic append. *)
+let successors_interpreted t s =
+  let lay = t.lay in
+  let moves = ref [] in
+  for pid = t.env.nprocs - 1 downto 0 do
+    let pc = State.pc lay s pid in
+    let shared = State.shared_part lay s in
+    let locals = State.locals_part lay s pid in
+    let step = t.env.program.steps.(pc) in
+    let rec alts alt = function
+      | [] -> []
+      | (a : Mxlang.Ast.action) :: rest ->
+          if Mxlang.Eval.eval_b t.env ~shared ~locals ~pid a.guard then begin
+            let shared' = Array.copy shared and locals' = Array.copy locals in
+            Mxlang.Eval.apply t.env ~shared:shared' ~locals:locals' ~pid a;
+            let dest = Array.copy s in
+            State.write_back lay dest ~shared:shared' ~locals:locals' ~pid;
+            State.set_pc lay dest pid a.target;
+            { pid; from_pc = pc; alt; dest } :: alts (alt + 1) rest
+          end
+          else alts (alt + 1) rest
+    in
+    moves := alts 0 step.actions @ !moves
+  done;
+  !moves
 
 let enabled t s pid =
-  let lay = t.lay in
-  let pc = State.pc lay s pid in
-  let shared = State.shared_part lay s in
-  let locals = State.locals_part lay s pid in
-  List.exists
-    (fun (a : Mxlang.Ast.action) ->
-      Mxlang.Eval.eval_b t.env ~shared ~locals ~pid a.guard)
-    t.env.program.steps.(pc).actions
+  let pc = s.(t.lay.pcs_off + pid) in
+  let alts = t.comp.actions.(pc).(pid) in
+  let n = Array.length alts in
+  let rec any alt = alt < n && (alts.(alt).enabled s || any (alt + 1)) in
+  any 0
 
 let kind_of_pc t pc = t.env.program.steps.(pc).kind
 

@@ -11,8 +11,10 @@ type move = {
 }
 
 val make : Mxlang.Ast.program -> nprocs:int -> bound:int -> t
-(** Validates the program (see {!Mxlang.Validate.assert_valid}) and
-    precomputes the state layout. *)
+(** Validates the program (see {!Mxlang.Validate.assert_valid}),
+    precomputes the state layout, and compiles every action's guard and
+    effects to closures ({!Mxlang.Compile}) — once per (step, process)
+    pair, so exploration never re-interprets the AST. *)
 
 val layout : t -> State.layout
 val program : t -> Mxlang.Ast.program
@@ -24,6 +26,28 @@ val initial : t -> State.packed
 val successors : t -> State.packed -> move list
 (** Every move of every process enabled in the given state, in
     deterministic (pid, alternative) order. *)
+
+val successors_into : t -> State.packed -> move Vec.t -> unit
+(** Append the same moves, in the same order, to a caller-owned buffer.
+    The explorers clear and reuse one buffer per search, so the hot path
+    allocates only the destination states themselves. *)
+
+val iter_successors_scratch :
+  t ->
+  State.packed ->
+  scratch:State.packed ->
+  (pid:int -> from_pc:int -> alt:int -> unit) ->
+  unit
+(** Allocation-free variant: each enabled move's destination is built in
+    [scratch] (length {!State.layout}[.words]) and [f] is called while it
+    is valid — the buffer is overwritten by the next move, so [f] must
+    copy it to keep it.  Same deterministic order as {!successors}; lets
+    the explorer dedup first and allocate only genuinely new states. *)
+
+val successors_interpreted : t -> State.packed -> move list
+(** The same moves computed by the AST interpreter ({!Mxlang.Eval})
+    instead of the compiled closures — the differential-testing baseline
+    and the "before" engine of the throughput experiment. *)
 
 val successors_of_pid : t -> State.packed -> int -> move list
 (** Moves of one process only (used by the starvation search, which

@@ -28,6 +28,15 @@ let set v i x =
   check v i;
   v.data.(i) <- x
 
+(* Capacity is retained so a cleared vector can be refilled without
+   reallocating — the successor buffers are cleared once per state. *)
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
 let iteri f v =
   for i = 0 to v.len - 1 do
     f i v.data.(i)

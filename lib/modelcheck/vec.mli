@@ -10,5 +10,10 @@ val push : 'a t -> 'a -> int
 
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+
+val clear : 'a t -> unit
+(** Reset the length to zero, keeping the capacity (reused buffers). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val to_list : 'a t -> 'a list

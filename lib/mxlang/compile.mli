@@ -1,0 +1,53 @@
+(** Staged compilation of mxlang to closure-based native code.
+
+    Where {!Eval} interprets the AST recursively on every evaluation,
+    this pass compiles each expression once — per executing process —
+    into a closure over a single flat memory image.  The image layout is
+    the model checker's packed state: the shared cells at the offsets of
+    {!Eval.env}, and process [p]'s locals starting at [local_base p]
+    (program counters, which mxlang expressions cannot read, may live
+    anywhere else in the image).
+
+    Because [pid] is fixed at compile time, quantifier ranges unroll
+    statically against the known process count, [Qidx] becomes a
+    constant inside each unrolled instantiation, and constant folding
+    turns most shared reads into fixed-offset loads.
+
+    Dynamic errors (out-of-range indices, modulo by zero, [Qidx] outside
+    a quantifier) raise {!Eval.Error} with the interpreter's messages at
+    the same evaluation points; compilation itself never raises on a
+    validated program.
+
+    Compiled closures elide bounds checks for offsets proven in range at
+    compile time, so the image passed to them MUST cover the full layout
+    (every shared cell and every [local_base p + nlocals] offset);
+    evaluating against a shorter array is undefined behaviour. *)
+
+type caction = {
+  enabled : int array -> bool;
+      (** the action's guard, evaluated directly against the image *)
+  perform : int array -> unit;
+      (** apply all effects in place with simultaneous-assignment
+          semantics (every right-hand side and destination index is
+          evaluated against the pre-state before any write) *)
+  target : int;  (** the destination label; the caller updates the pc *)
+}
+
+type t = {
+  env : Eval.env;
+  actions : caction array array array;
+      (** [actions.(pc).(pid).(alt)], alternatives in declaration
+          order *)
+}
+
+val compile : Eval.env -> local_base:(int -> int) -> t
+(** Compile every action of every step for every process id.
+    [local_base pid] gives the offset of [pid]'s locals in the image. *)
+
+val actions : t -> pc:int -> pid:int -> caction array
+
+val expr : Eval.env -> local_base:(int -> int) -> pid:int -> Ast.expr -> int array -> int
+(** Compile one integer expression (outside any quantifier). *)
+
+val bexpr : Eval.env -> local_base:(int -> int) -> pid:int -> Ast.bexpr -> int array -> bool
+(** Compile one boolean expression (outside any quantifier). *)

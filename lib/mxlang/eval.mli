@@ -29,6 +29,10 @@ val init_shared : env -> int array
 val init_locals : env -> int array
 (** Freshly allocated initial locals for one process. *)
 
+val in_range : pid:int -> Ast.range -> int -> bool
+(** Is process [i] inside a quantification range, relative to [pid]?
+    (Shared with {!Compile}, which unrolls ranges statically.) *)
+
 val eval : env -> shared:int array -> locals:int array -> pid:int -> Ast.expr -> int
 (** Evaluate an integer expression. *)
 

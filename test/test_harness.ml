@@ -190,10 +190,13 @@ let registry_families () =
 (* ---------------------------------------------------------- experiments *)
 
 let experiment_registry () =
-  check int_t "ten experiments plus three ablations" 13
+  check int_t "eleven experiments plus three ablations" 14
     (List.length Harness.Experiments.all);
   let expected =
-    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "a1"; "a2"; "a3" ]
+    [
+      "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
+      "a1"; "a2"; "a3";
+    ]
   in
   check (Alcotest.list Alcotest.string) "ids are ordered" expected
     (List.map (fun (e : Harness.Experiments.experiment) -> e.id)

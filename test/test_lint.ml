@@ -1,0 +1,78 @@
+(* Formatting lint for the OCaml sources, run as part of tier-1.
+
+   ocamlformat is not a dependency of this repo, so this is the
+   mechanical subset that catches real drift in new modules: no tab
+   characters, no trailing whitespace, no CR line endings, and every
+   file ends in exactly one newline.  The scan walks the copied source
+   tree inside the build sandbox (found by walking up to dune-project),
+   so it always lints what was just built. *)
+
+let source_dirs = [ "lib"; "bin"; "bench"; "test"; "examples" ]
+
+let rec find_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then failwith "dune-project not found above the test cwd"
+    else find_root parent
+
+let rec ml_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then
+           if entry = "_build" || entry.[0] = '.' then [] else ml_files path
+         else if
+           Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+         then [ path ]
+         else [])
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint_file path =
+  let body = read_file path in
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  if String.contains body '\t' then problem "tab character";
+  if String.contains body '\r' then problem "CR line ending";
+  let n = String.length body in
+  if n = 0 || body.[n - 1] <> '\n' then problem "missing final newline"
+  else if n >= 2 && body.[n - 2] = '\n' then problem "trailing blank line";
+  String.split_on_char '\n' body
+  |> List.iteri (fun i line ->
+         let l = String.length line in
+         if l > 0 && (line.[l - 1] = ' ' || line.[l - 1] = '\t') then
+           problem "trailing whitespace on line %d" (i + 1));
+  List.rev !problems
+
+let formatting () =
+  let root = find_root (Sys.getcwd ()) in
+  let files =
+    List.concat_map
+      (fun d ->
+        let dir = Filename.concat root d in
+        if Sys.file_exists dir then ml_files dir else [])
+      source_dirs
+  in
+  Alcotest.(check bool)
+    "found a plausible number of sources" true
+    (List.length files > 50);
+  let dirty =
+    List.concat_map
+      (fun f ->
+        List.map
+          (fun p -> Printf.sprintf "%s: %s" f p)
+          (lint_file f))
+      files
+  in
+  if dirty <> [] then
+    Alcotest.failf "formatting drift:\n%s" (String.concat "\n" dirty)
+
+let () =
+  Alcotest.run "lint"
+    [ ("formatting", [ Alcotest.test_case "sources are clean" `Quick formatting ]) ]
