@@ -18,34 +18,52 @@ let say fmt = Printf.printf fmt
 
 (* ------------------------------------------------------ JSON output *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* One datapoint -> one JSON object, stamped with when and where it was
+   measured so BENCH_modelcheck.json stays comparable across PRs. *)
+let datapoint_json ~timestamp (dp : Harness.Experiments.datapoint) =
+  let open Telemetry.Json in
+  let opt name v = match v with Some x -> [ (name, x) ] | None -> [] in
+  Obj
+    ([
+       ("experiment", Str dp.dp_exp);
+       ("metric", Str dp.dp_metric);
+       ("value", Num dp.dp_value);
+       ("timestamp", Num timestamp);
+     ]
+    @ opt "engine" (Option.map (fun e -> Str e) dp.dp_engine)
+    @ opt "wall_s" (Option.map (fun w -> Num w) dp.dp_wall_s)
+    @ Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ()))
 
-let write_json path entries =
+let write_json_values path values =
   let oc = open_out path in
   output_string oc "[\n";
-  let last = List.length entries - 1 in
+  let last = List.length values - 1 in
   List.iteri
-    (fun i (exp, metric, value) ->
-      Printf.fprintf oc
-        "  {\"experiment\": \"%s\", \"metric\": \"%s\", \"value\": %.6g}%s\n"
-        (json_escape exp) (json_escape metric) value
+    (fun i v ->
+      Printf.fprintf oc "  %s%s\n"
+        (Telemetry.Json.to_string v)
         (if i = last then "" else ","))
-    entries;
+    values;
   output_string oc "]\n";
   close_out oc;
-  say "wrote %d datapoint(s) to %s\n%!" (List.length entries) path
+  say "wrote %d datapoint(s) to %s\n%!" (List.length values) path
+
+(* Existing datapoints in [path] (from earlier runs / earlier PRs), or
+   [] when the file is absent or unreadable.  Merging instead of
+   clobbering keeps the perf trajectory. *)
+let existing_datapoints path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic -> (
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      match Telemetry.Json.parse s with
+      | Ok (Telemetry.Json.Arr vs) -> vs
+      | Ok _ | Error _ ->
+          say "warning: %s exists but is not a JSON array; overwriting\n%!"
+            path;
+          [])
 
 (* ------------------------------------------------------- microbenches *)
 
@@ -133,20 +151,16 @@ let run_experiment ~quick (e : Harness.Experiments.experiment) =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
-  let json_path = ref None in
-  let rec strip_json = function
-    | [] -> []
-    | [ "--json" ] ->
-        prerr_endline "--json requires a file argument";
+  (* value flags first: "--json --quick out.json" must be an error, not
+     a silent misparse once --quick has been stripped *)
+  let json_path, args =
+    match Harness.Argscan.extract_value ~flag:"--json" args with
+    | Ok (p, rest) -> (p, rest)
+    | Error msg ->
+        prerr_endline msg;
         exit 2
-    | "--json" :: path :: rest ->
-        json_path := Some path;
-        strip_json rest
-    | a :: rest -> a :: strip_json rest
   in
-  let args = strip_json args in
+  let quick, args = Harness.Argscan.extract_presence ~flag:"--quick" args in
   let wanted = if args = [] then [ "all" ] else args in
   let all_ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in
   say "Bakery++ reproduction bench driver (mode: %s)\n"
@@ -179,9 +193,21 @@ let () =
             (String.concat ", " all_ids ^ ", figures");
           exit 2)
     wanted;
-  let metrics = Harness.Experiments.take_metrics () in
-  (match !json_path with
-  | Some path -> write_json path metrics
+  let timestamp = Unix.time () in
+  let metrics =
+    List.map (datapoint_json ~timestamp) (Harness.Experiments.take_metrics ())
+  in
+  (match json_path with
+  | Some path -> write_json_values path metrics
   | None -> ());
-  let modelcheck = List.filter (fun (exp, _, _) -> exp = "e11") metrics in
-  if modelcheck <> [] then write_json "BENCH_modelcheck.json" modelcheck
+  let modelcheck =
+    List.filter
+      (fun v ->
+        match Telemetry.Json.member "experiment" v with
+        | Some (Telemetry.Json.Str "e11") -> true
+        | _ -> false)
+      metrics
+  in
+  if modelcheck <> [] then
+    let path = "BENCH_modelcheck.json" in
+    write_json_values path (existing_datapoints path @ modelcheck)

@@ -33,6 +33,79 @@ let bound_arg =
   let doc = "Register capacity (the paper's M)." in
   Arg.(value & opt int 3 & info [ "m"; "bound" ] ~docv:"M" ~doc)
 
+(* -------------------------------------------------- telemetry options *)
+
+let progress_arg =
+  let doc =
+    "Print TLC-style progress lines (states generated/distinct, kstates/s, \
+     queue depth) to stderr every ~2 seconds, plus a final summary line."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "When the run finishes, append a metrics snapshot to $(docv) as JSON \
+     lines (one self-contained object per instrument, stamped with run \
+     metadata)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc = "Append progress and span events to $(docv) as JSON lines." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+type telemetry = {
+  tl_progress : Telemetry.Progress.t option;
+  tl_metrics : Telemetry.Metrics.t option;
+  tl_trace : Telemetry.Sink.t option;
+  tl_finish : unit -> unit;
+      (* write the metrics snapshot and close every sink *)
+}
+
+let write_metrics_snapshot path m =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let t = Unix.time () in
+  let meta = Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ()) in
+  List.iter
+    (fun (name, v) ->
+      let obj =
+        Telemetry.Json.Obj
+          (("metric", Telemetry.Json.Str name)
+          :: ("value", Telemetry.Metrics.value_to_json v)
+          :: ("t", Telemetry.Json.Num t)
+          :: meta)
+      in
+      output_string oc (Telemetry.Json.to_string obj);
+      output_char oc '\n')
+    (Telemetry.Metrics.snapshot m);
+  close_out oc
+
+(* Progress lines go to stderr when [--progress] is set and are mirrored
+   into the trace file when [--trace-out] is set; either flag alone also
+   works.  The metrics registry exists only when [--metrics-out] asks
+   for it, so a bare run keeps every hot path on its no-op branch. *)
+let telemetry_setup ~name progress metrics_out trace_out =
+  let trace = Option.map Telemetry.Sink.jsonl trace_out in
+  let progress_sink =
+    match (progress, trace) with
+    | false, None -> None
+    | false, Some t -> Some t
+    | true, None -> Some (Telemetry.Sink.stderr_human ())
+    | true, Some t ->
+        Some (Telemetry.Sink.tee [ Telemetry.Sink.stderr_human (); t ])
+  in
+  let tl_progress =
+    Option.map (fun s -> Telemetry.Progress.create ~name s ()) progress_sink
+  in
+  let tl_metrics = Option.map (fun _ -> Telemetry.Metrics.create ()) metrics_out in
+  let tl_finish () =
+    (match (metrics_out, tl_metrics) with
+    | Some path, Some m -> write_metrics_snapshot path m
+    | _ -> ());
+    Option.iter (fun (s : Telemetry.Sink.t) -> s.close ()) trace
+  in
+  { tl_progress; tl_metrics; tl_trace = trace; tl_finish }
+
 (* --------------------------------------------------------------- list *)
 
 let list_cmd =
@@ -91,7 +164,8 @@ let check_cmd =
     let doc = "Use the level-synchronized parallel BFS engine with this many domains." in
     Arg.(value & opt int 0 & info [ "parallel" ] ~docv:"D" ~doc)
   in
-  let run model nprocs bound cap max_states with_overflow coverage parallel =
+  let run model nprocs bound cap max_states with_overflow coverage parallel
+      progress metrics_out trace_out =
     let p = find_model model in
     let sys = Modelcheck.System.make p ~nprocs ~bound in
     let invariants =
@@ -101,12 +175,21 @@ let check_cmd =
     let constraint_ =
       if cap > 0 then Some (Core.Verify.ticket_cap_constraint ~cap) else None
     in
+    let tl =
+      telemetry_setup
+        ~name:(if parallel > 0 then "par_explore" else "explore")
+        progress metrics_out trace_out
+    in
     let r =
       if parallel > 0 then
-        Modelcheck.Par_explore.run ~invariants ?constraint_ ~max_states
+        Modelcheck.Par_explore.run ?progress:tl.tl_progress
+          ?metrics:tl.tl_metrics ~invariants ?constraint_ ~max_states
           ~domains:parallel sys
-      else Modelcheck.Explore.run ~invariants ?constraint_ ~max_states sys
+      else
+        Modelcheck.Explore.run ?progress:tl.tl_progress ?metrics:tl.tl_metrics
+          ~invariants ?constraint_ ~max_states sys
     in
+    tl.tl_finish ();
     print_endline (Modelcheck.Report.result_string sys r);
     if coverage then begin
       let c = Modelcheck.Coverage.measure ?constraint_ ~max_states sys in
@@ -119,7 +202,8 @@ let check_cmd =
        ~doc:"Model-check a model for mutual exclusion (and overflow-freedom)")
     Term.(
       const run $ model_arg $ nprocs_arg $ bound_arg $ cap_arg $ max_states_arg
-      $ no_overflow_arg $ coverage_arg $ parallel_arg)
+      $ no_overflow_arg $ coverage_arg $ parallel_arg $ progress_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* ---------------------------------------------------------------- sim *)
 
@@ -154,8 +238,10 @@ let sim_cmd =
     let doc = "Wrap too-large stores (real-register behaviour) instead of just counting them." in
     Arg.(value & flag & info [ "wrap" ] ~doc)
   in
-  let run model nprocs bound steps seed sched crash flicker wrap =
+  let run model nprocs bound steps seed sched crash flicker wrap progress
+      metrics_out trace_out =
     let p = find_model model in
+    let tl = telemetry_setup ~name:"sim" progress metrics_out trace_out in
     let strategy =
       match sched with
       | "rr" | "round-robin" -> Schedsim.Scheduler.Round_robin
@@ -187,9 +273,13 @@ let sim_cmd =
           (if flicker > 0.0 then
              Some { Schedsim.Runner.flicker_prob = flicker; max_value = bound }
            else None);
+        progress = tl.tl_progress;
+        metrics = tl.tl_metrics;
+        trace = tl.tl_trace;
       }
     in
     let r = Schedsim.Runner.run p cfg in
+    tl.tl_finish ();
     Printf.printf "model %s, N=%d, M=%d, %s, %d steps\n" p.Mxlang.Ast.title
       nprocs bound (Schedsim.Scheduler.describe strategy) r.steps;
     Printf.printf "CS entries: %d  per process: [%s]\n"
@@ -209,7 +299,8 @@ let sim_cmd =
        ~doc:"Run a randomized simulation with crashes and register anomalies")
     Term.(
       const run $ model_arg $ nprocs_arg $ bound_arg $ steps_arg $ seed_arg
-      $ sched_arg $ crash_arg $ flicker_arg $ wrap_arg)
+      $ sched_arg $ crash_arg $ flicker_arg $ wrap_arg $ progress_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -------------------------------------------------------------- lasso *)
 
@@ -337,25 +428,47 @@ let bench_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes (seconds, not minutes).")
   in
-  let run ids quick =
+  let run ids quick progress metrics_out trace_out =
     let ids = if ids = [] then List.map (fun (e : Harness.Experiments.experiment) -> e.id) Harness.Experiments.all else ids in
+    let tl = telemetry_setup ~name:"bench" progress metrics_out trace_out in
+    let trace = Option.value tl.tl_trace ~default:Telemetry.Sink.null in
     List.iter
       (fun id ->
         match Harness.Experiments.find id with
         | e ->
             Printf.printf "%s: %s\n\n" (String.uppercase_ascii e.id) e.summary;
-            List.iter
-              (fun t ->
-                print_string (Harness.Table.render t);
-                print_newline ())
-              (e.run ~quick)
+            let t0 = Unix.gettimeofday () in
+            Telemetry.Span.run trace ~name:("bench." ^ e.id) (fun () ->
+                List.iter
+                  (fun t ->
+                    print_string (Harness.Table.render t);
+                    print_newline ())
+                  (e.run ~quick));
+            let wall = Unix.gettimeofday () -. t0 in
+            Option.iter
+              (fun m ->
+                Telemetry.Metrics.set
+                  (Telemetry.Metrics.gauge m ("bench." ^ e.id ^ ".wall_s"))
+                  wall)
+              tl.tl_metrics;
+            Option.iter
+              (fun p ->
+                Telemetry.Progress.force p (fun () ->
+                    [
+                      ("experiment", Telemetry.Json.Str e.id);
+                      ("wall_s", Telemetry.Json.Num wall);
+                    ]))
+              tl.tl_progress
         | exception Not_found ->
             Printf.eprintf "unknown experiment %S\n" id;
             exit 2)
-      ids
+      ids;
+    tl.tl_finish ()
   in
   Cmd.v (Cmd.info "bench" ~doc:"Regenerate experiment tables (see EXPERIMENTS.md)")
-    Term.(const run $ ids_arg $ quick_arg)
+    Term.(
+      const run $ ids_arg $ quick_arg $ progress_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 let () =
   let info =

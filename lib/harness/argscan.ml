@@ -1,0 +1,18 @@
+let extract_presence ~flag args =
+  (List.mem flag args, List.filter (fun a -> a <> flag) args)
+
+let looks_like_flag v = String.length v >= 2 && String.sub v 0 2 = "--"
+
+let extract_value ~flag args =
+  let rec go acc seen = function
+    | [] -> Ok (seen, List.rev acc)
+    | a :: rest when a = flag -> (
+        match (seen, rest) with
+        | Some _, _ -> Error (flag ^ " given more than once")
+        | None, [] -> Error (flag ^ " requires a file argument")
+        | None, v :: _ when looks_like_flag v ->
+            Error (flag ^ " requires a file argument (got option " ^ v ^ ")")
+        | None, v :: rest' -> go acc (Some v) rest')
+    | a :: rest -> go (a :: acc) seen rest
+  in
+  go [] None args

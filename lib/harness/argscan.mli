@@ -1,0 +1,22 @@
+(** Minimal argv scanning for the bench driver.
+
+    The driver's options ([--quick], [--json FILE]) ride alongside
+    positional experiment ids, so they are plucked out of the raw list
+    before dispatch.  This lives in the library (rather than inline in
+    [bench/main.ml]) so the parsing rules are unit-testable: a value
+    flag given twice, left dangling at the end of the line, or
+    interleaved with another option ([--json --quick out.json]) is an
+    error, not a silent misparse. *)
+
+val extract_presence : flag:string -> string list -> bool * string list
+(** [extract_presence ~flag args] is [(present, rest)] where [present]
+    says whether [flag] occurred (any number of times) and [rest] is
+    [args] with every occurrence removed. *)
+
+val extract_value :
+  flag:string -> string list -> (string option * string list, string) result
+(** [extract_value ~flag args] removes one [flag VALUE] pair from
+    [args].  [Ok (None, args)] when the flag is absent;
+    [Ok (Some v, rest)] when it occurs exactly once with a value that
+    is not itself an option.  [Error msg] when the flag is repeated,
+    is the last argument, or its supposed value starts with ["--"]. *)

@@ -7,12 +7,30 @@ type experiment = {
   run : quick:bool -> Table.t list;
 }
 
-(* Machine-readable (experiment, metric, value) triples recorded while
-   experiments run; the bench driver drains them into JSON files so perf
-   trajectories can be tracked across PRs. *)
-let metrics : (string * string * float) list ref = ref []
+(* Machine-readable datapoints recorded while experiments run; the
+   bench driver drains them into JSON files so perf trajectories can be
+   tracked across PRs and machines (each datapoint also carries which
+   engine produced it and the wall time of the measured run). *)
+type datapoint = {
+  dp_exp : string;
+  dp_metric : string;
+  dp_value : float;
+  dp_engine : string option;
+  dp_wall_s : float option;
+}
 
-let record_metric ~exp ~metric value = metrics := (exp, metric, value) :: !metrics
+let metrics : datapoint list ref = ref []
+
+let record_metric ?engine ?wall_s ~exp ~metric value =
+  metrics :=
+    {
+      dp_exp = exp;
+      dp_metric = metric;
+      dp_value = value;
+      dp_engine = engine;
+      dp_wall_s = wall_s;
+    }
+    :: !metrics
 
 let take_metrics () =
   let m = List.rev !metrics in
@@ -28,6 +46,17 @@ let outcome_cell (r : MC.Explore.result) =
   | Capacity -> "capacity"
 
 let gran_name = Algorithms.Common.granularity_name
+
+(* Render an [acq_pXX_ns] entry from instrumented lock stats (see
+   Locks.Latency) as a human latency cell; "-" when the lock was run
+   uninstrumented or never acquired. *)
+let latency_cell stats key =
+  match List.assoc_opt key stats with
+  | None | Some 0 -> "-"
+  | Some ns when ns < 1_000 -> Printf.sprintf "%dns" ns
+  | Some ns when ns < 1_000_000 ->
+      Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  | Some ns -> Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -298,8 +327,14 @@ let e5 ~quick =
           "the 1-domain row is the reliable hardware signal: Bakery++'s \
            uncontended overhead is the one extra O(N) gate scan (see also \
            the uB microbenchmark)";
+          "p50/p95 acq: acquire-latency percentiles from the telemetry \
+           histogram wrapper (Locks.Latency); multi-domain rows include \
+           scheduler handoff waits";
         ]
-      [ "domains"; "bakery ops/s"; "bakery_pp ops/s"; "ratio"; "pp resets" ]
+      [
+        "domains"; "bakery ops/s"; "bakery_pp ops/s"; "ratio"; "pp resets";
+        "pp p50 acq"; "pp p95 acq";
+      ]
   in
   let big = 1 lsl 40 in
   let duration = if quick then 0.1 else 0.4 in
@@ -313,16 +348,18 @@ let e5 ~quick =
       in
       let lock = Core.Bakery_pp_lock.create_lock ~nprocs:n ~bound:big in
       let p =
-        Throughput.run ~duration
+        Throughput.run ~duration ~instrument:true
           (LI.instance_of (module Core.Bakery_pp_lock) lock)
           ~nprocs:n
       in
       let snap = Core.Bakery_pp_lock.snapshot lock in
-      Table.add_rowf real "%d|%s|%s|%.2f|%d" n
+      Table.add_rowf real "%d|%s|%s|%.2f|%d|%s|%s" n
         (Stats.format_si b.ops_per_sec)
         (Stats.format_si p.ops_per_sec)
         (p.ops_per_sec /. b.ops_per_sec)
-        snap.resets)
+        snap.resets
+        (latency_cell p.lock_stats "acq_p50_ns")
+        (latency_cell p.lock_stats "acq_p95_ns"))
     ns;
   [ sim; real ]
 
@@ -414,8 +451,14 @@ let e7 ~quick =
            ticket register (growth behaviour)";
           "ticket/tas/ttas assume atomic read-modify-write, i.e. lower-level \
            mutual exclusion — not 'true' solutions in the paper's sense";
+          "p50/p95 acq: acquire-latency percentiles from the telemetry \
+           histogram wrapper (Locks.Latency), same instrumentation for \
+           every family";
         ]
-      [ "lock"; "domains"; "ops/s"; "space words"; "peak ticket" ]
+      [
+        "lock"; "domains"; "ops/s"; "space words"; "peak ticket"; "p50 acq";
+        "p95 acq";
+      ]
   in
   let duration = if quick then 0.08 else 0.25 in
   let ns = if quick then [ 2 ] else [ 2; 4 ] in
@@ -427,15 +470,17 @@ let e7 ~quick =
           if (not family.two_process_only) || n = 2 then begin
             let b = if family.family_name = "ticket_mod" then 64 else bound in
             let inst = family.make ~nprocs:n ~bound:b in
-            let r = Throughput.run ~duration inst ~nprocs:n in
+            let r = Throughput.run ~duration ~instrument:true inst ~nprocs:n in
             let peak =
               match List.assoc_opt "peak_ticket" (r.lock_stats) with
               | Some p -> string_of_int p
               | None -> "-"
             in
-            Table.add_rowf t "%s|%d|%s|%d|%s" family.family_name n
+            Table.add_rowf t "%s|%d|%s|%d|%s|%s|%s" family.family_name n
               (Stats.format_si r.ops_per_sec)
               r.space_words peak
+              (latency_cell r.lock_stats "acq_p50_ns")
+              (latency_cell r.lock_stats "acq_p95_ns")
           end)
         ns)
     Registry.lock_families;
@@ -707,7 +752,7 @@ let e11 ~quick =
           else 0.0
         in
         let label = if domains = "-" then engine else engine ^ domains in
-        record_metric ~exp:"e11"
+        record_metric ~engine:label ~wall_s:r.stats.runtime ~exp:"e11"
           ~metric:(Printf.sprintf "%s/%s/states_per_sec" tag label)
           sps;
         sps
@@ -740,7 +785,8 @@ let e11 ~quick =
         || compiled.stats.generated <> interp.stats.generated
       then failwith "e11: compiled and interpreted engines disagree";
       let csps = row "compiled" "-" compiled ~baseline in
-      record_metric ~exp:"e11"
+      record_metric ~engine:"compiled" ~wall_s:compiled.stats.runtime
+        ~exp:"e11"
         ~metric:(tag ^ "/compiled_speedup")
         (if baseline > 0.0 then csps /. baseline else 1.0);
       ignore

@@ -46,11 +46,21 @@ val e11 : quick:bool -> Table.t list
     on the same exhaustive Bakery++ workloads.  Records
     (experiment, metric, value) triples via {!record_metric}. *)
 
-val record_metric : exp:string -> metric:string -> float -> unit
-(** Record one machine-readable datapoint (drained by the bench driver
-    into [--json] output and [BENCH_modelcheck.json]). *)
+type datapoint = {
+  dp_exp : string;
+  dp_metric : string;
+  dp_value : float;
+  dp_engine : string option;  (** which engine produced it (E11 rows) *)
+  dp_wall_s : float option;  (** wall-clock seconds of the measured run *)
+}
 
-val take_metrics : unit -> (string * string * float) list
+val record_metric :
+  ?engine:string -> ?wall_s:float -> exp:string -> metric:string -> float -> unit
+(** Record one machine-readable datapoint (drained by the bench driver
+    into [--json] output and [BENCH_modelcheck.json]; the driver
+    additionally stamps each with a timestamp and run metadata). *)
+
+val take_metrics : unit -> datapoint list
 (** All datapoints recorded since the last call, oldest first; clears
     the buffer. *)
 

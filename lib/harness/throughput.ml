@@ -18,8 +18,9 @@ let wait_barrier barrier =
 let now () = Unix.gettimeofday ()
 
 let run ?(workload = Workload.contended) ?(duration = 0.3) ?(seed = 7)
-    (lock : Locks.Lock_intf.instance) ~nprocs =
+    ?(instrument = false) (lock : Locks.Lock_intf.instance) ~nprocs =
   if nprocs < 1 then invalid_arg "Throughput.run: nprocs must be >= 1";
+  let lock = if instrument then Locks.Latency.instrument lock else lock in
   let stop = Atomic.make false in
   let barrier = Atomic.make (nprocs + 1) in
   let worker i =

@@ -24,11 +24,17 @@ val run :
   ?workload:Workload.t ->
   ?duration:float ->
   ?seed:int ->
+  ?instrument:bool ->
   Locks.Lock_intf.instance ->
   nprocs:int ->
   result
 (** [run instance ~nprocs] drives [nprocs] domains for [duration]
-    (default 0.3 s) under [workload] (default {!Workload.contended}). *)
+    (default 0.3 s) under [workload] (default {!Workload.contended}).
+    [instrument] (default false) wraps the lock in
+    {!Locks.Latency.instrument}, so [lock_stats] additionally carries
+    acquire-latency percentiles ([acq_p50_ns], [acq_p95_ns],
+    [acq_p99_ns], [acq_max_ns]) at the cost of two clock reads per
+    acquire. *)
 
 type overflow_result = {
   acquires_before : int;  (** total CS entries before the first overflow *)

@@ -1,0 +1,33 @@
+let buckets_s =
+  [|
+    1e-7; 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4;
+    1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0;
+  |]
+
+let ns_of s = if Float.is_nan s then 0 else int_of_float (s *. 1e9)
+
+let instrument ?registry (inst : Lock_intf.instance) =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Metrics.create ()
+  in
+  let hist =
+    Telemetry.Metrics.histogram registry ~buckets:buckets_s
+      ("lock." ^ inst.instance_name ^ ".acquire_s")
+  in
+  {
+    inst with
+    acquire =
+      (fun pid ->
+        let t0 = Telemetry.Clock.now_s () in
+        inst.acquire pid;
+        Telemetry.Metrics.observe hist (Telemetry.Clock.now_s () -. t0));
+    stats =
+      (fun () ->
+        inst.stats ()
+        @ [
+            ("acq_p50_ns", ns_of (Telemetry.Metrics.percentile hist 0.50));
+            ("acq_p95_ns", ns_of (Telemetry.Metrics.percentile hist 0.95));
+            ("acq_p99_ns", ns_of (Telemetry.Metrics.percentile hist 0.99));
+            ("acq_max_ns", ns_of (Telemetry.Metrics.percentile hist 1.0));
+          ]);
+  }

@@ -1,0 +1,22 @@
+(** A generic acquire-latency histogram wrapper for the lock zoo.
+
+    Wraps any {!Lock_intf.instance} so every [acquire] is timed on the
+    monotonised clock into a fixed-bucket histogram, and the wrapped
+    instance's [stats] report latency percentiles through the existing
+    [LOCK.stats] hook — so the E5/E7 harness tables get percentile
+    columns for free, for every lock, with no per-lock changes.
+
+    The timing adds two clock reads and one atomic increment per
+    acquire; wrap only when the numbers are wanted. *)
+
+val buckets_s : float array
+(** The latency ladder: 100 ns to 1 s, 1–2–5 steps (seconds). *)
+
+val instrument :
+  ?registry:Telemetry.Metrics.t -> Lock_intf.instance -> Lock_intf.instance
+(** [instrument inst] returns an instance with the same name, release
+    and space accounting whose [acquire] is timed.  [stats ()] returns
+    the underlying stats with [acq_p50_ns], [acq_p95_ns], [acq_p99_ns]
+    and [acq_max_ns] appended (integer nanoseconds; 0 until the first
+    acquire).  When [registry] is given the histogram is also
+    registered there as [lock.<name>.acquire_s]. *)

@@ -65,8 +65,46 @@ let trace_to (g : graph) id =
 
 let default_invariants = lazy [ Invariant.mutex; Invariant.no_overflow ]
 
+let outcome_tag = function
+  | Pass -> "pass"
+  | Violation { invariant; _ } -> "violation:" ^ invariant
+  | Deadlock _ -> "deadlock"
+  | Capacity -> "capacity"
+
+(* Final telemetry for a finished search: one forced TLC-style progress
+   line plus registry counters.  Off the hot path — called once. *)
+let record_finish ?progress ?metrics ~prefix outcome (stats : stats) =
+  (match progress with
+  | None -> ()
+  | Some p ->
+      Telemetry.Progress.force p (fun () ->
+          [
+            ("outcome", Telemetry.Json.Str (outcome_tag outcome));
+            ("depth", Telemetry.Json.Num (float_of_int stats.depth));
+            ("generated", Telemetry.Json.Num (float_of_int stats.generated));
+            ("distinct", Telemetry.Json.Num (float_of_int stats.distinct));
+            ( "kstates_s",
+              Telemetry.Json.Num
+                (if stats.runtime > 0.0 then
+                   float_of_int stats.generated /. stats.runtime /. 1e3
+                 else 0.0) );
+            ("runtime_s", Telemetry.Json.Num stats.runtime);
+          ]));
+  match metrics with
+  | None -> ()
+  | Some m ->
+      let open Telemetry.Metrics in
+      add (counter m (prefix ^ ".generated")) stats.generated;
+      add (counter m (prefix ^ ".distinct")) stats.distinct;
+      set (gauge m (prefix ^ ".depth")) (float_of_int stats.depth);
+      set (gauge m (prefix ^ ".runtime_s")) stats.runtime;
+      set (gauge m (prefix ^ ".kstates_s"))
+        (if stats.runtime > 0.0 then
+           float_of_int stats.generated /. stats.runtime /. 1e3
+         else 0.0)
+
 let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = true)
-    ?(interpreted = false) sys =
+    ?(interpreted = false) ?progress ?metrics sys =
   let invariants =
     match invariants with Some l -> l | None -> Lazy.force default_invariants
   in
@@ -77,16 +115,16 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
   let generated = ref 0 in
   let max_depth = ref 0 in
   let finish ~distinct outcome =
-    {
-      outcome;
-      stats =
-        {
-          generated = !generated;
-          distinct;
-          depth = !max_depth;
-          runtime = now () -. t0;
-        };
-    }
+    let stats =
+      {
+        generated = !generated;
+        distinct;
+        depth = !max_depth;
+        runtime = now () -. t0;
+      }
+    in
+    record_finish ?progress ?metrics ~prefix:"explore" outcome stats;
+    { outcome; stats }
   in
   let first_violated s =
     let rec go = function
@@ -120,6 +158,50 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     let current = Array.make lay.State.words 0 in
     let queue = Vec.create () in
     let qhead = ref 0 in
+    (* One tick per dequeued state; a disabled reporter costs one call
+       to a static no-op closure, nothing else (E11 must not move). *)
+    let tick =
+      match progress with
+      | None -> fun () -> ()
+      | Some p ->
+          let fields () =
+            let elapsed = now () -. t0 in
+            [
+              ("depth", Telemetry.Json.Num (float_of_int !max_depth));
+              ("generated", Telemetry.Json.Num (float_of_int !generated));
+              ( "distinct",
+                Telemetry.Json.Num (float_of_int (Store.length idx)) );
+              ( "queue",
+                Telemetry.Json.Num
+                  (float_of_int (Vec.length queue - !qhead)) );
+              ( "kstates_s",
+                Telemetry.Json.Num
+                  (if elapsed > 0.0 then
+                     float_of_int !generated /. elapsed /. 1e3
+                   else 0.0) );
+              ("store_load", Telemetry.Json.Num (Store.load_factor idx));
+              ( "arena_mb",
+                Telemetry.Json.Num
+                  (float_of_int (Store.arena_bytes idx) /. 1048576.0) );
+            ]
+          in
+          fun () -> Telemetry.Progress.tick p fields
+    in
+    let wave_hist =
+      match metrics with
+      | None -> None
+      | Some m ->
+          Some (Telemetry.Metrics.histogram m "explore.wave_s")
+    in
+    let wave_t0 = ref (now ()) in
+    let note_wave () =
+      match wave_hist with
+      | None -> ()
+      | Some h ->
+          let t = now () in
+          Telemetry.Metrics.observe h (t -. !wave_t0);
+          wave_t0 := t
+    in
     (* Invariants are staged once per run (layouts and step kinds
        resolved up front); they and the state constraint run on the
        scratch buffer (identical contents to what was just stored). *)
@@ -157,8 +239,10 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     while !qhead < Vec.length queue do
       if !qhead = !boundary then begin
         incr max_depth;
-        boundary := Vec.length queue
+        boundary := Vec.length queue;
+        note_wave ()
       end;
+      tick ();
       let id = Vec.get queue !qhead in
       incr qhead;
       Store.read_into idx id current;
@@ -187,6 +271,27 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
       trace_of sys ~state_of:(Vec.get states) ~parent ~via_pid ~via_pc id
     in
     let queue = Queue.create () in
+    let tick =
+      match progress with
+      | None -> fun () -> ()
+      | Some p ->
+          let fields () =
+            let elapsed = now () -. t0 in
+            [
+              ("depth", Telemetry.Json.Num (float_of_int !max_depth));
+              ("generated", Telemetry.Json.Num (float_of_int !generated));
+              ( "distinct",
+                Telemetry.Json.Num (float_of_int (Vec.length states)) );
+              ("queue", Telemetry.Json.Num (float_of_int (Queue.length queue)));
+              ( "kstates_s",
+                Telemetry.Json.Num
+                  (if elapsed > 0.0 then
+                     float_of_int !generated /. elapsed /. 1e3
+                   else 0.0) );
+            ]
+          in
+          fun () -> Telemetry.Progress.tick p fields
+    in
     let add ~parent ~pid ~pc s =
       match Tbl.find_opt tbl s with
       | Some _ -> None
@@ -216,6 +321,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
         this_wave := Queue.length queue
       end;
       decr this_wave;
+      tick ();
       let id = Queue.pop queue in
       let s = Vec.get states id in
       let moves = System.successors_interpreted sys s in

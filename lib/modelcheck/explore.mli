@@ -37,6 +37,8 @@ val run :
   ?max_states:int ->
   ?check_deadlock:bool ->
   ?interpreted:bool ->
+  ?progress:Telemetry.Progress.t ->
+  ?metrics:Telemetry.Metrics.t ->
   System.t ->
   result
 (** Explore all states reachable from the initial state.
@@ -49,7 +51,15 @@ val run :
     [interpreted] (default [false]) generates successors with the AST
     interpreter instead of the compiled closures — the reference engine
     for differential tests and the throughput experiment's baseline;
-    outcome, traces, and state counts are identical either way. *)
+    outcome, traces, and state counts are identical either way.
+
+    [progress] enables TLC-style rate-limited reporting (wave depth,
+    states generated/distinct, queue length, kstates/s, store load
+    factor, arena bytes) plus one forced summary line when the search
+    ends; [metrics] accumulates the final stats and a wave-duration
+    histogram into a registry ([explore.*]).  Both default to off, in
+    which case the hot loop runs exactly one static no-op closure call
+    per dequeued state — the search itself is unchanged either way. *)
 
 val run_graph :
   ?constraint_:(System.t -> State.packed -> bool) ->
@@ -61,6 +71,20 @@ val run_graph :
 
 val trace_to : graph -> int -> Trace.t
 (** Reconstruct the BFS path from the root to a stored state id. *)
+
+val outcome_tag : outcome -> string
+(** Short machine tag: ["pass"], ["violation:<invariant>"],
+    ["deadlock"], ["capacity"]. *)
+
+val record_finish :
+  ?progress:Telemetry.Progress.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  prefix:string ->
+  outcome ->
+  stats ->
+  unit
+(** Final telemetry for a finished search: one forced progress line and
+    [<prefix>.*] registry entries.  Shared with {!Par_explore}. *)
 
 val trace_of :
   System.t ->

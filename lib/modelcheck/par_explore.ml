@@ -17,7 +17,8 @@ let expand_slice sys (frontier : State.packed array) ~lo ~hi out =
     done
   done
 
-let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool sys =
+let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
+    ?progress ?metrics sys =
   let invariants =
     match invariants with
     | Some l -> l
@@ -42,16 +43,17 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool sys =
   let generated = ref 0 in
   let depth = ref 0 in
   let finish outcome =
-    {
-      Explore.outcome;
-      stats =
-        {
-          generated = !generated;
-          distinct = Store.length idx;
-          depth = !depth;
-          runtime = now () -. t0;
-        };
-    }
+    let stats =
+      {
+        Explore.generated = !generated;
+        distinct = Store.length idx;
+        depth = !depth;
+        runtime = now () -. t0;
+      }
+    in
+    Explore.record_finish ?progress ?metrics ~prefix:"par_explore" outcome
+      stats;
+    { Explore.outcome; stats }
   in
   let expand s =
     match constraint_ with None -> true | Some c -> c sys s
@@ -94,9 +96,77 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool sys =
   in
   let next_ids = Vec.create () in
   let next_states = Vec.create () in
+  (* Per-wave telemetry: progress is polled once per BFS level (waves
+     are the engine's natural heartbeat), reporting search rates plus
+     each pool domain's busy fraction since the previous report. *)
+  let wave_tick pool_for_stats frontier_size =
+    match progress with
+    | None -> ()
+    | Some p ->
+        let fields () =
+          let elapsed = now () -. t0 in
+          let base =
+            [
+              ("depth", Telemetry.Json.Num (float_of_int !depth));
+              ("generated", Telemetry.Json.Num (float_of_int !generated));
+              ( "distinct",
+                Telemetry.Json.Num (float_of_int (Store.length idx)) );
+              ("frontier", Telemetry.Json.Num (float_of_int frontier_size));
+              ("domains", Telemetry.Json.Num (float_of_int ndomains));
+              ( "kstates_s",
+                Telemetry.Json.Num
+                  (if elapsed > 0.0 then
+                     float_of_int !generated /. elapsed /. 1e3
+                   else 0.0) );
+              ("store_load", Telemetry.Json.Num (Store.load_factor idx));
+              ( "arena_mb",
+                Telemetry.Json.Num
+                  (float_of_int (Store.arena_bytes idx) /. 1048576.0) );
+            ]
+          in
+          match pool_for_stats with
+          | None -> base
+          | Some (pl, last_busy, last_wall) ->
+              let busy = Pool.busy_ns pl in
+              let wall = now () in
+              let dt = wall -. !last_wall in
+              let fractions =
+                Array.mapi
+                  (fun i b ->
+                    let frac =
+                      if dt > 0.0 then
+                        float_of_int (b - !last_busy.(i)) /. (dt *. 1e9)
+                      else 0.0
+                    in
+                    Telemetry.Json.Num (Float.min 1.0 (Float.max 0.0 frac)))
+                  busy
+              in
+              last_busy := busy;
+              last_wall := wall;
+              let total =
+                Array.fold_left
+                  (fun acc v ->
+                    match v with Telemetry.Json.Num f -> acc +. f | _ -> acc)
+                  0.0 fractions
+              in
+              base
+              @ [
+                  ( "pool_busy",
+                    Telemetry.Json.Num
+                      (total /. float_of_int (Array.length fractions)) );
+                  ("domain_busy", Telemetry.Json.Arr (Array.to_list fractions));
+                ]
+        in
+        Telemetry.Progress.poll p fields
+  in
   (* The search itself, parameterized by how a wave's slices are run:
      through a persistent pool, or inline when there is one worker. *)
-  let search run_wave =
+  let search ?stats_pool run_wave =
+    let pool_for_stats =
+      match stats_pool with
+      | None -> None
+      | Some pl -> Some (pl, ref (Pool.busy_ns pl), ref (now ()))
+    in
     let init = System.initial sys in
     incr generated;
     let fr = ref [||] in
@@ -147,6 +217,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool sys =
         had_successor;
       let nnext = Vec.length next_ids in
       if nnext > 0 then incr depth;
+      wave_tick pool_for_stats nnext;
       fr := Array.init nnext (Vec.get next_states);
       ids := Array.init nnext (Vec.get next_ids)
     done;
@@ -164,8 +235,9 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool sys =
   in
   try
     match pool with
-    | Some p -> search (pooled_wave p)
+    | Some p -> search ~stats_pool:p (pooled_wave p)
     | None ->
         if ndomains = 1 then search inline_wave
-        else Pool.with_pool ndomains (fun p -> search (pooled_wave p))
+        else
+          Pool.with_pool ndomains (fun p -> search ~stats_pool:p (pooled_wave p))
   with Stop r -> r

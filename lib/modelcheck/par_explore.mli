@@ -27,6 +27,8 @@ val run :
   ?max_states:int ->
   ?domains:int ->
   ?pool:Pool.t ->
+  ?progress:Telemetry.Progress.t ->
+  ?metrics:Telemetry.Metrics.t ->
   System.t ->
   Explore.result
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
@@ -34,4 +36,11 @@ val run :
     differential testing) but slices are expanded inline, with no domain
     spawned.  [pool] reuses an existing pool across runs — it overrides
     [domains], is left running on return, and must not be used
-    concurrently from another thread. *)
+    concurrently from another thread.
+
+    [progress] reports once per BFS wave (rate-limited): depth, states
+    generated/distinct, frontier size, kstates/s, store load, arena
+    bytes, and — when a pool is driving the waves — each worker
+    domain's busy fraction since the previous report.  [metrics]
+    accumulates final stats under [par_explore.*].  Both default to
+    off, leaving the wave loop unchanged. *)

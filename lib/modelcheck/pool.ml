@@ -24,6 +24,10 @@ type t = {
   mutable failure : exn option;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
+  busy_ns : int Atomic.t array;
+      (* per worker, cumulative nanoseconds spent inside jobs — read by
+         telemetry to report pool utilization *)
+  jobs_run : int Atomic.t array;
 }
 
 let size p = p.nworkers
@@ -38,7 +42,11 @@ let worker p w =
       seen := p.epoch;
       let job = match p.job with Some j -> j | None -> assert false in
       Mutex.unlock p.mutex;
+      let t0 = Unix.gettimeofday () in
       let outcome = match job w with () -> None | exception e -> Some e in
+      let spent_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      ignore (Atomic.fetch_and_add p.busy_ns.(w) (max 0 spent_ns));
+      Atomic.incr p.jobs_run.(w);
       Mutex.lock p.mutex;
       (match (outcome, p.failure) with
       | Some e, None -> p.failure <- Some e
@@ -64,6 +72,8 @@ let create nworkers =
       failure = None;
       stopping = false;
       domains = [];
+      busy_ns = Array.init nworkers (fun _ -> Atomic.make 0);
+      jobs_run = Array.init nworkers (fun _ -> Atomic.make 0);
     }
   in
   p.domains <- List.init nworkers (fun w -> Domain.spawn (fun () -> worker p w));
@@ -104,6 +114,9 @@ let shutdown p =
     List.iter Domain.join p.domains;
     p.domains <- []
   end
+
+let busy_ns p = Array.map Atomic.get p.busy_ns
+let jobs_run p = Array.map Atomic.get p.jobs_run
 
 let with_pool nworkers f =
   let p = create nworkers in

@@ -21,6 +21,14 @@ val run : t -> (int -> unit) -> unit
     here after the barrier.  Not reentrant: [job] must not call {!run}
     on the same pool. *)
 
+val busy_ns : t -> int array
+(** Per-worker cumulative nanoseconds spent running jobs since
+    {!create}.  Telemetry divides successive deltas by wall time to
+    report each domain's busy fraction. *)
+
+val jobs_run : t -> int array
+(** Per-worker count of jobs completed since {!create}. *)
+
 val shutdown : t -> unit
 (** Stop and join all workers.  Idempotent; the pool is unusable
     afterwards. *)

@@ -152,3 +152,15 @@ let add t s =
   match probe t s with
   | -1 -> Some (add_probed t s)
   | _ -> None
+
+let load_factor t =
+  if t.count = 0 then 0.0
+  else float_of_int t.count /. float_of_int (t.mask + 1)
+
+let word_bytes = Sys.word_size / 8
+
+let arena_bytes t =
+  let chunk_words =
+    Array.fold_left (fun acc c -> acc + Array.length c) 0 t.chunks
+  in
+  (chunk_words + t.mask + 1 + Vec.length t.hashes) * word_bytes

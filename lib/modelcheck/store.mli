@@ -40,5 +40,13 @@ val read_into : t -> int -> State.packed -> unit
 val find_opt : t -> State.packed -> int option
 (** Allocating convenience wrapper around {!probe}. *)
 
+val load_factor : t -> float
+(** Occupied fraction of the open-addressing index (kept at or below
+    2/3 by growth); 0 when empty.  For progress telemetry. *)
+
+val arena_bytes : t -> int
+(** Bytes held by allocated arena chunks plus the index table — the
+    store's resident memory, for progress telemetry. *)
+
 val add : t -> State.packed -> int option
 (** [probe] + [add_probed]: [Some id] if the state was new. *)

@@ -19,6 +19,9 @@ type config = {
   flicker : flicker_config option;
   seed : int;
   record_events : bool;
+  progress : Telemetry.Progress.t option;
+  metrics : Telemetry.Metrics.t option;
+  trace : Telemetry.Sink.t option;
 }
 
 let default_config ~nprocs ~bound =
@@ -33,6 +36,9 @@ let default_config ~nprocs ~bound =
     flicker = None;
     seed = 1;
     record_events = false;
+    progress = None;
+    metrics = None;
+    trace = None;
   }
 
 type outcome = Completed | Steps_exhausted | Overflow_stop | Stuck
@@ -298,13 +304,95 @@ let note_transition sim pid ~from_pc ~to_pc =
     emit sim (Event.Cs_exit { time = sim.time; pid })
   end
 
+(* Step/crash/flicker telemetry around one simulator run: a per-step
+   rate-limited progress tick, end-of-run registry counters, and one
+   schedule-replay span (everything needed to reproduce the run:
+   scheduler, seed, budget) on the trace sink. *)
+
+let tick_of sim =
+  match sim.cfg.progress with
+  | None -> fun () -> ()
+  | Some p ->
+      let t0 = Unix.gettimeofday () in
+      let fields () =
+        let elapsed = Unix.gettimeofday () -. t0 in
+        [
+          ("steps", Telemetry.Json.Num (float_of_int sim.time));
+          ( "cs_entries",
+            Telemetry.Json.Num
+              (float_of_int (Array.fold_left ( + ) 0 sim.cs_entries)) );
+          ("crashes", Telemetry.Json.Num (float_of_int sim.crashes));
+          ("flickers", Telemetry.Json.Num (float_of_int sim.flickers));
+          ( "overflows",
+            Telemetry.Json.Num (float_of_int sim.overflow_events) );
+          ( "ksteps_s",
+            Telemetry.Json.Num
+              (if elapsed > 0.0 then
+                 float_of_int sim.time /. elapsed /. 1e3
+               else 0.0) );
+        ]
+      in
+      fun () -> Telemetry.Progress.tick p fields
+
+let outcome_tag = function
+  | Completed -> "completed"
+  | Steps_exhausted -> "steps_exhausted"
+  | Overflow_stop -> "overflow_stop"
+  | Stuck -> "stuck"
+
+let record_finish sim outcome span =
+  (match sim.cfg.metrics with
+  | None -> ()
+  | Some m ->
+      let open Telemetry.Metrics in
+      add (counter m "sim.steps") sim.time;
+      add (counter m "sim.cs_entries") (Array.fold_left ( + ) 0 sim.cs_entries);
+      add (counter m "sim.crashes") sim.crashes;
+      add (counter m "sim.flickers") sim.flickers;
+      add (counter m "sim.overflow_events") sim.overflow_events;
+      add (counter m "sim.mutex_violations") sim.mutex_violations;
+      add (counter m "sim.fcfs_inversions") sim.fcfs_inversions);
+  (match sim.cfg.progress with
+  | None -> ()
+  | Some p ->
+      Telemetry.Progress.force p (fun () ->
+          [
+            ("outcome", Telemetry.Json.Str (outcome_tag outcome));
+            ("steps", Telemetry.Json.Num (float_of_int sim.time));
+            ( "cs_entries",
+              Telemetry.Json.Num
+                (float_of_int (Array.fold_left ( + ) 0 sim.cs_entries)) );
+            ("crashes", Telemetry.Json.Num (float_of_int sim.crashes));
+            ("flickers", Telemetry.Json.Num (float_of_int sim.flickers));
+            ( "overflows",
+              Telemetry.Json.Num (float_of_int sim.overflow_events) );
+          ]));
+  match sim.cfg.trace with
+  | None -> ()
+  | Some sink ->
+      Telemetry.Span.finish
+        ~fields:
+          [
+            ("scheduler", Telemetry.Json.Str (Scheduler.describe sim.cfg.strategy));
+            ("seed", Telemetry.Json.Num (float_of_int sim.cfg.seed));
+            ("nprocs", Telemetry.Json.Num (float_of_int sim.cfg.nprocs));
+            ("bound", Telemetry.Json.Num (float_of_int sim.cfg.bound));
+            ("max_steps", Telemetry.Json.Num (float_of_int sim.cfg.max_steps));
+            ("steps", Telemetry.Json.Num (float_of_int sim.time));
+            ("outcome", Telemetry.Json.Str (outcome_tag outcome));
+          ]
+        sink span
+
 let run program cfg =
   Mxlang.Validate.assert_valid program;
   let sim = make_sim program cfg in
+  let span = Telemetry.Span.start ~name:"sim.replay" in
+  let tick = tick_of sim in
   let runnable = Array.make cfg.nprocs false in
   let outcome = ref Steps_exhausted in
   let continue = ref true in
   while !continue && sim.time < cfg.max_steps do
+    tick ();
     maybe_restart sim;
     maybe_crash sim;
     runnable_vector sim runnable;
@@ -357,6 +445,7 @@ let run program cfg =
             | _ -> ()));
     sim.time <- sim.time + 1
   done;
+  record_finish sim !outcome span;
   {
     outcome = !outcome;
     steps = sim.time;

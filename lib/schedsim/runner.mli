@@ -40,10 +40,22 @@ type config = {
   flicker : flicker_config option;
   seed : int;  (** drives crash and flicker randomness *)
   record_events : bool;  (** keep the full event log (memory-heavy) *)
+  progress : Telemetry.Progress.t option;
+      (** rate-limited step/crash/flicker progress plus a forced final
+          summary; [None] (the default) leaves the step loop with one
+          static no-op closure call *)
+  metrics : Telemetry.Metrics.t option;
+      (** end-of-run [sim.*] counters (steps, CS entries, crashes,
+          flickers, overflows, mutex violations, FCFS inversions) *)
+  trace : Telemetry.Sink.t option;
+      (** receives one [sim.replay] span per run carrying everything
+          needed to reproduce the schedule: strategy, seed, N, M, step
+          budget, outcome *)
 }
 
 val default_config : nprocs:int -> bound:int -> config
-(** Round-robin, 100_000 steps, no crashes, no flicker, [Detect]. *)
+(** Round-robin, 100_000 steps, no crashes, no flicker, [Detect],
+    telemetry off. *)
 
 type outcome = Completed | Steps_exhausted | Overflow_stop | Stuck
 (** [Completed]: [stop_after_cs] reached.  [Stuck]: no process runnable

@@ -1,0 +1,19 @@
+(** Time sources for the telemetry subsystem.
+
+    The stdlib exposes no monotonic clock, so {!now_s} monotonises the
+    wall clock: it never goes backwards, even across NTP adjustments,
+    by clamping each reading to the largest value any domain has
+    observed.  Good enough for progress intervals and latency
+    histograms; not a substitute for a hardware timestamp counter. *)
+
+val wall_s : unit -> float
+(** Wall-clock seconds since the Unix epoch (for run metadata and
+    JSONL timestamps). *)
+
+val now_s : unit -> float
+(** Monotonised wall clock, seconds.  Never decreases between any two
+    calls, across all domains. *)
+
+val now_ns : unit -> int
+(** {!now_s} scaled to integer nanoseconds (for latency arithmetic
+    without float rounding surprises in stats counters). *)

@@ -1,0 +1,34 @@
+(** A minimal JSON tree, encoder and parser.
+
+    The telemetry sinks, the bench driver's datapoint files and the
+    tests that parse them back all speak this dialect; it is a strict
+    subset of RFC 8259 (no surrogate-pair decoding: [\uXXXX] escapes
+    outside ASCII are preserved byte-wise as UTF-8).  Kept here so the
+    repo needs no external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes): quotes,
+    backslashes and control characters become escape sequences. *)
+
+val to_string : t -> string
+(** Compact one-line rendering.  Integral floats print without a
+    fractional part ([3] not [3.]); NaN and infinities, which JSON
+    cannot represent, render as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed); [Error]
+    carries a byte offset and reason.  Trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for other constructors. *)
+
+val to_num : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,79 @@
+(** A process-local metrics registry: named counters, gauges and
+    fixed-bucket histograms with percentile estimation.
+
+    Instruments are registered once (by name) and then updated through
+    their handle with one atomic operation — safe to hammer from any
+    domain.  [snapshot] is the only traversal; it sorts by name, so two
+    snapshots of the same registry state are structurally equal
+    (deterministic output for tests and JSONL sinks). *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} — monotone event counts. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Register (or fetch, if the name exists) a counter.  Registering a
+    name twice with different instrument kinds raises [Invalid_argument]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} — last-written values. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — fixed upper-bound buckets plus an overflow bucket. *)
+
+type histogram
+
+val default_buckets : float array
+(** A 1–2–5 ladder from 1e-6 to 10.0 — microseconds to seconds when
+    observations are latencies in seconds. *)
+
+val histogram : t -> ?buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds (defaults to
+    {!default_buckets}); values above the last bound land in the
+    overflow bucket. *)
+
+val observe : histogram -> float -> unit
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0, 1]: the smallest bucket upper bound
+    such that at least [q * count] observations are at or below it —
+    the overflow bucket reports the maximum observation.  [nan] when
+    empty.  The usual fixed-bucket estimator: exact rank, bucket-bound
+    resolution. *)
+
+(** {1 Snapshots} *)
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** [nan] when empty *)
+  max : float;  (** [nan] when empty *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  buckets : (float * int) array;  (** (upper bound, count); last is [infinity] *)
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_snapshot
+
+val snapshot : t -> (string * value) list
+(** All instruments, sorted by name. *)
+
+val value_to_json : value -> Json.t
+(** Counters/gauges as numbers; histograms as an object with count,
+    sum, min, max, p50/p95/p99 and non-empty buckets. *)

@@ -1,0 +1,47 @@
+type t = {
+  sink : Sink.t;
+  name : string;
+  interval : float;
+  batch : int;
+  born : float;  (* monotonic *)
+  mutable last_emit : float;  (* monotonic; 0 until the first emission *)
+  mutable budget : int;
+  mutable count : int;
+}
+
+let create ?(interval = 2.0) ?(batch = 512) ~name sink () =
+  let born = Clock.now_s () in
+  {
+    sink;
+    name;
+    interval = Float.max 0.0 interval;
+    batch = max 1 batch;
+    born;
+    last_emit = born;
+    budget = 1;  (* first tick reads the clock, so short runs still report *)
+    count = 0;
+  }
+
+let elapsed_s t = Clock.now_s () -. t.born
+let emitted t = t.count
+
+let emit t fields_of =
+  let now = Clock.now_s () in
+  t.last_emit <- now;
+  t.count <- t.count + 1;
+  t.sink.emit
+    (Sink.event ~kind:"progress" ~name:t.name
+       (("elapsed_s", Json.Num (now -. t.born)) :: fields_of ()))
+
+let poll t fields_of =
+  let now = Clock.now_s () in
+  if now -. t.last_emit >= t.interval then emit t fields_of
+
+let tick t fields_of =
+  t.budget <- t.budget - 1;
+  if t.budget <= 0 then begin
+    t.budget <- t.batch;
+    poll t fields_of
+  end
+
+let force t fields_of = emit t fields_of

@@ -1,0 +1,31 @@
+(** A rate-limited progress reporter, TLC-style.
+
+    Long searches call {!tick} from their hot loop — once per dequeued
+    state or wave — and the reporter emits at most one ["progress"]
+    event per [interval] (default 2 s).  The field thunk runs only
+    when a line is actually due, so an idle reporter costs a counter
+    decrement most ticks and a clock read every [batch] ticks. *)
+
+type t
+
+val create :
+  ?interval:float -> ?batch:int -> name:string -> Sink.t -> unit -> t
+(** [interval] seconds between emissions (0 emits on every clock
+    check); [batch] (default 512) is how many ticks share one clock
+    read — use 1 for wave-grained callers. *)
+
+val tick : t -> (unit -> (string * Json.t) list) -> unit
+
+val poll : t -> (unit -> (string * Json.t) list) -> unit
+(** {!tick} without the batching: always reads the clock.  For callers
+    whose natural tick is already coarse (one BFS wave, one
+    experiment). *)
+
+val force : t -> (unit -> (string * Json.t) list) -> unit
+(** Emit unconditionally (final summaries) and reset the interval. *)
+
+val elapsed_s : t -> float
+(** Monotonic seconds since the reporter was created. *)
+
+val emitted : t -> int
+(** Number of progress events emitted so far. *)

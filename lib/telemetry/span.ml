@@ -1,0 +1,20 @@
+type open_span = { span_name : string; started_wall : float; started_mono : float }
+
+let start ~name =
+  { span_name = name; started_wall = Clock.wall_s (); started_mono = Clock.now_s () }
+
+let finish ?(fields = []) (sink : Sink.t) span =
+  let dur = Clock.now_s () -. span.started_mono in
+  sink.emit
+    (Sink.event ~time:span.started_wall ~kind:"span" ~name:span.span_name
+       (("dur_s", Json.Num dur) :: fields))
+
+let run ?(fields = []) sink ~name f =
+  let span = start ~name in
+  match f () with
+  | v ->
+      finish ~fields:(fields @ [ ("ok", Json.Bool true) ]) sink span;
+      v
+  | exception e ->
+      finish ~fields:(fields @ [ ("ok", Json.Bool false) ]) sink span;
+      raise e

@@ -1,0 +1,139 @@
+(* End-to-end smoke tests for bin/bakery_cli: every subcommand's --help
+   exits 0, and a tiny model-checking run with --progress/--metrics-out
+   prints a TLC-style progress line and leaves a parseable JSONL metrics
+   file whose numbers agree with the search. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* The dune deps field builds the executable next door in
+   _build/default/bin/; resolve it relative to this test binary so the
+   path works under both [dune runtest] and [dune exec]. *)
+let cli =
+  let here = Filename.dirname Sys.executable_name in
+  Filename.concat (Filename.concat (Filename.concat here "..") "bin")
+    "bakery_cli.exe"
+
+let run_capture args =
+  let out = Filename.temp_file "cli" ".out" in
+  let err = Filename.temp_file "cli" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let slurp path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  (code, slurp out, slurp err)
+
+let help_smoke () =
+  let code, out, _ = run_capture [ "--help" ] in
+  check int_t "--help exits 0" 0 code;
+  check bool_t "--help mentions check" true
+    (String.length out > 0
+    && contains ~affix:"check" out)
+
+let subcommand_help name () =
+  let code, out, err = run_capture [ name; "--help" ] in
+  check int_t (name ^ " --help exits 0") 0 code;
+  check bool_t (name ^ " --help has output") true
+    (String.length out > 0 || String.length err > 0)
+
+let subcommands =
+  [
+    "list"; "show"; "check"; "sim"; "lasso"; "refine"; "verify"; "tla";
+    "graph"; "bench";
+  ]
+
+let check_progress_metrics () =
+  let metrics = Filename.temp_file "cli" ".jsonl" in
+  Sys.remove metrics;
+  let code, out, err =
+    run_capture
+      [
+        "check"; "bakery_pp"; "-n"; "2"; "-m"; "3"; "--progress";
+        "--metrics-out"; metrics;
+      ]
+  in
+  check int_t "check exits 0" 0 code;
+  check bool_t "report on stdout" true
+    (contains ~affix:"Invariants hold" out);
+  (* at least one TLC-style progress line, with the rate fields *)
+  check bool_t "progress line printed" true
+    (contains ~affix:"[progress explore" err);
+  List.iter
+    (fun field ->
+      check bool_t ("progress line has " ^ field) true
+        (contains ~affix:(field ^ "=") err))
+    [ "generated"; "distinct"; "kstates_s" ];
+  (* the metrics file is JSONL: every line parses, and the recorded
+     counters are sane for this tiny configuration *)
+  let ic = open_in metrics in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove metrics;
+  let lines = List.rev !lines in
+  check bool_t "metrics file non-empty" true (lines <> []);
+  let find_metric name =
+    List.find_map
+      (fun line ->
+        match Telemetry.Json.parse line with
+        | Error e -> Alcotest.fail ("unparseable metrics line: " ^ e)
+        | Ok v -> (
+            match Telemetry.Json.member "metric" v with
+            | Some (Telemetry.Json.Str n) when n = name ->
+                Telemetry.Json.member "value" v
+            | _ -> None))
+      lines
+  in
+  (match find_metric "explore.generated" with
+  | Some (Telemetry.Json.Num n) ->
+      check bool_t "generated > 0" true (n > 0.0)
+  | _ -> Alcotest.fail "explore.generated missing");
+  (match find_metric "explore.distinct" with
+  | Some (Telemetry.Json.Num n) ->
+      check bool_t "distinct > 0" true (n > 0.0)
+  | _ -> Alcotest.fail "explore.distinct missing");
+  (* every line is stamped with run metadata *)
+  match Telemetry.Json.parse (List.hd lines) with
+  | Ok v ->
+      check bool_t "lines carry git_rev" true
+        (Telemetry.Json.member "git_rev" v <> None);
+      check bool_t "lines carry nprocs" true
+        (Telemetry.Json.member "nprocs" v <> None)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "help",
+        Alcotest.test_case "--help" `Quick help_smoke
+        :: List.map
+             (fun name ->
+               Alcotest.test_case (name ^ " --help") `Quick
+                 (subcommand_help name))
+             subcommands );
+      ( "telemetry",
+        [
+          Alcotest.test_case "check --progress --metrics-out" `Quick
+            check_progress_metrics;
+        ] );
+    ]

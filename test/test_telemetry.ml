@@ -1,0 +1,359 @@
+(* Telemetry subsystem tests: histogram bucket/percentile math, snapshot
+   determinism, JSON round-trips and JSONL sink escaping, progress
+   rate-limiting, bench-driver argv scanning, the lock latency wrapper —
+   and the load-bearing one: exploration with telemetry attached is
+   bit-identical to exploration without it. *)
+
+module T = Telemetry
+module MC = Modelcheck
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+(* ------------------------------------------------------------ metrics *)
+
+let counters_and_gauges () =
+  let m = T.Metrics.create () in
+  let c = T.Metrics.counter m "events" in
+  T.Metrics.incr c;
+  T.Metrics.add c 9;
+  check int_t "counter accumulates" 10 (T.Metrics.counter_value c);
+  let c' = T.Metrics.counter m "events" in
+  T.Metrics.incr c';
+  check int_t "same name, same counter" 11 (T.Metrics.counter_value c);
+  let g = T.Metrics.gauge m "depth" in
+  T.Metrics.set g 42.0;
+  T.Metrics.set g 17.0;
+  check (Alcotest.float 0.0) "gauge keeps last" 17.0 (T.Metrics.gauge_value g);
+  (match T.Metrics.gauge m "events" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise")
+
+let histogram_buckets () =
+  let m = T.Metrics.create () in
+  let h = T.Metrics.histogram m ~buckets:[| 1.0; 2.0; 5.0 |] "lat" in
+  check bool_t "empty percentile is nan" true
+    (Float.is_nan (T.Metrics.percentile h 0.5));
+  (* a value exactly on a bound lands in that bucket (upper bounds are
+     inclusive), one just above spills into the next *)
+  T.Metrics.observe h 1.0;
+  check (Alcotest.float 0.0) "on-bound stays" 1.0 (T.Metrics.percentile h 1.0);
+  T.Metrics.observe h 1.0001;
+  check (Alcotest.float 0.0) "above bound spills" 2.0
+    (T.Metrics.percentile h 1.0);
+  (* overflow bucket reports the maximum observation, not a bound *)
+  T.Metrics.observe h 7.5;
+  check (Alcotest.float 0.0) "overflow reports max" 7.5
+    (T.Metrics.percentile h 1.0)
+
+let percentile_math () =
+  let m = T.Metrics.create () in
+  let h = T.Metrics.histogram m ~buckets:[| 1.0; 2.0; 5.0 |] "lat" in
+  for _ = 1 to 100 do
+    T.Metrics.observe h 0.5
+  done;
+  for _ = 1 to 100 do
+    T.Metrics.observe h 1.5
+  done;
+  (* rank = ceil(q * 200): q=0.5 -> rank 100, inside the first bucket *)
+  check (Alcotest.float 0.0) "p50" 1.0 (T.Metrics.percentile h 0.50);
+  check (Alcotest.float 0.0) "p95" 2.0 (T.Metrics.percentile h 0.95);
+  match T.Metrics.snapshot m with
+  | [ ("lat", T.Metrics.Histogram s) ] ->
+      check int_t "count" 200 s.count;
+      check (Alcotest.float 1e-9) "sum" 200.0 s.sum;
+      check (Alcotest.float 0.0) "min" 0.5 s.min;
+      check (Alcotest.float 0.0) "max" 1.5 s.max
+  | _ -> Alcotest.fail "snapshot shape"
+
+let snapshot_determinism () =
+  let m = T.Metrics.create () in
+  T.Metrics.set (T.Metrics.gauge m "zulu") 1.0;
+  T.Metrics.incr (T.Metrics.counter m "alpha");
+  T.Metrics.observe (T.Metrics.histogram m "mike") 0.5;
+  let names = List.map fst (T.Metrics.snapshot m) in
+  check (Alcotest.list string_t) "sorted by name"
+    [ "alpha"; "mike"; "zulu" ] names;
+  check bool_t "snapshots of unchanged registry are equal" true
+    (T.Metrics.snapshot m = T.Metrics.snapshot m)
+
+(* --------------------------------------------------------------- json *)
+
+let json_roundtrip () =
+  let open T.Json in
+  let v =
+    Obj
+      [
+        ("name", Str "quote\" slash\\ newline\n tab\t ctrl\x01");
+        ("xs", Arr [ Num 1.0; Num 2.5; Bool true; Null ]);
+        ("t", Num 1785969713.25);
+      ]
+  in
+  match parse (to_string v) with
+  | Ok v' ->
+      check bool_t "round trip" true (v = v');
+      check bool_t "timestamp precision survives" true
+        (member "t" v' = Some (Num 1785969713.25))
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let json_errors () =
+  let bad s =
+    match T.Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted invalid JSON: " ^ s)
+  in
+  bad "";
+  bad "{";
+  bad "[1, ]";
+  bad "{\"a\": 1,}";
+  bad "[1] trailing";
+  bad "\"unterminated";
+  match T.Json.parse "  [1, {\"a\": [true, null]}]  " with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("rejected valid JSON: " ^ e)
+
+let jsonl_sink_escaping () =
+  let path = Filename.temp_file "telemetry" ".jsonl" in
+  let sink = T.Sink.jsonl path in
+  sink.emit
+    (T.Sink.event ~time:1.5 ~kind:"progress" ~name:"weird \"name\"\n"
+       [ ("k\\ey", T.Json.Str "v\nal"); ("n", T.Json.Num 3.0) ]);
+  sink.emit (T.Sink.event ~time:2.0 ~kind:"span" ~name:"ok" []);
+  sink.close ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check int_t "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match T.Json.parse line with
+      | Ok (T.Json.Obj fields) ->
+          check bool_t "has t/kind/name" true
+            (List.mem_assoc "t" fields
+            && List.mem_assoc "kind" fields
+            && List.mem_assoc "name" fields)
+      | Ok _ -> Alcotest.fail "line is not an object"
+      | Error e -> Alcotest.fail ("unparseable JSONL line: " ^ e))
+    lines;
+  match T.Json.parse (List.hd lines) with
+  | Ok v ->
+      check bool_t "escaped name round-trips" true
+        (T.Json.member "name" v = Some (T.Json.Str "weird \"name\"\n"));
+      check bool_t "escaped field round-trips" true
+        (T.Json.member "k\\ey" v = Some (T.Json.Str "v\nal"))
+  | Error e -> Alcotest.fail e
+
+(* ----------------------------------------------------------- progress *)
+
+let progress_rate_limit () =
+  let count = ref 0 in
+  let sink =
+    { T.Sink.emit = (fun _ -> incr count); close = (fun () -> ()) }
+  in
+  (* a huge interval: nothing emits no matter how hard we tick *)
+  let p = T.Progress.create ~interval:3600.0 ~batch:1 ~name:"t" sink () in
+  for _ = 1 to 10_000 do
+    T.Progress.tick p (fun () -> [])
+  done;
+  check int_t "rate-limited ticks emit nothing" 0 !count;
+  T.Progress.force p (fun () -> []);
+  check int_t "force always emits" 1 !count;
+  check int_t "emitted agrees" 1 (T.Progress.emitted p);
+  (* zero interval: every poll emits *)
+  let p0 = T.Progress.create ~interval:0.0 ~batch:1 ~name:"t" sink () in
+  count := 0;
+  for _ = 1 to 5 do
+    T.Progress.poll p0 (fun () -> [])
+  done;
+  check int_t "zero interval emits every poll" 5 !count
+
+let progress_fields_lazy () =
+  (* the field thunk must not run when no line is due *)
+  let sink = T.Sink.null in
+  let p = T.Progress.create ~interval:3600.0 ~batch:8 ~name:"t" sink () in
+  let evaluated = ref 0 in
+  for _ = 1 to 1000 do
+    T.Progress.tick p (fun () ->
+        incr evaluated;
+        [])
+  done;
+  check int_t "field thunk never evaluated" 0 !evaluated
+
+let clock_monotone () =
+  let last = ref (T.Clock.now_s ()) in
+  for _ = 1 to 1000 do
+    let n = T.Clock.now_s () in
+    check bool_t "now_s non-decreasing" true (n >= !last);
+    last := n
+  done
+
+let runmeta_capture () =
+  let m = T.Runmeta.capture () in
+  check bool_t "nprocs positive" true (m.nprocs >= 1);
+  check string_t "ocaml version" Sys.ocaml_version m.ocaml;
+  check bool_t "git rev nonempty" true (String.length m.git_rev > 0);
+  let fields = T.Runmeta.to_fields m in
+  check bool_t "fields cover the record" true
+    (List.for_all
+       (fun k -> List.mem_assoc k fields)
+       [ "git_rev"; "host"; "nprocs"; "os"; "ocaml" ])
+
+(* ------------------------------------------------------------ argscan *)
+
+let argscan_presence () =
+  let present, rest =
+    Harness.Argscan.extract_presence ~flag:"--quick"
+      [ "e1"; "--quick"; "e2"; "--quick" ]
+  in
+  check bool_t "found" true present;
+  check (Alcotest.list string_t) "all occurrences removed" [ "e1"; "e2" ] rest;
+  let present, rest = Harness.Argscan.extract_presence ~flag:"--quick" [ "e1" ] in
+  check bool_t "absent" false present;
+  check (Alcotest.list string_t) "untouched" [ "e1" ] rest
+
+let argscan_value () =
+  let ok = function
+    | Ok v -> v
+    | Error e -> Alcotest.fail ("unexpected error: " ^ e)
+  in
+  let v, rest =
+    ok (Harness.Argscan.extract_value ~flag:"--json" [ "e11"; "--json"; "o.json" ])
+  in
+  check bool_t "value extracted" true (v = Some "o.json");
+  check (Alcotest.list string_t) "flag and value removed" [ "e11" ] rest;
+  let v, rest = ok (Harness.Argscan.extract_value ~flag:"--json" [ "e11" ]) in
+  check bool_t "absent is None" true (v = None);
+  check (Alcotest.list string_t) "args untouched" [ "e11" ] rest;
+  let err args =
+    match Harness.Argscan.extract_value ~flag:"--json" args with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted: " ^ String.concat " " args)
+  in
+  err [ "--json" ];
+  err [ "e11"; "--json" ];
+  err [ "--json"; "a.json"; "--json"; "b.json" ];
+  (* interleaved with another option: the "value" is itself a flag *)
+  err [ "--json"; "--quick"; "a.json" ]
+
+(* ----------------------------------------------------- latency wrapper *)
+
+let latency_wrapper () =
+  let family = Harness.Registry.find_family "tas" in
+  let inst = family.make ~nprocs:2 ~bound:64 in
+  let wrapped = Locks.Latency.instrument inst in
+  for _ = 1 to 50 do
+    wrapped.acquire 0;
+    wrapped.release 0
+  done;
+  let stats = wrapped.stats () in
+  let get k =
+    match List.assoc_opt k stats with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing stat " ^ k)
+  in
+  check bool_t "p50 <= p95 <= p99 <= max" true
+    (get "acq_p50_ns" <= get "acq_p95_ns"
+    && get "acq_p95_ns" <= get "acq_p99_ns"
+    && get "acq_p99_ns" <= get "acq_max_ns");
+  check bool_t "max positive after 50 acquires" true (get "acq_max_ns" > 0);
+  check string_t "name preserved" inst.instance_name wrapped.instance_name
+
+(* ---------------------------------------------- differential explore *)
+
+let stats_eq (a : MC.Explore.stats) (b : MC.Explore.stats) =
+  a.generated = b.generated && a.distinct = b.distinct && a.depth = b.depth
+
+let differential_explore () =
+  let run_pair sys =
+    let plain = MC.Explore.run ~max_states:200_000 sys in
+    let m = T.Metrics.create () in
+    let p = T.Progress.create ~interval:0.0 ~batch:1 ~name:"explore" T.Sink.null () in
+    let instrumented =
+      MC.Explore.run ~max_states:200_000 ~progress:p ~metrics:m sys
+    in
+    check bool_t "stats identical with telemetry attached" true
+      (stats_eq plain.stats instrumented.stats);
+    check bool_t "progress actually fired" true (T.Progress.emitted p > 0);
+    check bool_t "outcome identical (traces included)" true
+      (plain.outcome = instrumented.outcome);
+    (plain, m)
+  in
+  (* passing system *)
+  let sys = MC.System.make (Core.Bakery_pp_model.program ()) ~nprocs:2 ~bound:3 in
+  let r, m = run_pair sys in
+  check bool_t "pass" true (r.outcome = MC.Explore.Pass);
+  (* the metrics registry saw the same numbers the checker reported *)
+  (match List.assoc_opt "explore.generated" (T.Metrics.snapshot m) with
+  | Some (T.Metrics.Counter n) -> check int_t "metrics agree" r.stats.generated n
+  | _ -> Alcotest.fail "explore.generated missing from registry");
+  (* violating system: the overflow counterexample trace must also match *)
+  let sys =
+    MC.System.make (Algorithms.Bakery.program ()) ~nprocs:2 ~bound:2
+  in
+  let r, _ = run_pair sys in
+  match r.outcome with
+  | MC.Explore.Violation { invariant; _ } ->
+      check string_t "overflow found" "no-overflow" invariant
+  | _ -> Alcotest.fail "expected an overflow violation"
+
+let differential_par_explore () =
+  let sys = MC.System.make (Core.Bakery_pp_model.program ()) ~nprocs:2 ~bound:3 in
+  let plain = MC.Par_explore.run ~domains:2 sys in
+  let m = T.Metrics.create () in
+  let p = T.Progress.create ~interval:0.0 ~batch:1 ~name:"par" T.Sink.null () in
+  let instrumented = MC.Par_explore.run ~domains:2 ~progress:p ~metrics:m sys in
+  check bool_t "parallel stats identical with telemetry" true
+    (stats_eq plain.stats instrumented.stats);
+  check bool_t "parallel progress fired" true (T.Progress.emitted p > 0);
+  check bool_t "parallel outcome identical" true
+    (plain.outcome = instrumented.outcome)
+
+(* ---------------------------------------------------------------- suite *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick counters_and_gauges;
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            histogram_buckets;
+          Alcotest.test_case "percentile math" `Quick percentile_math;
+          Alcotest.test_case "snapshot determinism" `Quick snapshot_determinism;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick json_errors;
+          Alcotest.test_case "jsonl sink escaping" `Quick jsonl_sink_escaping;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "rate limiting" `Quick progress_rate_limit;
+          Alcotest.test_case "lazy fields" `Quick progress_fields_lazy;
+          Alcotest.test_case "monotonic clock" `Quick clock_monotone;
+          Alcotest.test_case "run metadata" `Quick runmeta_capture;
+        ] );
+      ( "argscan",
+        [
+          Alcotest.test_case "presence flags" `Quick argscan_presence;
+          Alcotest.test_case "value flags" `Quick argscan_value;
+        ] );
+      ( "locks",
+        [ Alcotest.test_case "latency wrapper" `Quick latency_wrapper ] );
+      ( "differential",
+        [
+          Alcotest.test_case "explore unchanged by telemetry" `Quick
+            differential_explore;
+          Alcotest.test_case "par_explore unchanged by telemetry" `Quick
+            differential_par_explore;
+        ] );
+    ]
