@@ -154,7 +154,7 @@ let () =
   (* value flags first: "--json --quick out.json" must be an error, not
      a silent misparse once --quick has been stripped *)
   let json_path, args =
-    match Harness.Argscan.extract_value ~flag:"--json" args with
+    match Harness.Argscan.extract_value ~docv:"FILE" ~flag:"--json" args with
     | Ok (p, rest) -> (p, rest)
     | Error msg ->
         prerr_endline msg;

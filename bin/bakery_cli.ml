@@ -419,6 +419,133 @@ let graph_cmd =
        ~doc:"Export the reachable state graph as Graphviz DOT")
     Term.(const run $ model_arg $ nprocs_arg $ bound_arg $ max_states_arg $ out_arg)
 
+(* --------------------------------------------------------------- fuzz *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Fuzzer PRNG seed.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"K" ~doc:"Cases to run per oracle.")
+  in
+  let oracle_arg =
+    let doc =
+      "Oracle to run: $(b,compile) (interpreter vs staged compiler), \
+       $(b,parallel) (sequential vs parallel BFS), $(b,replay) (simulator \
+       replay vs checker walk + mutex).  Repeatable; default all three."
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let fuzz_model_arg =
+    let doc =
+      "Registry model the replay oracle draws schedules for.  Repeatable; \
+       default bakery_pp and peterson2 (models expected to be safe — point \
+       this at bakery_mod_naive or bakery to hunt for violations)."
+    in
+    Arg.(value & opt_all string [] & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Schedule-length budget for the replay oracle." in
+    Arg.(value & opt int 120 & info [ "max-steps" ] ~docv:"LEN" ~doc)
+  in
+  let max_states_arg =
+    let doc = "Exploration budget per generated program (engine oracles)." in
+    Arg.(value & opt int 20_000 & info [ "max-states" ] ~docv:"K" ~doc)
+  in
+  let out_arg =
+    let doc = "Write shrunk $(b,.repro) files for every failure into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-execute one $(b,.repro) file instead of fuzzing; exits 0 when the \
+       recorded verdict reproduces, 1 when it changed or vanished."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let run seed count oracles models nprocs bound max_steps max_states out
+      replay progress metrics_out trace_out =
+    match replay with
+    | Some file -> (
+        match Fuzz.Repro.load file with
+        | Error e ->
+            Printf.eprintf "cannot load %s: %s\n" file e;
+            exit 2
+        | Ok r -> (
+            Printf.printf "replaying %s: oracle %s, recorded tag %s\n" file
+              (Fuzz.Oracle.name r.Fuzz.Repro.oracle)
+              r.Fuzz.Repro.tag;
+            match Fuzz.Repro.replay r with
+            | Fuzz.Repro.Reproduced ->
+                print_endline "verdict: reproduced";
+                exit 0
+            | Fuzz.Repro.Changed tag ->
+                Printf.printf "verdict: changed (now fails as %s)\n" tag;
+                exit 1
+            | Fuzz.Repro.Vanished ->
+                print_endline "verdict: vanished (oracle now passes)";
+                exit 1))
+    | None ->
+        let oracles =
+          match oracles with
+          | [] -> Fuzz.Oracle.all
+          | names ->
+              List.map
+                (fun n ->
+                  match Fuzz.Oracle.of_name n with
+                  | Ok o -> o
+                  | Error e ->
+                      Printf.eprintf "%s\n" e;
+                      exit 2)
+                names
+        in
+        let models =
+          match models with [] -> Fuzz.Driver_params.default.models | l -> l
+        in
+        List.iter
+          (fun m ->
+            match Harness.Registry.find_model m with
+            | _ -> ()
+            | exception Not_found ->
+                Printf.eprintf "unknown model %S; try: %s\n" m
+                  (String.concat ", " Harness.Registry.model_names);
+                exit 2)
+          models;
+        let tl = telemetry_setup ~name:"fuzz" progress metrics_out trace_out in
+        let cfg =
+          {
+            (Fuzz.Driver.default_config ~seed ~count) with
+            Fuzz.Driver.oracles;
+            params =
+              {
+                Fuzz.Driver_params.models;
+                nprocs;
+                bound;
+                max_states;
+                sched_len = max_steps;
+              };
+            out_dir = out;
+            progress = tl.tl_progress;
+            metrics = tl.tl_metrics;
+          }
+        in
+        let s = Fuzz.Driver.run cfg in
+        tl.tl_finish ();
+        List.iter print_endline (Fuzz.Driver.summary_lines s);
+        exit (if s.Fuzz.Driver.s_failures = [] then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based fuzzing: differential oracles across the engines, \
+          with shrinking and .repro reproducers")
+    Term.(
+      const run $ seed_arg $ count_arg $ oracle_arg $ fuzz_model_arg
+      $ nprocs_arg $ bound_arg $ max_steps_arg $ max_states_arg $ out_arg
+      $ replay_arg $ progress_arg $ metrics_out_arg $ trace_out_arg)
+
 (* -------------------------------------------------------------- bench *)
 
 let bench_cmd =
@@ -480,5 +607,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; check_cmd; sim_cmd; lasso_cmd; refine_cmd;
-            verify_cmd; tla_cmd; graph_cmd; bench_cmd;
+            verify_cmd; tla_cmd; graph_cmd; fuzz_cmd; bench_cmd;
           ]))

@@ -1,0 +1,337 @@
+module J = Telemetry.Json
+module A = Mxlang.Ast
+
+(* ------------------------------------------------------------- encode *)
+
+let tag name args = J.Arr (J.Str name :: args)
+let num i = J.Num (float_of_int i)
+
+let cmp_to_string = function
+  | A.Clt -> "lt"
+  | A.Cle -> "le"
+  | A.Ceq -> "eq"
+  | A.Cne -> "ne"
+  | A.Cgt -> "gt"
+  | A.Cge -> "ge"
+
+let range_to_string = function
+  | A.Rall -> "all"
+  | A.Rothers -> "others"
+  | A.Rbelow -> "below"
+  | A.Rabove -> "above"
+
+let kind_to_string = function
+  | A.Noncritical -> "noncritical"
+  | A.Entry -> "entry"
+  | A.Doorway -> "doorway"
+  | A.Waiting -> "waiting"
+  | A.Critical -> "critical"
+  | A.Exit -> "exit"
+  | A.Plain -> "plain"
+
+let rec expr_to_json (e : A.expr) =
+  match e with
+  | Int i -> tag "int" [ num i ]
+  | N -> tag "n" []
+  | M -> tag "m" []
+  | Pid -> tag "pid" []
+  | Qidx -> tag "qidx" []
+  | Local l -> tag "local" [ num l ]
+  | Rd (v, ix) -> tag "rd" [ num v; expr_to_json ix ]
+  | Add (a, b) -> tag "add" [ expr_to_json a; expr_to_json b ]
+  | Sub (a, b) -> tag "sub" [ expr_to_json a; expr_to_json b ]
+  | Mul (a, b) -> tag "mul" [ expr_to_json a; expr_to_json b ]
+  | Mod (a, b) -> tag "mod" [ expr_to_json a; expr_to_json b ]
+  | Max_arr v -> tag "max" [ num v ]
+  | Ite (c, a, b) -> tag "ite" [ bexpr_to_json c; expr_to_json a; expr_to_json b ]
+
+and bexpr_to_json (b : A.bexpr) =
+  match b with
+  | True -> tag "true" []
+  | False -> tag "false" []
+  | Not x -> tag "not" [ bexpr_to_json x ]
+  | And (x, y) -> tag "and" [ bexpr_to_json x; bexpr_to_json y ]
+  | Or (x, y) -> tag "or" [ bexpr_to_json x; bexpr_to_json y ]
+  | Cmp (c, x, y) ->
+      tag "cmp" [ J.Str (cmp_to_string c); expr_to_json x; expr_to_json y ]
+  | Lex_lt ((a, b1), (c, d)) ->
+      tag "lex"
+        [ expr_to_json a; expr_to_json b1; expr_to_json c; expr_to_json d ]
+  | Qexists (r, p) -> tag "exists" [ J.Str (range_to_string r); bexpr_to_json p ]
+  | Qall (r, p) -> tag "forall" [ J.Str (range_to_string r); bexpr_to_json p ]
+
+let lhs_to_json = function
+  | A.Sh (v, ix) -> tag "sh" [ num v; expr_to_json ix ]
+  | A.Lo l -> tag "lo" [ num l ]
+
+let action_to_json (a : A.action) =
+  J.Obj
+    [
+      ("guard", bexpr_to_json a.guard);
+      ( "effects",
+        J.Arr
+          (List.map
+             (fun (l, e) -> J.Arr [ lhs_to_json l; expr_to_json e ])
+             a.effects) );
+      ("target", num a.target);
+    ]
+
+let step_to_json (s : A.step) =
+  J.Obj
+    [
+      ("name", J.Str s.step_name);
+      ("kind", J.Str (kind_to_string s.kind));
+      ("actions", J.Arr (List.map action_to_json s.actions));
+    ]
+
+let int_array a = J.Arr (Array.to_list (Array.map (fun i -> num i) a))
+let str_array a = J.Arr (Array.to_list (Array.map (fun s -> J.Str s) a))
+let bool_array a = J.Arr (Array.to_list (Array.map (fun b -> J.Bool b) a))
+
+let program_to_json (p : A.program) =
+  J.Obj
+    [
+      ("title", J.Str p.title);
+      ("var_names", str_array p.var_names);
+      ("var_sizes", int_array p.var_sizes);
+      ("per_process", bool_array p.per_process);
+      ("bounded", bool_array p.bounded);
+      ("local_names", str_array p.local_names);
+      ("steps", J.Arr (Array.to_list (Array.map step_to_json p.steps)));
+      ("init_shared", int_array p.init_shared);
+      ("init_locals", int_array p.init_locals);
+      ("init_pc", num p.init_pc);
+    ]
+
+(* ------------------------------------------------------------- decode *)
+
+(* Decoding threads a [result] through every field; [let*] keeps the
+   shape checks readable. *)
+let ( let* ) r f = Result.bind r f
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let to_int = function
+  | J.Num f when Float.is_integer f -> Ok (int_of_float f)
+  | j -> err "expected integer, got %s" (J.to_string j)
+
+let to_str = function J.Str s -> Ok s | j -> err "expected string, got %s" (J.to_string j)
+let to_bool = function J.Bool b -> Ok b | j -> err "expected bool, got %s" (J.to_string j)
+
+let rec map_m f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_m f rest in
+      Ok (y :: ys)
+
+let to_array f j =
+  match j with
+  | J.Arr l ->
+      let* xs = map_m f l in
+      Ok (Array.of_list xs)
+  | _ -> err "expected array, got %s" (J.to_string j)
+
+let cmp_of_string = function
+  | "lt" -> Ok A.Clt
+  | "le" -> Ok A.Cle
+  | "eq" -> Ok A.Ceq
+  | "ne" -> Ok A.Cne
+  | "gt" -> Ok A.Cgt
+  | "ge" -> Ok A.Cge
+  | s -> err "unknown comparison %S" s
+
+let range_of_string = function
+  | "all" -> Ok A.Rall
+  | "others" -> Ok A.Rothers
+  | "below" -> Ok A.Rbelow
+  | "above" -> Ok A.Rabove
+  | s -> err "unknown range %S" s
+
+let kind_of_string = function
+  | "noncritical" -> Ok A.Noncritical
+  | "entry" -> Ok A.Entry
+  | "doorway" -> Ok A.Doorway
+  | "waiting" -> Ok A.Waiting
+  | "critical" -> Ok A.Critical
+  | "exit" -> Ok A.Exit
+  | "plain" -> Ok A.Plain
+  | s -> err "unknown step kind %S" s
+
+let rec expr_of_json j =
+  match j with
+  | J.Arr (J.Str t :: args) -> (
+      match (t, args) with
+      | "int", [ i ] ->
+          let* i = to_int i in
+          Ok (A.Int i)
+      | "n", [] -> Ok A.N
+      | "m", [] -> Ok A.M
+      | "pid", [] -> Ok A.Pid
+      | "qidx", [] -> Ok A.Qidx
+      | "local", [ l ] ->
+          let* l = to_int l in
+          Ok (A.Local l)
+      | "rd", [ v; ix ] ->
+          let* v = to_int v in
+          let* ix = expr_of_json ix in
+          Ok (A.Rd (v, ix))
+      | "add", [ a; b ] -> bin (fun a b -> A.Add (a, b)) a b
+      | "sub", [ a; b ] -> bin (fun a b -> A.Sub (a, b)) a b
+      | "mul", [ a; b ] -> bin (fun a b -> A.Mul (a, b)) a b
+      | "mod", [ a; b ] -> bin (fun a b -> A.Mod (a, b)) a b
+      | "max", [ v ] ->
+          let* v = to_int v in
+          Ok (A.Max_arr v)
+      | "ite", [ c; a; b ] ->
+          let* c = bexpr_of_json c in
+          let* a = expr_of_json a in
+          let* b = expr_of_json b in
+          Ok (A.Ite (c, a, b))
+      | _ -> err "bad expression node %S/%d" t (List.length args))
+  | _ -> err "expected expression, got %s" (J.to_string j)
+
+and bin mk a b =
+  let* a = expr_of_json a in
+  let* b = expr_of_json b in
+  Ok (mk a b)
+
+and bexpr_of_json j =
+  match j with
+  | J.Arr (J.Str t :: args) -> (
+      match (t, args) with
+      | "true", [] -> Ok A.True
+      | "false", [] -> Ok A.False
+      | "not", [ x ] ->
+          let* x = bexpr_of_json x in
+          Ok (A.Not x)
+      | "and", [ x; y ] ->
+          let* x = bexpr_of_json x in
+          let* y = bexpr_of_json y in
+          Ok (A.And (x, y))
+      | "or", [ x; y ] ->
+          let* x = bexpr_of_json x in
+          let* y = bexpr_of_json y in
+          Ok (A.Or (x, y))
+      | "cmp", [ c; x; y ] ->
+          let* c = to_str c in
+          let* c = cmp_of_string c in
+          let* x = expr_of_json x in
+          let* y = expr_of_json y in
+          Ok (A.Cmp (c, x, y))
+      | "lex", [ a; b; c; d ] ->
+          let* a = expr_of_json a in
+          let* b = expr_of_json b in
+          let* c = expr_of_json c in
+          let* d = expr_of_json d in
+          Ok (A.Lex_lt ((a, b), (c, d)))
+      | "exists", [ r; p ] ->
+          let* r = to_str r in
+          let* r = range_of_string r in
+          let* p = bexpr_of_json p in
+          Ok (A.Qexists (r, p))
+      | "forall", [ r; p ] ->
+          let* r = to_str r in
+          let* r = range_of_string r in
+          let* p = bexpr_of_json p in
+          Ok (A.Qall (r, p))
+      | _ -> err "bad boolean node %S/%d" t (List.length args))
+  | _ -> err "expected boolean expression, got %s" (J.to_string j)
+
+let lhs_of_json j =
+  match j with
+  | J.Arr [ J.Str "sh"; v; ix ] ->
+      let* v = to_int v in
+      let* ix = expr_of_json ix in
+      Ok (A.Sh (v, ix))
+  | J.Arr [ J.Str "lo"; l ] ->
+      let* l = to_int l in
+      Ok (A.Lo l)
+  | _ -> err "expected lhs, got %s" (J.to_string j)
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> err "missing field %S in %s" name (J.to_string j)
+
+let action_of_json j =
+  let* guard = field "guard" j in
+  let* guard = bexpr_of_json guard in
+  let* effects = field "effects" j in
+  let* effects =
+    match effects with
+    | J.Arr l ->
+        map_m
+          (function
+            | J.Arr [ lhs; e ] ->
+                let* lhs = lhs_of_json lhs in
+                let* e = expr_of_json e in
+                Ok (lhs, e)
+            | x -> err "expected [lhs, expr] pair, got %s" (J.to_string x))
+          l
+    | _ -> err "effects must be an array"
+  in
+  let* target = field "target" j in
+  let* target = to_int target in
+  Ok { A.guard; effects; target }
+
+let step_of_json j =
+  let* name = field "name" j in
+  let* step_name = to_str name in
+  let* kind = field "kind" j in
+  let* kind = to_str kind in
+  let* kind = kind_of_string kind in
+  let* actions = field "actions" j in
+  let* actions =
+    match actions with
+    | J.Arr l -> map_m action_of_json l
+    | _ -> err "actions must be an array"
+  in
+  Ok { A.step_name; kind; actions }
+
+let program_of_json j =
+  let* title = field "title" j in
+  let* title = to_str title in
+  let* var_names = field "var_names" j in
+  let* var_names = to_array to_str var_names in
+  let* var_sizes = field "var_sizes" j in
+  let* var_sizes = to_array to_int var_sizes in
+  let* per_process = field "per_process" j in
+  let* per_process = to_array to_bool per_process in
+  let* bounded = field "bounded" j in
+  let* bounded = to_array to_bool bounded in
+  let* local_names = field "local_names" j in
+  let* local_names = to_array to_str local_names in
+  let* steps = field "steps" j in
+  let* steps = to_array step_of_json steps in
+  let* init_shared = field "init_shared" j in
+  let* init_shared = to_array to_int init_shared in
+  let* init_locals = field "init_locals" j in
+  let* init_locals = to_array to_int init_locals in
+  let* init_pc = field "init_pc" j in
+  let* init_pc = to_int init_pc in
+  let nvars = Array.length var_names in
+  if
+    Array.length var_sizes <> nvars
+    || Array.length per_process <> nvars
+    || Array.length bounded <> nvars
+    || Array.length init_shared <> nvars
+  then err "variable tables disagree in length"
+  else
+    Ok
+      {
+        A.title;
+        nvars;
+        var_names;
+        var_sizes;
+        per_process;
+        bounded;
+        nlocals = Array.length local_names;
+        local_names;
+        steps;
+        init_shared;
+        init_locals;
+        init_pc;
+      }
+
+let program_equal (a : A.program) (b : A.program) = a = b

@@ -1,0 +1,21 @@
+(** JSON serialization of mxlang programs for the fuzzer's [.repro]
+    files.
+
+    The encoding is total and the round trip is exact:
+    [program_of_json (program_to_json p)] is structurally equal to [p].
+    Expressions are encoded as tagged arrays ([["add", a, b]]), so a
+    repro file stays diffable and independent of OCaml's value
+    representation.  Decoding validates shapes but not program
+    well-formedness; callers that execute a decoded program should run
+    it through {!Mxlang.Validate} first (the fuzz replayer does). *)
+
+val expr_to_json : Mxlang.Ast.expr -> Telemetry.Json.t
+val bexpr_to_json : Mxlang.Ast.bexpr -> Telemetry.Json.t
+val program_to_json : Mxlang.Ast.program -> Telemetry.Json.t
+
+val expr_of_json : Telemetry.Json.t -> (Mxlang.Ast.expr, string) result
+val bexpr_of_json : Telemetry.Json.t -> (Mxlang.Ast.bexpr, string) result
+val program_of_json : Telemetry.Json.t -> (Mxlang.Ast.program, string) result
+
+val program_equal : Mxlang.Ast.program -> Mxlang.Ast.program -> bool
+(** Structural equality (the AST contains no functions or cycles). *)

@@ -1,0 +1,193 @@
+type config = {
+  seed : int;
+  count : int;
+  oracles : Oracle.t list;
+  params : Driver_params.t;
+  shrink_evals : int;
+  out_dir : string option;
+  budget_s : float option;
+  progress : Telemetry.Progress.t option;
+  metrics : Telemetry.Metrics.t option;
+}
+
+let default_config ~seed ~count =
+  {
+    seed;
+    count;
+    oracles = Oracle.all;
+    params = Driver_params.default;
+    shrink_evals = 400;
+    out_dir = None;
+    budget_s = None;
+    progress = None;
+    metrics = None;
+  }
+
+type failure = {
+  f_oracle : Oracle.t;
+  f_index : int;
+  f_tag : string;
+  f_summary : string;
+  f_size_before : int;
+  f_size_after : int;
+  f_shrink_evals : int;
+  f_file : string option;
+}
+
+type summary = {
+  s_config : config;
+  s_cases : (Oracle.t * int) list;
+  s_failures : failure list;
+  s_budget_exhausted : bool;
+}
+
+(* One independent generator per (seed, case index): cases are
+   reproducible in isolation and unaffected by how much entropy earlier
+   cases consumed.  Splitmix seeding makes distinct (seed, index) pairs
+   yield independent streams without any skip loop. *)
+let case_rng seed index =
+  let r = Prng.Rng.create ((seed * 0x9E3779B9) lxor index) in
+  ignore (Prng.Rng.next r);
+  Prng.Rng.create (Prng.Rng.next r)
+
+let first_line s = match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let run cfg =
+  let t0 = Unix.gettimeofday () in
+  let cases = List.map (fun o -> (o, ref 0)) cfg.oracles in
+  let failures = ref [] in
+  let budget_exhausted = ref false in
+  let metric name v =
+    match cfg.metrics with
+    | None -> ()
+    | Some m -> Telemetry.Metrics.add (Telemetry.Metrics.counter m name) v
+  in
+  let tick index =
+    match cfg.progress with
+    | None -> ()
+    | Some p ->
+        Telemetry.Progress.tick p (fun () ->
+            [
+              ("case", Telemetry.Json.Num (float_of_int index));
+              ( "failures",
+                Telemetry.Json.Num (float_of_int (List.length !failures)) );
+            ])
+  in
+  (try
+     for index = 0 to cfg.count - 1 do
+       (match cfg.budget_s with
+       | Some b when Unix.gettimeofday () -. t0 > b ->
+           budget_exhausted := true;
+           raise Exit
+       | _ -> ());
+       tick index;
+       List.iter
+         (fun (oracle, ran) ->
+           let rng = case_rng cfg.seed (index * 131 + Hashtbl.hash (Oracle.name oracle)) in
+           let case = Oracle.generate oracle rng cfg.params in
+           incr ran;
+           metric ("fuzz." ^ Oracle.name oracle ^ ".cases") 1;
+           match Oracle.run oracle case with
+           | Oracle.Pass -> ()
+           | Oracle.Fail { tag; detail } ->
+               metric "fuzz.failures" 1;
+               let size_before = Oracle.case_size case in
+               let shrunk, evals =
+                 Oracle.shrink oracle case ~max_evals:cfg.shrink_evals
+               in
+               metric "fuzz.shrink_evals" evals;
+               let detail =
+                 (* re-run the shrunk case for an up-to-date summary *)
+                 match Oracle.run oracle shrunk with
+                 | Oracle.Fail { detail = d; _ } -> d
+                 | Oracle.Pass -> detail
+               in
+               let repro =
+                 {
+                   Repro.oracle;
+                   tag;
+                   summary = first_line detail;
+                   case = shrunk;
+                 }
+               in
+               let file =
+                 Option.map
+                   (fun dir ->
+                     Repro.save ~dir
+                       ~name:
+                         (Printf.sprintf "%s_seed%d_case%d" (Oracle.name oracle)
+                            cfg.seed index)
+                       repro)
+                   cfg.out_dir
+               in
+               failures :=
+                 {
+                   f_oracle = oracle;
+                   f_index = index;
+                   f_tag = tag;
+                   f_summary = first_line detail;
+                   f_size_before = size_before;
+                   f_size_after = Oracle.case_size shrunk;
+                   f_shrink_evals = evals;
+                   f_file = file;
+                 }
+                 :: !failures)
+         cases
+     done
+   with Exit -> ());
+  (match cfg.progress with
+  | None -> ()
+  | Some p ->
+      Telemetry.Progress.force p (fun () ->
+          [
+            ( "cases",
+              Telemetry.Json.Num
+                (float_of_int
+                   (List.fold_left (fun acc (_, r) -> acc + !r) 0 cases)) );
+            ( "failures",
+              Telemetry.Json.Num (float_of_int (List.length !failures)) );
+          ]));
+  {
+    s_config = cfg;
+    s_cases = List.map (fun (o, r) -> (o, !r)) cases;
+    s_failures = List.rev !failures;
+    s_budget_exhausted = !budget_exhausted;
+  }
+
+let summary_lines s =
+  let cfg = s.s_config in
+  let header =
+    Printf.sprintf "fuzz: seed=%d count=%d oracles=%s models=%s n=%d m=%d"
+      cfg.seed cfg.count
+      (String.concat "," (List.map Oracle.name cfg.oracles))
+      (String.concat "," cfg.params.Driver_params.models)
+      cfg.params.Driver_params.nprocs cfg.params.Driver_params.bound
+  in
+  let per_oracle =
+    List.map
+      (fun (o, n) ->
+        let f =
+          List.length (List.filter (fun f -> f.f_oracle = o) s.s_failures)
+        in
+        Printf.sprintf "  %-8s %d cases, %d failure%s" (Oracle.name o) n f
+          (if f = 1 then "" else "s"))
+      s.s_cases
+  in
+  let fail_lines =
+    List.map
+      (fun f ->
+        Printf.sprintf "  FAIL %s case %d: %s (shrunk %d -> %d in %d evals)%s"
+          (Oracle.name f.f_oracle) f.f_index f.f_tag f.f_size_before
+          f.f_size_after f.f_shrink_evals
+          (match f.f_file with None -> "" | Some p -> " -> " ^ p))
+      s.s_failures
+  in
+  let total_cases = List.fold_left (fun acc (_, n) -> acc + n) 0 s.s_cases in
+  let footer =
+    Printf.sprintf "total: %d cases, %d failures%s" total_cases
+      (List.length s.s_failures)
+      (if s.s_budget_exhausted then " (budget exhausted)" else "")
+  in
+  (header :: per_oracle) @ fail_lines @ [ footer ]

@@ -1,0 +1,52 @@
+(** The fuzzing loop: generate → check → shrink → emit.
+
+    For each case index the driver derives an independent PRNG from
+    [(seed, index)], draws one case per selected oracle, runs the
+    oracle, and on failure shrinks the case and (optionally) writes a
+    [.repro] file.  Everything observable in the returned summary is a
+    pure function of the configuration — no timestamps, rates or paths
+    that vary between runs — so two runs with the same seed and count
+    print byte-identical summaries (the CLI's determinism contract).
+
+    [budget_s] is a soft wall-clock cutoff checked between cases, used
+    by the [@fuzz-smoke] alias; when it fires the summary says so and
+    reports how many cases actually ran. *)
+
+type config = {
+  seed : int;
+  count : int;  (** cases per oracle *)
+  oracles : Oracle.t list;
+  params : Driver_params.t;
+  shrink_evals : int;  (** predicate-evaluation budget per shrink *)
+  out_dir : string option;  (** write [.repro] files here on failure *)
+  budget_s : float option;
+  progress : Telemetry.Progress.t option;
+  metrics : Telemetry.Metrics.t option;
+}
+
+val default_config : seed:int -> count:int -> config
+(** All oracles, {!Driver_params.default}, 400 shrink evaluations, no
+    output directory, no budget, telemetry off. *)
+
+type failure = {
+  f_oracle : Oracle.t;
+  f_index : int;  (** case index within the run *)
+  f_tag : string;
+  f_summary : string;
+  f_size_before : int;
+  f_size_after : int;
+  f_shrink_evals : int;
+  f_file : string option;  (** where the [.repro] was written *)
+}
+
+type summary = {
+  s_config : config;
+  s_cases : (Oracle.t * int) list;  (** cases actually run, per oracle *)
+  s_failures : failure list;
+  s_budget_exhausted : bool;
+}
+
+val run : config -> summary
+
+val summary_lines : summary -> string list
+(** Deterministic human-readable report (one string per line). *)

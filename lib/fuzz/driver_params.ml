@@ -1,0 +1,19 @@
+(* Generation-time knobs shared by the oracles and the driver (kept in
+   a leaf module so [Oracle] does not depend on [Driver]). *)
+
+type t = {
+  models : string list;  (* registry models the replay oracle draws from *)
+  nprocs : int;
+  bound : int;
+  max_states : int;  (* exploration budget for the engine oracles *)
+  sched_len : int;  (* schedule-length budget for the replay oracle *)
+}
+
+let default =
+  {
+    models = [ "bakery_pp"; "peterson2" ];
+    nprocs = 2;
+    bound = 2;
+    max_states = 20_000;
+    sched_len = 120;
+  }

@@ -1,0 +1,241 @@
+module A = Mxlang.Ast
+module R = Prng.Rng
+
+type prog_params = { g_nprocs : int; g_bound : int; g_max_steps : int }
+
+let default_prog_params = { g_nprocs = 2; g_bound = 2; g_max_steps = 5 }
+
+(* Variable layout of every generated program: var 0 is a bounded
+   per-process array ("a", the number-like register under test), var 1 a
+   scalar ("g", a gate/flag), and there is a single local ("t"). *)
+let var_a = 0
+let var_g = 1
+let local_t = 0
+
+let pick rng weights =
+  (* [weights]: (weight, value) pairs; total assumed > 0. *)
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weights in
+  let n = R.int rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, v) :: rest -> if n < acc + w then v else go (acc + w) rest
+  in
+  go 0 weights
+
+(* Index expression for a shared read/write of [v], always in range for
+   the fixed [nprocs] of the case.  [in_q] allows [Qidx] (bound by the
+   innermost quantifier, which ranges over pids). *)
+let gen_index rng ~nprocs ~in_q v =
+  if v = var_g then A.Int 0
+  else
+    pick rng
+      ([ (4, `Pid); (1, `Const) ] @ if in_q then [ (3, `Qidx) ] else [])
+    |> function
+    | `Pid -> A.Pid
+    | `Qidx -> A.Qidx
+    | `Const -> A.Int (R.int rng nprocs)
+
+let rec gen_expr rng ~nprocs ~bound ~in_q depth =
+  let leaf () =
+    pick rng
+      ([
+         (4, `Int);
+         (1, `N);
+         (1, `M);
+         (2, `Pid);
+         (2, `Local);
+       ]
+      @ if in_q then [ (2, `Qidx) ] else [])
+    |> function
+    | `Int -> A.Int (R.int rng (bound + 2))
+    | `N -> A.N
+    | `M -> A.M
+    | `Pid -> A.Pid
+    | `Local -> A.Local local_t
+    | `Qidx -> A.Qidx
+  in
+  if depth <= 0 then leaf ()
+  else
+    pick rng
+      [
+        (3, `Leaf);
+        (3, `Rd);
+        (1, `Max);
+        (2, `Add);
+        (1, `Sub);
+        (1, `Mul);
+        (1, `Mod);
+        (1, `Ite);
+      ]
+    |> function
+    | `Leaf -> leaf ()
+    | `Rd ->
+        let v = if R.bool rng then var_a else var_g in
+        A.Rd (v, gen_index rng ~nprocs ~in_q v)
+    | `Max -> A.Max_arr var_a
+    | `Add ->
+        A.Add
+          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+    | `Sub ->
+        A.Sub
+          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+    | `Mul ->
+        A.Mul
+          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+    | `Mod ->
+        (* positive constant divisor: no division-by-zero at runtime *)
+        A.Mod
+          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
+            A.Int (1 + R.int rng (bound + 2)) )
+    | `Ite ->
+        A.Ite
+          ( gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+
+and gen_bexpr rng ~nprocs ~bound ~in_q depth =
+  let cmp () =
+    pick rng
+      [ (1, A.Clt); (1, A.Cle); (1, A.Ceq); (1, A.Cne); (1, A.Cgt); (1, A.Cge) ]
+  in
+  let atom () =
+    pick rng [ (1, `True); (5, `Cmp) ] |> function
+    | `True -> A.True
+    | `Cmp ->
+        A.Cmp
+          ( cmp (),
+            gen_expr rng ~nprocs ~bound ~in_q 1,
+            gen_expr rng ~nprocs ~bound ~in_q 1 )
+  in
+  if depth <= 0 then atom ()
+  else
+    pick rng
+      ([ (3, `Atom); (1, `Not); (2, `And); (2, `Or); (1, `Lex) ]
+      @ if in_q then [] else [ (2, `Exists); (2, `Forall) ])
+    |> function
+    | `Atom -> atom ()
+    | `Not -> A.Not (gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1))
+    | `And ->
+        A.And
+          ( gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1),
+            gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1) )
+    | `Or ->
+        A.Or
+          ( gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1),
+            gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1) )
+    | `Lex ->
+        A.Lex_lt
+          ( ( gen_expr rng ~nprocs ~bound ~in_q 1,
+              gen_expr rng ~nprocs ~bound ~in_q 1 ),
+            ( gen_expr rng ~nprocs ~bound ~in_q 1,
+              gen_expr rng ~nprocs ~bound ~in_q 1 ) )
+    | `Exists ->
+        let r = pick rng [ (2, A.Rall); (2, A.Rothers); (1, A.Rbelow); (1, A.Rabove) ] in
+        A.Qexists (r, gen_bexpr rng ~nprocs ~bound ~in_q:true (depth - 1))
+    | `Forall ->
+        let r = pick rng [ (2, A.Rall); (2, A.Rothers); (1, A.Rbelow); (1, A.Rabove) ] in
+        A.Qall (r, gen_bexpr rng ~nprocs ~bound ~in_q:true (depth - 1))
+
+(* Every write is wrapped mod (M + 2): cells stay in a finite range but
+   can still reach M + 1 and violate the no-overflow invariant. *)
+let gen_effect rng ~nprocs ~bound =
+  let value = A.Mod (gen_expr rng ~nprocs ~bound ~in_q:false 2, A.Int (bound + 2)) in
+  pick rng [ (3, `Sh_a); (2, `Sh_g); (2, `Lo) ] |> function
+  | `Sh_a -> (A.Sh (var_a, gen_index rng ~nprocs ~in_q:false var_a), value)
+  | `Sh_g -> (A.Sh (var_g, A.Int 0), value)
+  | `Lo -> (A.Lo local_t, value)
+
+let gen_action rng ~nprocs ~bound ~nsteps =
+  let guard =
+    pick rng [ (1, `True); (3, `Cond) ] |> function
+    | `True -> A.True
+    | `Cond -> gen_bexpr rng ~nprocs ~bound ~in_q:false 2
+  in
+  let neffects = R.int rng 3 in
+  let effects = List.init neffects (fun _ -> gen_effect rng ~nprocs ~bound) in
+  { A.guard; effects; target = R.int rng nsteps }
+
+let kinds =
+  [|
+    A.Noncritical; A.Entry; A.Doorway; A.Waiting; A.Critical; A.Exit; A.Plain;
+  |]
+
+let program rng (p : prog_params) =
+  let nprocs = p.g_nprocs and bound = p.g_bound in
+  let nsteps = 2 + R.int rng (max 1 (p.g_max_steps - 1)) in
+  let steps =
+    Array.init nsteps (fun i ->
+        let nacts = 1 + R.int rng 2 in
+        {
+          A.step_name = Printf.sprintf "S%d" i;
+          kind = kinds.(R.int rng (Array.length kinds));
+          actions =
+            List.init nacts (fun _ -> gen_action rng ~nprocs ~bound ~nsteps);
+        })
+  in
+  (* Guarantee a Critical step so the mutex invariant is never vacuous. *)
+  if not (Array.exists (fun (s : A.step) -> s.kind = A.Critical) steps) then begin
+    let i = R.int rng nsteps in
+    steps.(i) <- { (steps.(i)) with kind = A.Critical }
+  end;
+  {
+    A.title = "fuzz";
+    nvars = 2;
+    var_names = [| "a"; "g" |];
+    var_sizes = [| -1; 1 |];
+    per_process = [| true; false |];
+    bounded = [| true; false |];
+    nlocals = 1;
+    local_names = [| "t" |];
+    steps;
+    init_shared = [| 0; 0 |];
+    init_locals = [| 0 |];
+    init_pc = 0;
+  }
+
+(* ----------------------------------------------------------- schedules *)
+
+let schedule rng ~nprocs ~len =
+  let a = Array.make (max 0 len) 0 in
+  let i = ref 0 in
+  while !i < len do
+    let pid = R.int rng nprocs in
+    let burst = 1 + R.int rng 8 in
+    let stop = min len (!i + burst) in
+    while !i < stop do
+      a.(!i) <- pid;
+      incr i
+    done
+  done;
+  a
+
+type plan = {
+  pl_model : string;
+  pl_nprocs : int;
+  pl_bound : int;
+  pl_schedule : int array;
+  pl_wrap : bool;
+  pl_flicker : float;
+  pl_crash : float;
+  pl_seed : int;
+}
+
+let plan rng ~models ~nprocs ~bound ~max_len =
+  let model = List.nth models (R.int rng (List.length models)) in
+  let len = max_len / 2 + R.int rng (max 1 (max_len / 2)) in
+  let sched = schedule rng ~nprocs ~len in
+  let flicker = if R.int rng 3 = 0 then 0.05 +. R.float rng 0.2 else 0.0 in
+  let crash = if R.int rng 4 = 0 then 0.005 +. R.float rng 0.02 else 0.0 in
+  {
+    pl_model = model;
+    pl_nprocs = nprocs;
+    pl_bound = bound;
+    pl_schedule = sched;
+    pl_wrap = R.bool rng;
+    pl_flicker = flicker;
+    pl_crash = crash;
+    pl_seed = 1 + R.int rng 1_000_000;
+  }

@@ -1,0 +1,60 @@
+(** Seeded generators for the fuzzer.
+
+    Everything here is a pure function of the supplied {!Prng.Rng.t}
+    stream: equal generator states produce structurally equal values, so
+    a fuzz case is reproducible from (seed, case index) alone.
+
+    Program generation produces only {e well-formed} mxlang programs:
+    every variable, local, label target and shared index is in range by
+    construction (for the [nprocs] the case will run with), every modulo
+    divisor is a positive constant, and [Qidx] appears only under a
+    quantifier — so neither the interpreter nor the compiled engine can
+    hit a dynamic {!Mxlang.Eval.Error}, and {!Mxlang.Validate.check}
+    reports no [`Error] issue.  Shared and local writes are wrapped
+    [mod (M + 2)], which keeps every reachable state space finite (cells
+    range over [-(M+1) .. M+1]) while still being able to exceed the
+    register bound and trip the no-overflow invariant. *)
+
+type prog_params = {
+  g_nprocs : int;  (** the process count the program will be checked at *)
+  g_bound : int;  (** the register capacity M *)
+  g_max_steps : int;  (** labels per program, >= 2 *)
+}
+
+val default_prog_params : prog_params
+
+val program : Prng.Rng.t -> prog_params -> Mxlang.Ast.program
+(** A random well-formed program: one bounded per-process array, one
+    scalar, one local, 2..[g_max_steps] steps with 1-2 guarded actions
+    each, and at least one [Critical]-kind step. *)
+
+val schedule : Prng.Rng.t -> nprocs:int -> len:int -> int array
+(** A random pid sequence with bursts (runs of 1-8 repeats of one pid),
+    the shape most likely to drive ticket counters up and expose
+    interleaving bugs — plain uniform schedules ride the contention
+    sweet spot far more rarely. *)
+
+(** A schedule-fuzzing case: a registry model plus everything the replay
+    oracle needs to execute it deterministically. *)
+type plan = {
+  pl_model : string;  (** {!Harness.Registry} model name *)
+  pl_nprocs : int;
+  pl_bound : int;
+  pl_schedule : int array;
+  pl_wrap : bool;  (** wrap too-large stores (real-register behaviour) *)
+  pl_flicker : float;  (** safe-register read-anomaly probability; 0 = off *)
+  pl_crash : float;  (** per-step crash probability; 0 = off *)
+  pl_seed : int;  (** drives crash/flicker/alternative randomness *)
+}
+
+val plan :
+  Prng.Rng.t ->
+  models:string list ->
+  nprocs:int ->
+  bound:int ->
+  max_len:int ->
+  plan
+(** A random plan over one of [models]: a burst schedule of up to
+    [max_len] steps; flicker on ~1/3 of plans, crashes on ~1/4 (the
+    oracle only checks replay determinism for those — see
+    {!Oracle}). *)

@@ -1,0 +1,335 @@
+module MC = Modelcheck
+module A = Mxlang.Ast
+
+type verdict = Pass | Fail of { tag : string; detail : string }
+
+type case =
+  | Prog_case of {
+      program : A.program;
+      nprocs : int;
+      bound : int;
+      max_states : int;
+    }
+  | Sched_case of Gen.plan
+
+type t = Compile | Parallel | Replay
+
+let all = [ Compile; Parallel; Replay ]
+
+let name = function
+  | Compile -> "compile"
+  | Parallel -> "parallel"
+  | Replay -> "replay"
+
+let of_name = function
+  | "compile" -> Ok Compile
+  | "parallel" -> Ok Parallel
+  | "replay" -> Ok Replay
+  | s ->
+      Error
+        (Printf.sprintf "unknown oracle %S (expected compile|parallel|replay)" s)
+
+let fail tag fmt = Printf.ksprintf (fun detail -> Fail { tag; detail }) fmt
+
+(* ------------------------------------------------------- engine oracles *)
+
+let invariants = [ MC.Invariant.mutex; MC.Invariant.no_overflow ]
+
+(* Everything two exploration runs must agree on, as one comparable
+   value.  Traces are projected to (pid, step name) so the comparison is
+   structural. *)
+type run_fingerprint = {
+  fp_outcome : string;
+  fp_generated : int;
+  fp_distinct : int;
+  fp_depth : int;
+  fp_trace : (int * string) list;
+}
+
+let fingerprint (r : MC.Explore.result) =
+  let trace =
+    match r.outcome with
+    | MC.Explore.Violation { trace; _ } | MC.Explore.Deadlock { trace } ->
+        List.map (fun (e : MC.Trace.entry) -> (e.pid, e.step_name)) trace
+    | MC.Explore.Pass | MC.Explore.Capacity -> []
+  in
+  {
+    fp_outcome = MC.Explore.outcome_tag r.outcome;
+    fp_generated = r.stats.generated;
+    fp_distinct = r.stats.distinct;
+    fp_depth = r.stats.depth;
+    fp_trace = trace;
+  }
+
+let fp_to_string fp =
+  Printf.sprintf "%s generated=%d distinct=%d depth=%d trace=%d" fp.fp_outcome
+    fp.fp_generated fp.fp_distinct fp.fp_depth (List.length fp.fp_trace)
+
+let compare_fingerprints ~tag ~left ~right ~exact_trace a b =
+  let mismatch what la lb =
+    fail (tag ^ ":" ^ what) "%s: %s=[%s] %s=[%s]" what left la right lb
+  in
+  if a.fp_outcome <> b.fp_outcome then
+    mismatch "outcome" (fp_to_string a) (fp_to_string b)
+  else if a.fp_distinct <> b.fp_distinct then
+    mismatch "distinct" (string_of_int a.fp_distinct) (string_of_int b.fp_distinct)
+  else if a.fp_depth <> b.fp_depth then
+    mismatch "depth" (string_of_int a.fp_depth) (string_of_int b.fp_depth)
+  else if a.fp_generated <> b.fp_generated then
+    mismatch "generated" (string_of_int a.fp_generated)
+      (string_of_int b.fp_generated)
+  else if exact_trace && a.fp_trace <> b.fp_trace then
+    mismatch "trace"
+      (String.concat ";" (List.map (fun (p, s) -> Printf.sprintf "%d:%s" p s) a.fp_trace))
+      (String.concat ";" (List.map (fun (p, s) -> Printf.sprintf "%d:%s" p s) b.fp_trace))
+  else Pass
+
+let run_prog_case ~engine ~program ~nprocs ~bound ~max_states =
+  let sys = MC.System.make program ~nprocs ~bound in
+  match engine with
+  | `Interpreted ->
+      MC.Explore.run ~interpreted:true ~invariants ~max_states sys
+  | `Compiled -> MC.Explore.run ~invariants ~max_states sys
+  | `Parallel -> MC.Par_explore.run ~invariants ~max_states ~domains:2 sys
+
+let compile_oracle ~program ~nprocs ~bound ~max_states =
+  let reference =
+    run_prog_case ~engine:`Interpreted ~program ~nprocs ~bound ~max_states
+  in
+  let compiled =
+    run_prog_case ~engine:`Compiled ~program ~nprocs ~bound ~max_states
+  in
+  (* The two engines enumerate successors in the same order, so even the
+     counterexample trace must match action for action. *)
+  compare_fingerprints ~tag:"engine_mismatch" ~left:"interp" ~right:"compiled"
+    ~exact_trace:true (fingerprint reference) (fingerprint compiled)
+
+let parallel_oracle ~program ~nprocs ~bound ~max_states =
+  let seq = run_prog_case ~engine:`Compiled ~program ~nprocs ~bound ~max_states in
+  let par = run_prog_case ~engine:`Parallel ~program ~nprocs ~bound ~max_states in
+  match (seq.outcome, par.outcome) with
+  | MC.Explore.Capacity, _ | _, MC.Explore.Capacity ->
+      (* the state-count cutoff lands mid-level in one engine and at a
+         wave boundary in the other, so anything past it is undecided *)
+      Pass
+  | MC.Explore.Pass, MC.Explore.Pass ->
+      (* exhaustive exploration: the reachable set itself must be
+         identical, so every statistic agrees exactly *)
+      compare_fingerprints ~tag:"par_mismatch" ~left:"seq" ~right:"par"
+        ~exact_trace:false (fingerprint seq) (fingerprint par)
+  | ( (MC.Explore.Violation _ | MC.Explore.Deadlock _),
+      (MC.Explore.Violation _ | MC.Explore.Deadlock _) ) ->
+      (* Both engines report a counterexample.  The sequential explorer
+         stops mid-level at the first bad state in insertion order while
+         the parallel engine finishes generating its wave, so the state
+         counts at detection — and, when one wave holds several bad
+         states, which one wins — are engine-specific.  Agreement on
+         "this program has a bug" is the sound claim. *)
+      Pass
+  | _ ->
+      fail "par_mismatch:outcome" "seq=[%s] par=[%s]"
+        (fp_to_string (fingerprint seq))
+        (fp_to_string (fingerprint par))
+
+(* -------------------------------------------------------- replay oracle *)
+
+let sim_config (pl : Gen.plan) =
+  let open Schedsim.Runner in
+  {
+    (default_config ~nprocs:pl.pl_nprocs ~bound:pl.pl_bound) with
+    strategy = Schedsim.Scheduler.Replay pl.pl_schedule;
+    max_steps = Array.length pl.pl_schedule + 2;
+    seed = pl.pl_seed;
+    overflow_policy = (if pl.pl_wrap then Wrap else Detect);
+    crash =
+      (if pl.pl_crash > 0.0 then
+         Some
+           {
+             crash_prob = pl.pl_crash;
+             restart_delay = 5;
+             only_outside_cs = false;
+           }
+       else None);
+    flicker =
+      (if pl.pl_flicker > 0.0 then
+         Some { flicker_prob = pl.pl_flicker; max_value = pl.pl_bound }
+       else None);
+  }
+
+let run_plan (pl : Gen.plan) =
+  Schedsim.Runner.run (Harness.Registry.find_model pl.pl_model) (sim_config pl)
+
+let executed_steps (r : Schedsim.Runner.result) =
+  Array.fold_left
+    (fun acc per_pid -> acc + Array.fold_left ( + ) 0 per_pid)
+    0 r.label_counts
+
+let results_equal (a : Schedsim.Runner.result) (b : Schedsim.Runner.result) =
+  a.outcome = b.outcome && a.steps = b.steps && a.cs_entries = b.cs_entries
+  && a.label_counts = b.label_counts
+  && a.overflow_events = b.overflow_events
+  && a.mutex_violations = b.mutex_violations
+  && a.fcfs_inversions = b.fcfs_inversions
+  && a.crashes = b.crashes && a.flickers = b.flickers
+  && a.final_shared = b.final_shared
+
+(* Walk the model checker's compiled transition system along the same
+   pid sequence the simulator replayed.  Returns [None] when the walk
+   hits a step with more than one simultaneously-enabled alternative
+   (the simulator resolves those randomly, so the comparison would be
+   ill-defined); every registry model in the default rotation is
+   alternative-deterministic. *)
+type walk = {
+  w_executed : int;
+  w_cs : int array;
+  w_shared : int array;
+}
+
+let walk_model (pl : Gen.plan) =
+  let p = Harness.Registry.find_model pl.pl_model in
+  let sys = MC.System.make p ~nprocs:pl.pl_nprocs ~bound:pl.pl_bound in
+  let layout = MC.System.layout sys in
+  let cs = Array.make pl.pl_nprocs 0 in
+  let state = ref (MC.System.initial sys) in
+  let executed = ref 0 in
+  let ambiguous = ref false in
+  (try
+     Array.iter
+       (fun pid ->
+         match MC.System.successors_of_pid sys !state pid with
+         | [] -> raise Exit (* sim's Replay also stops here *)
+         | [ m ] ->
+             let from_pc = MC.State.pc layout !state pid in
+             let to_pc = MC.State.pc layout m.MC.System.dest pid in
+             if
+               MC.System.kind_of_pc sys to_pc = A.Critical
+               && MC.System.kind_of_pc sys from_pc <> A.Critical
+             then cs.(pid) <- cs.(pid) + 1;
+             state := m.MC.System.dest;
+             incr executed
+         | _ :: _ :: _ ->
+             ambiguous := true;
+             raise Exit)
+       pl.pl_schedule
+   with Exit -> ());
+  if !ambiguous then None
+  else
+    Some
+      {
+        w_executed = !executed;
+        w_cs = cs;
+        w_shared = MC.State.shared_part layout !state;
+      }
+
+let ints_to_string a =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let replay_oracle (pl : Gen.plan) =
+  let r1 = run_plan pl in
+  let r2 = run_plan pl in
+  if not (results_equal r1 r2) then
+    fail "replay_nondeterminism"
+      "two replays of the same schedule differ (steps %d vs %d, cs [%s] vs [%s])"
+      r1.steps r2.steps
+      (ints_to_string r1.cs_entries)
+      (ints_to_string r2.cs_entries)
+  else
+    let clean = pl.pl_flicker = 0.0 && pl.pl_crash = 0.0 in
+    if not clean then Pass
+    else if r1.mutex_violations > 0 then
+      fail "mutex_violation"
+        "%s violates mutual exclusion under a %d-step schedule (%d violation(s), overflows %d)"
+        pl.pl_model (Array.length pl.pl_schedule) r1.mutex_violations
+        r1.overflow_events
+    else if pl.pl_wrap && r1.overflow_events > 0 then
+      (* The simulator wrapped a store; the checker's transition system
+         stores the raw value, so the walk comparison is ill-defined. *)
+      Pass
+    else
+      match walk_model pl with
+      | None -> Pass (* alternative-ambiguous model: determinism checked only *)
+      | Some w ->
+          if w.w_executed <> executed_steps r1 then
+            fail "model_sim_divergence"
+              "%s: checker walk executed %d steps, simulator %d" pl.pl_model
+              w.w_executed (executed_steps r1)
+          else if w.w_shared <> r1.final_shared then
+            fail "model_sim_divergence"
+              "%s: final shared memory differs (checker [%s], simulator [%s])"
+              pl.pl_model (ints_to_string w.w_shared)
+              (ints_to_string r1.final_shared)
+          else if w.w_cs <> r1.cs_entries then
+            fail "model_sim_divergence"
+              "%s: CS entries differ (checker [%s], simulator [%s])"
+              pl.pl_model (ints_to_string w.w_cs)
+              (ints_to_string r1.cs_entries)
+          else Pass
+
+(* ------------------------------------------------------------ dispatch *)
+
+let generate oracle rng (dp : Driver_params.t) =
+  match oracle with
+  | Compile | Parallel ->
+      let program =
+        Gen.program rng
+          {
+            Gen.g_nprocs = dp.nprocs;
+            g_bound = dp.bound;
+            g_max_steps = 5;
+          }
+      in
+      Prog_case
+        {
+          program;
+          nprocs = dp.nprocs;
+          bound = dp.bound;
+          max_states = dp.max_states;
+        }
+  | Replay ->
+      Sched_case
+        (Gen.plan rng ~models:dp.models ~nprocs:dp.nprocs ~bound:dp.bound
+           ~max_len:dp.sched_len)
+
+let run oracle case =
+  match (oracle, case) with
+  | Compile, Prog_case { program; nprocs; bound; max_states } ->
+      compile_oracle ~program ~nprocs ~bound ~max_states
+  | Parallel, Prog_case { program; nprocs; bound; max_states } ->
+      parallel_oracle ~program ~nprocs ~bound ~max_states
+  | Replay, Sched_case pl -> replay_oracle pl
+  | (Compile | Parallel), Sched_case _ ->
+      fail "bad_case" "%s oracle expects a program case" (name oracle)
+  | Replay, Prog_case _ -> fail "bad_case" "replay oracle expects a schedule case"
+
+let tag_of = function Pass -> None | Fail { tag; _ } -> Some tag
+
+let shrink oracle case ~max_evals =
+  match tag_of (run oracle case) with
+  | None -> (case, 0) (* not failing: nothing to shrink *)
+  | Some tag -> (
+      let fails_same c =
+        match run oracle c with
+        | Fail { tag = t; _ } -> t = tag
+        | Pass -> false
+      in
+      match case with
+      | Sched_case pl ->
+          let sched, evals =
+            Shrink.ddmin
+              ~still_fails:(fun s ->
+                fails_same (Sched_case { pl with Gen.pl_schedule = s }))
+              ~max_evals pl.Gen.pl_schedule
+          in
+          (Sched_case { pl with Gen.pl_schedule = sched }, evals)
+      | Prog_case pc ->
+          let program, evals =
+            Shrink.program
+              ~still_fails:(fun p ->
+                fails_same (Prog_case { pc with program = p }))
+              ~max_evals pc.program
+          in
+          (Prog_case { pc with program }, evals))
+
+let case_size = function
+  | Sched_case pl -> Array.length pl.Gen.pl_schedule
+  | Prog_case { program; _ } -> Shrink.program_size program

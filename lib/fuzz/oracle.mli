@@ -1,0 +1,56 @@
+(** Differential oracles: executable equivalence claims between the
+    repo's independent engines.
+
+    Each oracle takes a {!case} and returns a {!verdict}.  A [Fail]
+    carries a short stable [tag] (compared when replaying a corpus
+    entry — it must not embed volatile data like timings or addresses)
+    and a human [detail].
+
+    - [Compile]: {!Modelcheck.Explore.run} with the AST interpreter vs
+      the staged compiler must produce the same outcome, state counts,
+      depth and counterexample trace (guards claims C1/C2: the engine
+      that certifies them is exercised against its reference semantics).
+    - [Parallel]: sequential vs level-synchronized parallel BFS.  On a
+      [Pass] both engines explored the whole reachable set, so outcome,
+      distinct-state count, generated count and depth must agree
+      exactly; on a counterexample the engines stop at
+      engine-specific points (mid-level vs end of wave), so the claim
+      checked is that both find {e some} bug — one engine passing
+      while the other reports a violation or deadlock is a failure.
+      Guards the same claims under the parallel engine.
+    - [Replay]: a schedule executed by the simulator must (a) replay
+      bit-identically, (b) agree with the model checker's compiled
+      transition system walked along the same pid sequence, and (c) on
+      clean plans (no crash/flicker injection) never violate mutual
+      exclusion — the property that catches the naive-modulo exemplar
+      and wrapped-register Bakery (claims C2/C4). *)
+
+type verdict = Pass | Fail of { tag : string; detail : string }
+
+type case =
+  | Prog_case of {
+      program : Mxlang.Ast.program;
+      nprocs : int;
+      bound : int;
+      max_states : int;
+    }
+  | Sched_case of Gen.plan
+
+type t = Compile | Parallel | Replay
+
+val all : t list
+val name : t -> string
+val of_name : string -> (t, string) result
+
+val generate : t -> Prng.Rng.t -> Driver_params.t -> case
+(** Draw a case of the shape this oracle consumes. *)
+
+val run : t -> case -> verdict
+
+val shrink : t -> case -> max_evals:int -> case * int
+(** Minimize a failing case, preserving its failure tag.  Schedule
+    cases shrink the pid sequence (ddmin); program cases shrink the
+    AST.  Returns the evaluation count actually spent. *)
+
+val case_size : case -> int
+(** Schedule length or program AST size — what shrinking reduces. *)

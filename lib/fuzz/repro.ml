@@ -1,0 +1,170 @@
+module J = Telemetry.Json
+
+type t = {
+  oracle : Oracle.t;
+  tag : string;
+  summary : string;
+  case : Oracle.case;
+}
+
+let ( let* ) r f = Result.bind r f
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+let num i = J.Num (float_of_int i)
+
+let case_to_json = function
+  | Oracle.Prog_case { program; nprocs; bound; max_states } ->
+      J.Obj
+        [
+          ("kind", J.Str "prog");
+          ("nprocs", num nprocs);
+          ("bound", num bound);
+          ("max_states", num max_states);
+          ("program", Codec.program_to_json program);
+        ]
+  | Oracle.Sched_case pl ->
+      J.Obj
+        [
+          ("kind", J.Str "sched");
+          ("model", J.Str pl.Gen.pl_model);
+          ("nprocs", num pl.pl_nprocs);
+          ("bound", num pl.pl_bound);
+          ("wrap", J.Bool pl.pl_wrap);
+          ("flicker", J.Num pl.pl_flicker);
+          ("crash", J.Num pl.pl_crash);
+          ("seed", num pl.pl_seed);
+          ( "schedule",
+            J.Arr (Array.to_list (Array.map (fun i -> num i) pl.pl_schedule)) );
+        ]
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> err "missing field %S" name
+
+let to_int = function
+  | J.Num f when Float.is_integer f -> Ok (int_of_float f)
+  | j -> err "expected integer, got %s" (J.to_string j)
+
+let to_str = function
+  | J.Str s -> Ok s
+  | j -> err "expected string, got %s" (J.to_string j)
+
+let int_field name j =
+  let* v = field name j in
+  to_int v
+
+let str_field name j =
+  let* v = field name j in
+  to_str v
+
+let case_of_json j =
+  let* kind = str_field "kind" j in
+  match kind with
+  | "prog" ->
+      let* nprocs = int_field "nprocs" j in
+      let* bound = int_field "bound" j in
+      let* max_states = int_field "max_states" j in
+      let* pj = field "program" j in
+      let* program = Codec.program_of_json pj in
+      Ok (Oracle.Prog_case { program; nprocs; bound; max_states })
+  | "sched" ->
+      let* model = str_field "model" j in
+      let* nprocs = int_field "nprocs" j in
+      let* bound = int_field "bound" j in
+      let* wrap =
+        match J.member "wrap" j with
+        | Some (J.Bool b) -> Ok b
+        | _ -> err "missing or non-bool field \"wrap\""
+      in
+      let* flicker =
+        match Option.bind (J.member "flicker" j) J.to_num with
+        | Some f -> Ok f
+        | None -> err "missing field \"flicker\""
+      in
+      let* crash =
+        match Option.bind (J.member "crash" j) J.to_num with
+        | Some f -> Ok f
+        | None -> err "missing field \"crash\""
+      in
+      let* seed = int_field "seed" j in
+      let* sched = field "schedule" j in
+      let* schedule =
+        match sched with
+        | J.Arr l ->
+            let* xs =
+              List.fold_right
+                (fun x acc ->
+                  let* acc = acc in
+                  let* i = to_int x in
+                  Ok (i :: acc))
+                l (Ok [])
+            in
+            Ok (Array.of_list xs)
+        | _ -> err "schedule must be an array"
+      in
+      Ok
+        (Oracle.Sched_case
+           {
+             Gen.pl_model = model;
+             pl_nprocs = nprocs;
+             pl_bound = bound;
+             pl_schedule = schedule;
+             pl_wrap = wrap;
+             pl_flicker = flicker;
+             pl_crash = crash;
+             pl_seed = seed;
+           })
+  | k -> err "unknown case kind %S" k
+
+let to_json r =
+  J.Obj
+    [
+      ("format", num 1);
+      ("oracle", J.Str (Oracle.name r.oracle));
+      ("tag", J.Str r.tag);
+      ("summary", J.Str r.summary);
+      ("case", case_to_json r.case);
+    ]
+
+let of_json j =
+  let* format = int_field "format" j in
+  if format <> 1 then err "unsupported repro format %d" format
+  else
+    let* oname = str_field "oracle" j in
+    let* oracle = Oracle.of_name oname in
+    let* tag = str_field "tag" j in
+    let* summary = str_field "summary" j in
+    let* cj = field "case" j in
+    let* case = case_of_json cj in
+    Ok { oracle; tag; summary; case }
+
+let to_string r = J.to_string (to_json r)
+
+let of_string s =
+  let* j = J.parse s in
+  of_json j
+
+let save ~dir ~name r =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".repro") in
+  let oc = open_out path in
+  output_string oc (to_string r);
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      of_string (String.trim s)
+
+type replay_outcome = Reproduced | Changed of string | Vanished
+
+let replay r =
+  match Oracle.run r.oracle r.case with
+  | Oracle.Pass -> Vanished
+  | Oracle.Fail { tag; _ } -> if tag = r.tag then Reproduced else Changed tag

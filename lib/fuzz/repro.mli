@@ -1,0 +1,38 @@
+(** Reproducer files: one shrunk failing case, serialized as a single
+    deterministic JSON object.
+
+    A [.repro] records the oracle, the failure tag observed when the
+    case was found, a human summary, and the complete case — for a
+    schedule case the model name, parameters and pid sequence; for a
+    program case the whole program AST ({!Codec}).  [replay] re-executes
+    the case through the same oracle and reports whether the verdict
+    matches the recorded one, which is what the committed corpus in
+    [test/corpus/] asserts on every test run. *)
+
+type t = {
+  oracle : Oracle.t;
+  tag : string;  (** the failure tag recorded when the case was found *)
+  summary : string;
+  case : Oracle.case;
+}
+
+val to_json : t -> Telemetry.Json.t
+val of_json : Telemetry.Json.t -> (t, string) result
+
+val to_string : t -> string
+(** Compact one-line JSON, byte-deterministic for a given value. *)
+
+val of_string : string -> (t, string) result
+
+val save : dir:string -> name:string -> t -> string
+(** Write [<dir>/<name>.repro] (creating [dir] if needed); returns the
+    path. *)
+
+val load : string -> (t, string) result
+
+type replay_outcome =
+  | Reproduced  (** the oracle failed again with the recorded tag *)
+  | Changed of string  (** it failed with a different tag *)
+  | Vanished  (** the oracle now passes *)
+
+val replay : t -> replay_outcome

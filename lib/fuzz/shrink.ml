@@ -1,0 +1,195 @@
+module A = Mxlang.Ast
+
+(* ---------------------------------------------------------------- ddmin *)
+
+let remove_slice a lo len =
+  Array.append (Array.sub a 0 lo)
+    (Array.sub a (lo + len) (Array.length a - lo - len))
+
+let ddmin ~still_fails ~max_evals input =
+  let evals = ref 0 in
+  let test a =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      still_fails a
+    end
+  in
+  (* Phase 1: chunk removal, halving chunk size. *)
+  let cur = ref input in
+  let chunk = ref (max 1 (Array.length input / 2)) in
+  while !chunk >= 1 && !evals < max_evals do
+    let progress = ref true in
+    while !progress && !evals < max_evals do
+      progress := false;
+      let n = Array.length !cur in
+      let lo = ref 0 in
+      while !lo < n && not !progress && !evals < max_evals do
+        let len = min !chunk (Array.length !cur - !lo) in
+        if len > 0 && len < Array.length !cur then begin
+          let cand = remove_slice !cur !lo len in
+          if test cand then begin
+            cur := cand;
+            progress := true
+          end
+        end;
+        lo := !lo + !chunk
+      done
+    done;
+    if !chunk = 1 then chunk := 0 else chunk := !chunk / 2
+  done;
+  (* Phase 2: single-element elimination until a fixed point. *)
+  let progress = ref true in
+  while !progress && !evals < max_evals do
+    progress := false;
+    let i = ref 0 in
+    while !i < Array.length !cur && !evals < max_evals do
+      if Array.length !cur > 1 then begin
+        let cand = remove_slice !cur !i 1 in
+        if test cand then begin
+          cur := cand;
+          progress := true
+        end
+        else incr i
+      end
+      else i := Array.length !cur
+    done
+  done;
+  (!cur, !evals)
+
+(* ------------------------------------------------------- program size *)
+
+let rec expr_size (e : A.expr) =
+  match e with
+  | Int k -> 1 + (if k = 0 then 0 else 1)
+  | N | M | Pid | Qidx | Local _ | Max_arr _ -> 1
+  | Rd (_, ix) -> 1 + expr_size ix
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Mod (a, b) ->
+      1 + expr_size a + expr_size b
+  | Ite (c, a, b) -> 1 + bexpr_size c + expr_size a + expr_size b
+
+and bexpr_size (b : A.bexpr) =
+  match b with
+  | True | False -> 1
+  | Not x -> 1 + bexpr_size x
+  | And (x, y) | Or (x, y) -> 1 + bexpr_size x + bexpr_size y
+  | Cmp (_, x, y) -> 1 + expr_size x + expr_size y
+  | Lex_lt ((a, b1), (c, d)) ->
+      1 + expr_size a + expr_size b1 + expr_size c + expr_size d
+  | Qexists (_, p) | Qall (_, p) -> 1 + bexpr_size p
+
+let action_size (a : A.action) =
+  bexpr_size a.guard
+  + List.fold_left (fun acc (_, e) -> acc + 1 + expr_size e) 1 a.effects
+
+let program_size (p : A.program) =
+  Array.fold_left
+    (fun acc (s : A.step) ->
+      acc + 1 + List.fold_left (fun acc a -> acc + action_size a) 0 s.actions)
+    0 p.steps
+
+(* -------------------------------------------------- program candidates *)
+
+(* Remove step [i], retargeting: targets past [i] slide down; targets of
+   [i] itself go to the step that now occupies slot [i] (or the last
+   step when [i] was last) — the "fall through to the next label"
+   reading, which keeps every target in range. *)
+let remove_step (p : A.program) i =
+  let n = Array.length p.steps in
+  if n <= 1 then None
+  else begin
+    let n' = n - 1 in
+    let remap t = if t > i then t - 1 else if t = i then min i (n' - 1) else t in
+    let steps =
+      Array.init n' (fun j ->
+          let s = p.steps.(if j < i then j else j + 1) in
+          {
+            s with
+            A.actions =
+              List.map
+                (fun (a : A.action) -> { a with A.target = remap a.target })
+                s.actions;
+          })
+    in
+    Some { p with A.steps; init_pc = remap p.init_pc }
+  end
+
+let map_step (p : A.program) i f =
+  let steps = Array.copy p.steps in
+  steps.(i) <- f steps.(i);
+  { p with A.steps = steps }
+
+let map_action (s : A.step) j f =
+  { s with A.actions = List.mapi (fun k a -> if k = j then f a else a) s.actions }
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* All single-edit smaller candidates of [p], in a fixed order: coarse
+   edits (whole steps) first so the greedy loop takes big steps early. *)
+let candidates (p : A.program) =
+  let out = ref [] in
+  let add c = out := c :: !out in
+  let nsteps = Array.length p.steps in
+  (* collapse right-hand sides / guards / effects / actions *)
+  Array.iteri
+    (fun i (s : A.step) ->
+      List.iteri
+        (fun j (a : A.action) ->
+          if List.length s.actions > 1 then
+            add (map_step p i (fun s -> { s with A.actions = drop_nth s.actions j }));
+          if a.guard <> A.True then
+            add (map_step p i (fun s -> map_action s j (fun a -> { a with A.guard = A.True })));
+          List.iteri
+            (fun k (_, e) ->
+              add
+                (map_step p i (fun s ->
+                     map_action s j (fun a ->
+                         { a with A.effects = drop_nth a.effects k })));
+              if e <> A.Int 0 then
+                add
+                  (map_step p i (fun s ->
+                       map_action s j (fun a ->
+                           {
+                             a with
+                             A.effects =
+                               List.mapi
+                                 (fun k' (l, e') ->
+                                   if k' = k then (l, A.Int 0) else (l, e'))
+                                 a.effects;
+                           }))))
+            a.effects)
+        s.actions)
+    p.steps;
+  for i = nsteps - 1 downto 0 do
+    match remove_step p i with Some c -> add c | None -> ()
+  done;
+  !out (* step removals end up first: coarse before fine *)
+
+let program ~still_fails ~max_evals p0 =
+  let evals = ref 0 in
+  let cur = ref p0 in
+  let cur_size = ref (program_size p0) in
+  let progress = ref true in
+  while !progress && !evals < max_evals do
+    progress := false;
+    let rec try_cands = function
+      | [] -> ()
+      | c :: rest ->
+          if !evals >= max_evals then ()
+          else begin
+            let sz = program_size c in
+            if sz < !cur_size then begin
+              incr evals;
+              if still_fails c then begin
+                cur := c;
+                cur_size := sz;
+                progress := true
+              end
+              else try_cands rest
+            end
+            else try_cands rest
+          end
+    in
+    try_cands (candidates !cur)
+  done;
+  (!cur, !evals)

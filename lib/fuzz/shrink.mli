@@ -1,0 +1,36 @@
+(** Delta-debugging shrinkers for failing fuzz cases.
+
+    Both shrinkers take the failure predicate [still_fails] (true when a
+    candidate still reproduces the original failure) and an evaluation
+    budget, and return the smallest reproducer found plus the number of
+    predicate evaluations spent.  They are deterministic — candidates
+    are tried in a fixed order — and terminate: a candidate is only
+    accepted if it is strictly smaller under a well-founded size
+    measure, and the budget bounds the total predicate calls either
+    way. *)
+
+val ddmin :
+  still_fails:(int array -> bool) ->
+  max_evals:int ->
+  int array ->
+  int array * int
+(** Zeller's ddmin on an int sequence (a schedule): chunk removal with
+    doubling granularity, then a single-element elimination pass.  The
+    input is assumed to fail; the result still fails and no single
+    further chunk/element removal tried within budget makes it fail. *)
+
+val program_size : Mxlang.Ast.program -> int
+(** AST node count plus the magnitude bits of integer literals — the
+    measure [program] shrinks against. *)
+
+val program :
+  still_fails:(Mxlang.Ast.program -> bool) ->
+  max_evals:int ->
+  Mxlang.Ast.program ->
+  Mxlang.Ast.program * int
+(** Greedy structural minimization: remove whole steps (retargeting
+    dangling gotos to the step that slides into the removed slot), drop
+    alternative actions, drop effects, relax guards to [True], and
+    collapse right-hand sides to [0].  Every candidate is well-formed by
+    construction ({!Mxlang.Validate.check} reports no errors if the
+    input had none). *)

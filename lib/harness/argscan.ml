@@ -3,15 +3,16 @@ let extract_presence ~flag args =
 
 let looks_like_flag v = String.length v >= 2 && String.sub v 0 2 = "--"
 
-let extract_value ~flag args =
+let extract_value ?(docv = "VALUE") ~flag args =
+  let err fmt = Printf.ksprintf (fun m -> Error (flag ^ ": " ^ m)) fmt in
   let rec go acc seen = function
     | [] -> Ok (seen, List.rev acc)
     | a :: rest when a = flag -> (
         match (seen, rest) with
-        | Some _, _ -> Error (flag ^ " given more than once")
-        | None, [] -> Error (flag ^ " requires a file argument")
+        | Some _, _ -> err "given more than once"
+        | None, [] -> err "missing %s (flag is the last argument)" docv
         | None, v :: _ when looks_like_flag v ->
-            Error (flag ^ " requires a file argument (got option " ^ v ^ ")")
+            err "missing %s (next argument %S is itself an option)" docv v
         | None, v :: rest' -> go acc (Some v) rest')
     | a :: rest -> go (a :: acc) seen rest
   in

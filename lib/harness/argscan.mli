@@ -14,9 +14,15 @@ val extract_presence : flag:string -> string list -> bool * string list
     [args] with every occurrence removed. *)
 
 val extract_value :
-  flag:string -> string list -> (string option * string list, string) result
+  ?docv:string ->
+  flag:string ->
+  string list ->
+  (string option * string list, string) result
 (** [extract_value ~flag args] removes one [flag VALUE] pair from
     [args].  [Ok (None, args)] when the flag is absent;
     [Ok (Some v, rest)] when it occurs exactly once with a value that
     is not itself an option.  [Error msg] when the flag is repeated,
-    is the last argument, or its supposed value starts with ["--"]. *)
+    is the last argument, or its supposed value starts with ["--"] —
+    every message starts with the offending flag's own name and
+    describes the expected value as [docv] (default ["VALUE"]), e.g.
+    ["--json: missing FILE (flag is the last argument)"]. *)

@@ -1,0 +1,54 @@
+(* `dune build @fuzz-smoke`: a longer fixed-seed fuzzing sweep than the
+   tier-1 suite runs.
+
+   Phase 1 fuzzes the safe models (bakery_pp, peterson2) across all
+   three differential oracles under a wall-clock budget — any failure is
+   a real bug in one of the engines and fails the alias.  Phase 2 runs a
+   fixed batch against bakery_mod_naive and demands the fuzzer still
+   catches the naive-modulo mutual-exclusion bug, so the alias also
+   guards the fuzzer's own detection power.
+
+   FUZZ_BUDGET_S overrides the phase-1 budget (default 30s). *)
+
+let budget_s =
+  match Sys.getenv_opt "FUZZ_BUDGET_S" with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 30.0)
+  | None -> 30.0
+
+let report s = List.iter print_endline (Fuzz.Driver.summary_lines s)
+
+let () =
+  let safe_cfg =
+    {
+      (Fuzz.Driver.default_config ~seed:1 ~count:1_000_000) with
+      Fuzz.Driver.budget_s = Some budget_s;
+      params = { Fuzz.Driver_params.default with Fuzz.Driver_params.bound = 3 };
+    }
+  in
+  let safe = Fuzz.Driver.run safe_cfg in
+  report safe;
+  let naive_cfg =
+    {
+      (Fuzz.Driver.default_config ~seed:1 ~count:400) with
+      Fuzz.Driver.oracles = [ Fuzz.Oracle.Replay ];
+      params =
+        {
+          Fuzz.Driver_params.models = [ "bakery_mod_naive" ];
+          nprocs = 2;
+          bound = 3;
+          max_states = 20_000;
+          sched_len = 120;
+        };
+    }
+  in
+  let naive = Fuzz.Driver.run naive_cfg in
+  report naive;
+  if safe.Fuzz.Driver.s_failures <> [] then (
+    prerr_endline "fuzz-smoke: FAILURES on safe models (real engine bug?)";
+    exit 1);
+  if naive.Fuzz.Driver.s_failures = [] then (
+    prerr_endline
+      "fuzz-smoke: bakery_mod_naive batch found nothing — fuzzer lost its \
+       detection power";
+    exit 1);
+  print_endline "fuzz-smoke: ok"

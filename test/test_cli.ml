@@ -55,7 +55,7 @@ let subcommand_help name () =
 let subcommands =
   [
     "list"; "show"; "check"; "sim"; "lasso"; "refine"; "verify"; "tla";
-    "graph"; "bench";
+    "graph"; "fuzz"; "bench";
   ]
 
 let check_progress_metrics () =
@@ -121,6 +121,69 @@ let check_progress_metrics () =
         (Telemetry.Json.member "nprocs" v <> None)
   | Error e -> Alcotest.fail e
 
+(* ---------------------------------------------------------------- fuzz *)
+
+let fuzz_args = [ "fuzz"; "--seed"; "3"; "--count"; "5" ]
+
+let fuzz_run_and_metrics () =
+  let metrics = Filename.temp_file "cli" ".jsonl" in
+  Sys.remove metrics;
+  let code, out, _ =
+    run_capture (fuzz_args @ [ "--metrics-out"; metrics ])
+  in
+  check int_t "fuzz exits 0 when nothing fails" 0 code;
+  check bool_t "summary header" true (contains ~affix:"fuzz: seed=3" out);
+  check bool_t "per-oracle lines" true (contains ~affix:"compile" out);
+  check bool_t "total line" true (contains ~affix:"total: 15 cases" out);
+  (* metrics snapshot parses and records the case counters *)
+  let ic = open_in metrics in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove metrics;
+  check bool_t "metrics non-empty" true (!lines <> []);
+  let seen name =
+    List.exists
+      (fun line ->
+        match Telemetry.Json.parse line with
+        | Error e -> Alcotest.fail ("unparseable metrics line: " ^ e)
+        | Ok v -> (
+            match Telemetry.Json.member "metric" v with
+            | Some (Telemetry.Json.Str n) -> n = name
+            | _ -> false))
+      !lines
+  in
+  List.iter
+    (fun m -> check bool_t (m ^ " recorded") true (seen m))
+    [ "fuzz.compile.cases"; "fuzz.parallel.cases"; "fuzz.replay.cases" ]
+
+let fuzz_deterministic () =
+  let c1, out1, _ = run_capture fuzz_args in
+  let c2, out2, _ = run_capture fuzz_args in
+  check int_t "same exit code" c1 c2;
+  check Alcotest.string "byte-identical summaries" out1 out2
+
+let fuzz_replay_corpus () =
+  (* the committed corpus replays through the CLI with the recorded
+     verdict (exit 0 = reproduced) *)
+  let file = Filename.concat "corpus" "mod_naive_wrap_41.repro" in
+  let code, out, _ = run_capture [ "fuzz"; "--replay"; file ] in
+  check int_t "replay exits 0" 0 code;
+  check bool_t "reports reproduced" true (contains ~affix:"reproduced" out);
+  (* and an unreadable file is a usage error, distinct from a mismatch *)
+  let bad = Filename.temp_file "cli" ".repro" in
+  let oc = open_out bad in
+  output_string oc "not json";
+  close_out oc;
+  let code, _, err = run_capture [ "fuzz"; "--replay"; bad ] in
+  Sys.remove bad;
+  check int_t "bad file exits 2" 2 code;
+  check bool_t "error names the file" true (contains ~affix:".repro" err)
+
 let () =
   Alcotest.run "cli"
     [
@@ -135,5 +198,13 @@ let () =
         [
           Alcotest.test_case "check --progress --metrics-out" `Quick
             check_progress_metrics;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "run + metrics snapshot" `Quick
+            fuzz_run_and_metrics;
+          Alcotest.test_case "summary is deterministic" `Quick
+            fuzz_deterministic;
+          Alcotest.test_case "--replay on the corpus" `Quick fuzz_replay_corpus;
         ] );
     ]

@@ -1,0 +1,279 @@
+(* Tier-1 tests for the lib/fuzz subsystem: corpus replay, generator
+   well-formedness and seed stability, shrinker monotonicity and
+   termination, the end-to-end generate→detect→shrink→replay pipeline,
+   and a short budgeted smoke sweep over the safe models (the long
+   version lives behind `dune build @fuzz-smoke`). *)
+
+let default_params = Fuzz.Gen.default_prog_params
+
+(* ------------------------------------------------------------- corpus *)
+
+let corpus_files () =
+  Sys.readdir "corpus" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".repro")
+  |> List.sort compare
+  |> List.map (Filename.concat "corpus")
+
+let test_corpus_replays () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 5);
+  List.iter
+    (fun file ->
+      match Fuzz.Repro.load file with
+      | Error e -> Alcotest.failf "%s: cannot load: %s" file e
+      | Ok r -> (
+          match Fuzz.Repro.replay r with
+          | Fuzz.Repro.Reproduced -> ()
+          | Fuzz.Repro.Changed tag ->
+              Alcotest.failf "%s: verdict changed (recorded %s, now %s)" file
+                r.Fuzz.Repro.tag tag
+          | Fuzz.Repro.Vanished ->
+              Alcotest.failf "%s: recorded failure %s no longer reproduces"
+                file r.Fuzz.Repro.tag))
+    files
+
+let test_corpus_round_trip () =
+  (* save/load is the identity on every corpus entry *)
+  List.iter
+    (fun file ->
+      match Fuzz.Repro.load file with
+      | Error e -> Alcotest.failf "%s: cannot load: %s" file e
+      | Ok r -> (
+          match Fuzz.Repro.of_string (Fuzz.Repro.to_string r) with
+          | Error e -> Alcotest.failf "%s: re-parse failed: %s" file e
+          | Ok r' ->
+              Alcotest.(check string)
+                (file ^ " round trip") (Fuzz.Repro.to_string r)
+                (Fuzz.Repro.to_string r')))
+    (corpus_files ())
+
+(* --------------------------------------------------------- generators *)
+
+let test_generator_well_formed () =
+  for seed = 1 to 100 do
+    let rng = Prng.Rng.create seed in
+    let p = Fuzz.Gen.program rng default_params in
+    let errors =
+      Mxlang.Validate.check p
+      |> List.filter (fun i -> i.Mxlang.Validate.severity = `Error)
+    in
+    (match errors with
+    | [] -> ()
+    | i :: _ ->
+        Alcotest.failf "seed %d: invalid program: %s" seed
+          i.Mxlang.Validate.message);
+    (* codec round trip is exact *)
+    match Fuzz.Codec.program_of_json (Fuzz.Codec.program_to_json p) with
+    | Error e -> Alcotest.failf "seed %d: codec decode failed: %s" seed e
+    | Ok p' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d codec round trip" seed)
+          true
+          (Fuzz.Codec.program_equal p p')
+  done
+
+let test_generator_seed_stability () =
+  for seed = 1 to 20 do
+    let p1 = Fuzz.Gen.program (Prng.Rng.create seed) default_params in
+    let p2 = Fuzz.Gen.program (Prng.Rng.create seed) default_params in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d reproduces" seed)
+      true
+      (Fuzz.Codec.program_equal p1 p2)
+  done;
+  (* distinct seeds do explore: not every program is the same *)
+  let js seed =
+    Telemetry.Json.to_string
+      (Fuzz.Codec.program_to_json
+         (Fuzz.Gen.program (Prng.Rng.create seed) default_params))
+  in
+  Alcotest.(check bool) "seeds vary" true (js 1 <> js 2 || js 2 <> js 3)
+
+let test_plan_stability () =
+  let draw seed =
+    Fuzz.Gen.plan (Prng.Rng.create seed)
+      ~models:[ "bakery_pp"; "peterson2" ]
+      ~nprocs:2 ~bound:3 ~max_len:50
+  in
+  for seed = 1 to 20 do
+    let a = draw seed and b = draw seed in
+    Alcotest.(check bool)
+      (Printf.sprintf "plan seed %d reproduces" seed)
+      true (a = b);
+    Alcotest.(check bool)
+      "schedule pids in range" true
+      (Array.for_all (fun p -> p >= 0 && p < 2) a.Fuzz.Gen.pl_schedule)
+  done
+
+(* ----------------------------------------------------------- shrinker *)
+
+let test_ddmin () =
+  (* predicate: at least three 1s survive.  ddmin must terminate within
+     budget, keep the predicate true, and find the 3-element minimum. *)
+  let input = Array.init 40 (fun i -> if i mod 5 = 0 then 1 else 0) in
+  let still_fails a = Array.fold_left ( + ) 0 a >= 3 in
+  let out, evals = Fuzz.Shrink.ddmin ~still_fails ~max_evals:500 input in
+  Alcotest.(check bool) "result still fails" true (still_fails out);
+  Alcotest.(check bool) "monotone" true (Array.length out <= Array.length input);
+  Alcotest.(check int) "1-minimal" 3 (Array.length out);
+  Alcotest.(check bool) "within budget" true (evals <= 500)
+
+let test_ddmin_budget_zero () =
+  (* an exhausted budget returns the input unchanged, not a loop *)
+  let input = Array.make 10 1 in
+  let out, evals =
+    Fuzz.Shrink.ddmin ~still_fails:(fun _ -> true) ~max_evals:0 input
+  in
+  Alcotest.(check int) "no evals" 0 evals;
+  Alcotest.(check bool) "input returned" true (out = input)
+
+let test_program_shrink () =
+  let rng = Prng.Rng.create 11 in
+  let p0 = Fuzz.Gen.program rng { default_params with g_max_steps = 5 } in
+  let size0 = Fuzz.Shrink.program_size p0 in
+  (* predicate satisfied by every well-formed generated program, so the
+     shrinker can dig as deep as its candidates allow *)
+  let still_fails p =
+    List.exists (fun s -> s.Mxlang.Ast.kind = Mxlang.Ast.Critical)
+      (Array.to_list p.Mxlang.Ast.steps)
+  in
+  let p1, evals = Fuzz.Shrink.program ~still_fails ~max_evals:300 p0 in
+  Alcotest.(check bool) "still fails" true (still_fails p1);
+  Alcotest.(check bool)
+    "size monotone" true
+    (Fuzz.Shrink.program_size p1 <= size0);
+  Alcotest.(check bool) "within budget" true (evals <= 300);
+  let errors =
+    Mxlang.Validate.check p1
+    |> List.filter (fun i -> i.Mxlang.Validate.severity = `Error)
+  in
+  Alcotest.(check int) "shrunk program still well-formed" 0
+    (List.length errors)
+
+(* ------------------------------------------------- end-to-end pipeline *)
+
+let naive_params =
+  {
+    Fuzz.Driver_params.models = [ "bakery_mod_naive" ];
+    nprocs = 2;
+    bound = 3;
+    max_states = 20_000;
+    sched_len = 120;
+  }
+
+let test_e2e_pipeline () =
+  (* Pre-verified seed: fuzzing bakery_mod_naive with (seed=2, 30 cases)
+     catches a mutual-exclusion violation, shrinks it, and the written
+     .repro replays to the same verdict.  This is the whole pipeline:
+     generate -> detect -> shrink -> persist -> replay. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fuzz_e2e_%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      (Fuzz.Driver.default_config ~seed:2 ~count:30) with
+      Fuzz.Driver.oracles = [ Fuzz.Oracle.Replay ];
+      params = naive_params;
+      out_dir = Some dir;
+    }
+  in
+  let s = Fuzz.Driver.run cfg in
+  (match s.Fuzz.Driver.s_failures with
+  | [] -> Alcotest.fail "expected bakery_mod_naive to fail under fuzzing"
+  | f :: _ ->
+      Alcotest.(check string) "tag" "mutex_violation" f.Fuzz.Driver.f_tag;
+      Alcotest.(check bool)
+        "shrinking did not grow the case" true
+        (f.Fuzz.Driver.f_size_after <= f.Fuzz.Driver.f_size_before);
+      let file =
+        match f.Fuzz.Driver.f_file with
+        | Some p -> p
+        | None -> Alcotest.fail "no .repro written"
+      in
+      (match Fuzz.Repro.load file with
+      | Error e -> Alcotest.failf "cannot reload %s: %s" file e
+      | Ok r -> (
+          match Fuzz.Repro.replay r with
+          | Fuzz.Repro.Reproduced -> ()
+          | _ -> Alcotest.failf "freshly written %s does not replay" file)));
+  (* clean up the scratch directory *)
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let test_driver_determinism () =
+  let cfg =
+    {
+      (Fuzz.Driver.default_config ~seed:9 ~count:8) with
+      Fuzz.Driver.params =
+        { Fuzz.Driver_params.default with Fuzz.Driver_params.bound = 3 };
+    }
+  in
+  let a = Fuzz.Driver.summary_lines (Fuzz.Driver.run cfg) in
+  let b = Fuzz.Driver.summary_lines (Fuzz.Driver.run cfg) in
+  Alcotest.(check (list string)) "summaries identical" a b
+
+let test_budgeted_smoke () =
+  (* the tier-1 version of @fuzz-smoke: a couple of seconds over the
+     safe models across every oracle must find nothing.  FUZZ_BUDGET_S
+     stretches the sweep without editing the test. *)
+  let budget =
+    match Sys.getenv_opt "FUZZ_BUDGET_S" with
+    | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 2.0)
+    | None -> 2.0
+  in
+  let cfg =
+    {
+      (Fuzz.Driver.default_config ~seed:1 ~count:100_000) with
+      Fuzz.Driver.budget_s = Some budget;
+      params = { Fuzz.Driver_params.default with Fuzz.Driver_params.bound = 3 };
+    }
+  in
+  let s = Fuzz.Driver.run cfg in
+  (match s.Fuzz.Driver.s_failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "safe-model fuzzing found %s (case %d, oracle %s)"
+        f.Fuzz.Driver.f_tag f.Fuzz.Driver.f_index
+        (Fuzz.Oracle.name f.Fuzz.Driver.f_oracle));
+  let ran = List.fold_left (fun acc (_, n) -> acc + n) 0 s.Fuzz.Driver.s_cases in
+  Alcotest.(check bool) "swept a non-trivial number of cases" true (ran >= 30)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "replays deterministically" `Quick
+            test_corpus_replays;
+          Alcotest.test_case "save/load round trip" `Quick
+            test_corpus_round_trip;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "programs well-formed over 100 seeds" `Quick
+            test_generator_well_formed;
+          Alcotest.test_case "program seed stability" `Quick
+            test_generator_seed_stability;
+          Alcotest.test_case "plan seed stability" `Quick test_plan_stability;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "ddmin monotone, terminating, 1-minimal" `Quick
+            test_ddmin;
+          Alcotest.test_case "ddmin zero budget" `Quick test_ddmin_budget_zero;
+          Alcotest.test_case "program shrink monotone + well-formed" `Quick
+            test_program_shrink;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "e2e: catch, shrink, persist, replay" `Quick
+            test_e2e_pipeline;
+          Alcotest.test_case "summary determinism" `Quick
+            test_driver_determinism;
+          Alcotest.test_case "budgeted safe-model sweep" `Slow
+            test_budgeted_smoke;
+        ] );
+    ]

@@ -189,6 +189,69 @@ let prop_bounded_wrap_in_range =
       let stored = Registers.Bounded.get r in
       stored >= 0 && stored <= bound)
 
+(* The three overflow policies agree on *when* a store overflows and
+   differ only in what they do about it.  Drive the same non-negative
+   write sequence at one register per policy and check the algebra:
+   Trap raises exactly when Wrap's stored value differs from the value
+   an unbounded register would hold, Saturate never exceeds M, and all
+   three count the same overflow events. *)
+let writes_gen = QCheck.(pair (int_range 1 50) (small_list (int_range 0 200)))
+
+let prop_bounded_trap_iff_wrap_corrupts =
+  QCheck.Test.make
+    ~name:"Trap raises iff Wrap differs from the unbounded shadow" ~count:300
+    writes_gen
+    (fun (bound, writes) ->
+      let trap = Registers.Bounded.create ~policy:Registers.Bounded.Trap ~bound 0 in
+      let wrap = Registers.Bounded.create ~policy:Registers.Bounded.Wrap ~bound 0 in
+      List.for_all
+        (fun v ->
+          let trapped =
+            match Registers.Bounded.set trap v with
+            | () -> false
+            | exception Registers.Bounded.Overflow _ -> true
+          in
+          Registers.Bounded.set wrap v;
+          (* the unbounded shadow register would simply hold [v] *)
+          trapped = (Registers.Bounded.get wrap <> v))
+        writes)
+
+let prop_bounded_saturate_bounded =
+  QCheck.Test.make ~name:"Saturate never exceeds M" ~count:300 writes_gen
+    (fun (bound, writes) ->
+      let r =
+        Registers.Bounded.create ~policy:Registers.Bounded.Saturate ~bound 0
+      in
+      List.for_all
+        (fun v ->
+          Registers.Bounded.set r v;
+          let stored = Registers.Bounded.get r in
+          stored >= 0 && stored <= bound
+          && (v > bound || stored = v))
+        writes)
+
+let prop_bounded_overflow_count_policy_free =
+  QCheck.Test.make ~name:"overflow_count is policy-independent" ~count:300
+    writes_gen
+    (fun (bound, writes) ->
+      let mk policy = Registers.Bounded.create ~policy ~bound 0 in
+      let trap = mk Registers.Bounded.Trap
+      and wrap = mk Registers.Bounded.Wrap
+      and sat = mk Registers.Bounded.Saturate in
+      List.iter
+        (fun v ->
+          (try Registers.Bounded.set trap v
+           with Registers.Bounded.Overflow _ -> ());
+          Registers.Bounded.set wrap v;
+          Registers.Bounded.set sat v)
+        writes;
+      let expected =
+        List.length (List.filter (fun v -> v > bound) writes)
+      in
+      Registers.Bounded.overflow_count trap = expected
+      && Registers.Bounded.overflow_count wrap = expected
+      && Registers.Bounded.overflow_count sat = expected)
+
 let () =
   Alcotest.run "registers"
     [
@@ -218,5 +281,11 @@ let () =
       ("spin", [ Alcotest.test_case "relax with yields" `Quick spin_runs ]);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_rng_int_bounds; prop_bounded_wrap_in_range ] );
+          [
+            prop_rng_int_bounds;
+            prop_bounded_wrap_in_range;
+            prop_bounded_trap_iff_wrap_corrupts;
+            prop_bounded_saturate_bounded;
+            prop_bounded_overflow_count_policy_free;
+          ] );
     ]

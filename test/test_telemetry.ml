@@ -243,6 +243,42 @@ let argscan_value () =
   (* interleaved with another option: the "value" is itself a flag *)
   err [ "--json"; "--quick"; "a.json" ]
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* every parse error names the offending flag itself, so a driver with
+   several value flags never reports the wrong one (or none at all) *)
+let argscan_error_messages () =
+  let msg args =
+    match Harness.Argscan.extract_value ~docv:"FILE" ~flag:"--json" args with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail ("accepted: " ^ String.concat " " args)
+  in
+  let check_named what args fragment =
+    let e = msg args in
+    check bool_t (what ^ ": names the flag") true
+      (contains ~needle:"--json" e);
+    check bool_t
+      (what ^ ": explains itself (" ^ e ^ ")")
+      true
+      (contains ~needle:fragment e)
+  in
+  check_named "duplicate"
+    [ "--json"; "a.json"; "--json"; "b.json" ]
+    "more than once";
+  check_named "dangling" [ "e11"; "--json" ] "missing FILE";
+  check_named "option as value" [ "--json"; "--quick"; "a.json" ] "--quick";
+  (* the default value description is VALUE *)
+  let e =
+    match Harness.Argscan.extract_value ~flag:"--out" [ "--out" ] with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "accepted dangling --out"
+  in
+  check bool_t "default docv" true (contains ~needle:"missing VALUE" e);
+  check bool_t "default docv names flag" true (contains ~needle:"--out: " e)
+
 (* ----------------------------------------------------- latency wrapper *)
 
 let latency_wrapper () =
@@ -346,6 +382,8 @@ let () =
         [
           Alcotest.test_case "presence flags" `Quick argscan_presence;
           Alcotest.test_case "value flags" `Quick argscan_value;
+          Alcotest.test_case "errors name the flag" `Quick
+            argscan_error_messages;
         ] );
       ( "locks",
         [ Alcotest.test_case "latency wrapper" `Quick latency_wrapper ] );
