@@ -9,10 +9,14 @@
      dune exec bench/main.exe -- micro     # microbenchmarks only
      dune exec bench/main.exe -- --json out.json e11
                                            # machine-readable results
+     dune exec bench/main.exe -- --check-regress e11
+                                           # perf gate against prior datapoints
 
    Experiments that record datapoints (currently E11) also leave
    BENCH_modelcheck.json in the working directory, so perf trajectories
-   can be tracked across PRs. *)
+   can be tracked across PRs.  [--check-regress] compares every fresh
+   states/sec datapoint against the best prior one for the same metric
+   and exits non-zero on a >15% regression. *)
 
 let say fmt = Printf.printf fmt
 
@@ -161,6 +165,9 @@ let () =
         exit 2
   in
   let quick, args = Harness.Argscan.extract_presence ~flag:"--quick" args in
+  let check_regress, args =
+    Harness.Argscan.extract_presence ~flag:"--check-regress" args
+  in
   let wanted = if args = [] then [ "all" ] else args in
   let all_ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in
   say "Bakery++ reproduction bench driver (mode: %s)\n"
@@ -194,9 +201,8 @@ let () =
           exit 2)
     wanted;
   let timestamp = Unix.time () in
-  let metrics =
-    List.map (datapoint_json ~timestamp) (Harness.Experiments.take_metrics ())
-  in
+  let raw_dps = Harness.Experiments.take_metrics () in
+  let metrics = List.map (datapoint_json ~timestamp) raw_dps in
   (match json_path with
   | Some path -> write_json_values path metrics
   | None -> ());
@@ -208,6 +214,57 @@ let () =
         | _ -> false)
       metrics
   in
-  if modelcheck <> [] then
-    let path = "BENCH_modelcheck.json" in
-    write_json_values path (existing_datapoints path @ modelcheck)
+  let path = "BENCH_modelcheck.json" in
+  (* Prior datapoints are read before the merge: the gate compares the
+     fresh run against history, not against itself. *)
+  let prior = existing_datapoints path in
+  if modelcheck <> [] then write_json_values path (prior @ modelcheck);
+  if check_regress then begin
+    let fresh =
+      List.filter
+        (fun (dp : Harness.Experiments.datapoint) ->
+          dp.dp_exp = "e11"
+          && String.ends_with ~suffix:"/states_per_sec" dp.dp_metric)
+        raw_dps
+    in
+    if fresh = [] then begin
+      prerr_endline
+        "--check-regress: the run recorded no e11 states/sec datapoints \
+         (include e11 in the experiment list)";
+      exit 2
+    end;
+    let best_prior metric =
+      List.fold_left
+        (fun best v ->
+          match
+            (Telemetry.Json.member "metric" v, Telemetry.Json.member "value" v)
+          with
+          | Some (Telemetry.Json.Str m), Some (Telemetry.Json.Num x)
+            when m = metric ->
+              Float.max best x
+          | _ -> best)
+        neg_infinity prior
+    in
+    let failed = ref false in
+    List.iter
+      (fun (dp : Harness.Experiments.datapoint) ->
+        let best = best_prior dp.dp_metric in
+        if best > 0.0 then begin
+          let ratio = dp.dp_value /. best in
+          say "regress-check %-48s fresh %10.0f  best %10.0f  ratio %.2f%s\n"
+            dp.dp_metric dp.dp_value best ratio
+            (if ratio < 0.85 then "  REGRESSION" else "");
+          if ratio < 0.85 then failed := true
+        end
+        else
+          say "regress-check %-48s fresh %10.0f  (no prior datapoint)\n"
+            dp.dp_metric dp.dp_value)
+      fresh;
+    if !failed then begin
+      prerr_endline
+        "bench: states/sec regressed >15% against the best prior datapoint \
+         in BENCH_modelcheck.json";
+      exit 1
+    end
+    else say "regress-check: OK (every metric within 15%% of its best prior)\n"
+  end

@@ -86,6 +86,15 @@ let write_metrics_snapshot path m =
    for it, so a bare run keeps every hot path on its no-op branch. *)
 let telemetry_setup ~name progress metrics_out trace_out =
   let trace = Option.map Telemetry.Sink.jsonl trace_out in
+  (* Every JSONL trace file opens with a self-describing header line
+     (schema version + run metadata) so later builds can refuse files
+     they cannot read instead of misparsing them. *)
+  Option.iter
+    (fun (s : Telemetry.Sink.t) ->
+      s.emit
+        (Telemetry.Sink.event ~kind:"header" ~name:"trace"
+           (Telemetry.Runmeta.header_fields ())))
+    trace;
   let progress_sink =
     match (progress, trace) with
     | false, None -> None
@@ -105,6 +114,41 @@ let telemetry_setup ~name progress metrics_out trace_out =
     Option.iter (fun (s : Telemetry.Sink.t) -> s.close ()) trace
   in
   { tl_progress; tl_metrics; tl_trace = trace; tl_finish }
+
+(* ----------------------------------------------- counterexample export *)
+
+let chrome_out_arg =
+  let doc =
+    "Export a causal trace of the run as Chrome trace-event JSON to \
+     $(docv) — load it in ui.perfetto.dev or chrome://tracing (one track \
+     per process)."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome-out" ] ~docv:"FILE" ~doc)
+
+(* Re-walk a checker counterexample through the AST interpreter to
+   recover per-step reads/writes, reduce the violated invariant to its
+   failing conjunct, and package both as a causal trace. *)
+let forensics_of_ctrex sys ~model ~invariants ctrex =
+  match Modelcheck.Rewalk.of_trace sys ctrex with
+  | Error e ->
+      Printf.eprintf "cannot re-walk the counterexample: %s\n" e;
+      exit 2
+  | Ok w ->
+      let final =
+        List.fold_left
+          (fun _ (s : Modelcheck.Rewalk.step) -> s.rw_post)
+          w.Modelcheck.Rewalk.rw_init w.rw_steps
+      in
+      let violation =
+        Modelcheck.Invariant.explain_failure
+          (Modelcheck.Invariant.all invariants)
+          sys final
+      in
+      (Trace.Of_walk.trace ~model ?violation w, violation)
+
+let write_chrome path tr =
+  Trace.Chrome.write ~path tr;
+  Printf.printf "wrote %s (load in ui.perfetto.dev)\n" path
 
 (* --------------------------------------------------------------- list *)
 
@@ -164,8 +208,15 @@ let check_cmd =
     let doc = "Use the level-synchronized parallel BFS engine with this many domains." in
     Arg.(value & opt int 0 & info [ "parallel" ] ~docv:"D" ~doc)
   in
+  let dot_out_arg =
+    let doc =
+      "Export the counterexample as Graphviz DOT to $(docv), with the \
+       violating edge and final state highlighted."
+    in
+    Arg.(value & opt (some string) None & info [ "dot-out" ] ~docv:"FILE" ~doc)
+  in
   let run model nprocs bound cap max_states with_overflow coverage parallel
-      progress metrics_out trace_out =
+      chrome_out dot_out progress metrics_out trace_out =
     let p = find_model model in
     let sys = Modelcheck.System.make p ~nprocs ~bound in
     let invariants =
@@ -195,6 +246,35 @@ let check_cmd =
       let c = Modelcheck.Coverage.measure ?constraint_ ~max_states sys in
       Format.printf "Action coverage:@.%a@." Modelcheck.Coverage.pp c
     end;
+    let export ctrex =
+      if chrome_out <> None || dot_out <> None then begin
+        let tr, violation =
+          forensics_of_ctrex sys ~model ~invariants ctrex
+        in
+        Option.iter (fun path -> write_chrome path tr) chrome_out;
+        Option.iter
+          (fun path ->
+            let violation =
+              Option.map
+                (fun (f : Modelcheck.Invariant.failure) -> f.f_name)
+                violation
+            in
+            let oc = open_out path in
+            output_string oc (Modelcheck.Dot.of_trace ?violation sys ctrex);
+            close_out oc;
+            Printf.printf "wrote %s (render with: dot -Tsvg %s -o ctrex.svg)\n"
+              path path)
+          dot_out
+      end
+    in
+    (match r.outcome with
+    | Modelcheck.Explore.Violation { trace = ctrex; _ }
+    | Modelcheck.Explore.Deadlock { trace = ctrex } ->
+        export ctrex
+    | _ ->
+        if chrome_out <> None || dot_out <> None then
+          prerr_endline
+            "no counterexample to export (the check did not fail)");
     match r.outcome with Modelcheck.Explore.Pass -> exit 0 | _ -> exit 1
   in
   Cmd.v
@@ -202,8 +282,8 @@ let check_cmd =
        ~doc:"Model-check a model for mutual exclusion (and overflow-freedom)")
     Term.(
       const run $ model_arg $ nprocs_arg $ bound_arg $ cap_arg $ max_states_arg
-      $ no_overflow_arg $ coverage_arg $ parallel_arg $ progress_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ no_overflow_arg $ coverage_arg $ parallel_arg $ chrome_out_arg
+      $ dot_out_arg $ progress_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ---------------------------------------------------------------- sim *)
 
@@ -238,8 +318,8 @@ let sim_cmd =
     let doc = "Wrap too-large stores (real-register behaviour) instead of just counting them." in
     Arg.(value & flag & info [ "wrap" ] ~doc)
   in
-  let run model nprocs bound steps seed sched crash flicker wrap progress
-      metrics_out trace_out =
+  let run model nprocs bound steps seed sched crash flicker wrap chrome_out
+      progress metrics_out trace_out =
     let p = find_model model in
     let tl = telemetry_setup ~name:"sim" progress metrics_out trace_out in
     let strategy =
@@ -276,10 +356,20 @@ let sim_cmd =
         progress = tl.tl_progress;
         metrics = tl.tl_metrics;
         trace = tl.tl_trace;
+        (* The Chrome export needs the full event stream, register
+           reads/writes included; without --chrome-out both stay at
+           their defaults and the run is untouched. *)
+        record_events =
+          chrome_out <> None
+          || (Schedsim.Runner.default_config ~nprocs ~bound).record_events;
+        record_rw = chrome_out <> None;
       }
     in
     let r = Schedsim.Runner.run p cfg in
     tl.tl_finish ();
+    Option.iter
+      (fun path -> write_chrome path (Trace.Of_sim.trace p ~nprocs ~bound r))
+      chrome_out;
     Printf.printf "model %s, N=%d, M=%d, %s, %d steps\n" p.Mxlang.Ast.title
       nprocs bound (Schedsim.Scheduler.describe strategy) r.steps;
     Printf.printf "CS entries: %d  per process: [%s]\n"
@@ -299,8 +389,143 @@ let sim_cmd =
        ~doc:"Run a randomized simulation with crashes and register anomalies")
     Term.(
       const run $ model_arg $ nprocs_arg $ bound_arg $ steps_arg $ seed_arg
-      $ sched_arg $ crash_arg $ flicker_arg $ wrap_arg $ progress_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ sched_arg $ crash_arg $ flicker_arg $ wrap_arg $ chrome_out_arg
+      $ progress_arg $ metrics_out_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------ explain *)
+
+let explain_cmd =
+  let model_opt_arg =
+    let doc =
+      "Model-check $(docv) (with -n/-m) and explain the counterexample it \
+       produces.  Mutually exclusive with --repro."
+    in
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let repro_arg =
+    let doc =
+      "Explain a fuzzer $(b,.repro) file: schedule cases are re-executed \
+       by the simulator with full event recording; program cases are \
+       model-checked.  Mutually exclusive with --model."
+    in
+    Arg.(value & opt (some string) None & info [ "repro" ] ~docv:"FILE" ~doc)
+  in
+  let max_steps_arg =
+    let doc =
+      "Show at most $(docv) step blocks, keeping the most recent ones \
+       (the violation neighbourhood); 0 shows every step."
+    in
+    Arg.(value & opt int 0 & info [ "max-steps" ] ~docv:"K" ~doc)
+  in
+  let max_states_arg =
+    let doc = "Exploration budget for the --model path." in
+    Arg.(value & opt int 5_000_000 & info [ "max-states" ] ~docv:"K" ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Also write the causal trace as self-describing JSONL (schema + run \
+       metadata header, then one event per line) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let dot_out_arg =
+    let doc =
+      "Also write the counterexample path as Graphviz DOT to $(docv) \
+       (--model and program-case repros only)."
+    in
+    Arg.(value & opt (some string) None & info [ "dot-out" ] ~docv:"FILE" ~doc)
+  in
+  let run model repro nprocs bound max_states max_steps chrome_out trace_out
+      dot_out =
+    let finish tr =
+      print_string (Trace.Explain.render ~max_steps tr);
+      Option.iter (fun path -> write_chrome path tr) chrome_out;
+      Option.iter
+        (fun path ->
+          Trace.Jsonl.write ~path tr;
+          Printf.printf "wrote %s (schema %d causal trace)\n" path
+            Telemetry.Runmeta.trace_schema_version)
+        trace_out
+    in
+    let explain_check program ~model ~nprocs ~bound ~max_states =
+      let sys = Modelcheck.System.make program ~nprocs ~bound in
+      let invariants =
+        [ Modelcheck.Invariant.mutex; Modelcheck.Invariant.no_overflow ]
+      in
+      let r = Modelcheck.Explore.run ~invariants ~max_states sys in
+      match r.outcome with
+      | Modelcheck.Explore.Violation { trace = ctrex; _ }
+      | Modelcheck.Explore.Deadlock { trace = ctrex } ->
+          let tr, violation = forensics_of_ctrex sys ~model ~invariants ctrex in
+          finish tr;
+          Option.iter
+            (fun path ->
+              let violation =
+                Option.map
+                  (fun (f : Modelcheck.Invariant.failure) -> f.f_name)
+                  violation
+              in
+              let oc = open_out path in
+              output_string oc (Modelcheck.Dot.of_trace ?violation sys ctrex);
+              close_out oc;
+              Printf.printf "wrote %s\n" path)
+            dot_out
+      | Modelcheck.Explore.Pass ->
+          Printf.printf
+            "nothing to explain: %s passes at N=%d, M=%d (%d distinct states)\n"
+            model nprocs bound r.stats.distinct;
+          exit 1
+      | Modelcheck.Explore.Capacity ->
+          Printf.eprintf
+            "state budget exhausted before a verdict; raise --max-states\n";
+          exit 1
+    in
+    match (model, repro) with
+    | Some _, Some _ ->
+        prerr_endline "--model and --repro are mutually exclusive";
+        exit 2
+    | None, None ->
+        prerr_endline "one of --model or --repro is required";
+        exit 2
+    | Some m, None ->
+        let p = find_model m in
+        explain_check p ~model:m ~nprocs ~bound ~max_states
+    | None, Some file -> (
+        match Fuzz.Repro.load file with
+        | Error e ->
+            Printf.eprintf "cannot load %s: %s\n" file e;
+            exit 2
+        | Ok rp -> (
+            match rp.Fuzz.Repro.case with
+            | Fuzz.Oracle.Sched_case pl ->
+                let p = find_model pl.Fuzz.Gen.pl_model in
+                let cfg =
+                  {
+                    (Fuzz.Oracle.sim_config pl) with
+                    Schedsim.Runner.record_events = true;
+                    record_rw = true;
+                  }
+                in
+                let r = Schedsim.Runner.run p cfg in
+                if dot_out <> None then
+                  prerr_endline
+                    "--dot-out ignored: schedule repros have no checker trace";
+                finish
+                  (Trace.Of_sim.trace p ~nprocs:pl.pl_nprocs
+                     ~bound:pl.pl_bound r)
+            | Fuzz.Oracle.Prog_case { program; nprocs; bound; max_states } ->
+                explain_check program ~model:program.Mxlang.Ast.title ~nprocs
+                  ~bound ~max_states))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render a counterexample or .repro file as an annotated \
+          step-by-step story with causal analysis")
+    Term.(
+      const run $ model_opt_arg $ repro_arg $ nprocs_arg $ bound_arg
+      $ max_states_arg $ max_steps_arg $ chrome_out_arg $ trace_out_arg
+      $ dot_out_arg)
 
 (* -------------------------------------------------------------- lasso *)
 
@@ -606,6 +831,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; show_cmd; check_cmd; sim_cmd; lasso_cmd; refine_cmd;
-            verify_cmd; tla_cmd; graph_cmd; fuzz_cmd; bench_cmd;
+            list_cmd; show_cmd; check_cmd; sim_cmd; explain_cmd; lasso_cmd;
+            refine_cmd; verify_cmd; tla_cmd; graph_cmd; fuzz_cmd; bench_cmd;
           ]))

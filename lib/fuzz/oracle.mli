@@ -54,3 +54,9 @@ val shrink : t -> case -> max_evals:int -> case * int
 
 val case_size : case -> int
 (** Schedule length or program AST size — what shrinking reduces. *)
+
+val sim_config : Gen.plan -> Schedsim.Runner.config
+(** The exact simulator configuration the replay oracle runs a plan
+    under (Replay strategy, seed, wrap policy, crash/flicker setup).
+    Exposed so the CLI explainer can re-execute a [.repro] schedule
+    with event recording switched on and get the same run. *)

@@ -128,7 +128,11 @@ let to_json r =
 
 let of_json j =
   let* format = int_field "format" j in
-  if format <> 1 then err "unsupported repro format %d" format
+  if format <> 1 then
+    err
+      "repro format %d is not readable by this build (it reads format 1); \
+       regenerate the file with a matching bakery_cli"
+      format
   else
     let* oname = str_field "oracle" j in
     let* oracle = Oracle.of_name oname in

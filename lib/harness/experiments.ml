@@ -534,7 +534,22 @@ let e8 ~quick =
       let r = Schedsim.Runner.run prog cfg in
       let doorway = has_doorway prog in
       let inversions =
-        if doorway then string_of_int r.fcfs_inversions else "-"
+        (* Derived from the causal trace's label transitions; the
+           runner's own counter is kept as a differential oracle. *)
+        if doorway then begin
+          let derived =
+            Trace.Query.fcfs_inversions
+              (Trace.Of_sim.trace prog ~nprocs:4 ~bound r)
+          in
+          if derived <> r.fcfs_inversions then
+            failwith
+              (Printf.sprintf
+                 "E8 %s: trace-derived FCFS inversions (%d) disagree with \
+                  the runner counter (%d)"
+                 name derived r.fcfs_inversions);
+          string_of_int derived
+        end
+        else "-"
       in
       let overtakes =
         if doorway then string_of_int (Schedsim.Metrics.max_overtakes r)

@@ -60,22 +60,34 @@ let of_system ?(max_states = 500) ?constraint_ sys =
   out "}\n";
   Buffer.contents buf
 
-let of_trace sys (t : Trace.t) =
+let of_trace ?violation sys (t : Trace.t) =
   let buf = Buffer.create 1024 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   out "digraph trace {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n";
+  let last = List.length t - 1 in
   List.iteri
     (fun i (e : Trace.entry) ->
-      out "  t%d [label=\"%s\"%s];\n" i
-        (escape (state_label sys e.state))
-        (if any_critical sys e.state then ", style=filled, fillcolor=lightcoral"
-         else ""))
+      let style =
+        if i = last && violation <> None then
+          ", style=filled, fillcolor=red, penwidth=2"
+        else if any_critical sys e.state then
+          ", style=filled, fillcolor=lightcoral"
+        else ""
+      in
+      out "  t%d [label=\"%s\"%s];\n" i (escape (state_label sys e.state)) style)
     t;
   List.iteri
     (fun i (e : Trace.entry) ->
       if i > 0 then
-        out "  t%d -> t%d [label=\"p%d:%s\", fontsize=8];\n" (i - 1) i e.pid
-          e.step_name)
+        if i = last && violation <> None then
+          let failed = match violation with Some f -> f | None -> "" in
+          out
+            "  t%d -> t%d [label=\"p%d:%s\\nviolates: %s\", fontsize=8, \
+             color=red, penwidth=2];\n"
+            (i - 1) i e.pid e.step_name (escape failed)
+        else
+          out "  t%d -> t%d [label=\"p%d:%s\", fontsize=8];\n" (i - 1) i e.pid
+            e.step_name)
     t;
   out "}\n";
   Buffer.contents buf

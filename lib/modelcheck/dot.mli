@@ -13,5 +13,7 @@ val of_system :
 (** Explore (BFS, capped at [max_states], default 500) and render.
     If the cap truncates the graph, a dashed "…" node marks the cut. *)
 
-val of_trace : System.t -> Trace.t -> string
-(** Render a single trace as a path graph (e.g. a counterexample). *)
+val of_trace : ?violation:string -> System.t -> Trace.t -> string
+(** Render a single trace as a path graph (e.g. a counterexample).
+    [?violation], when given, is the failed invariant conjunct: the
+    final state is drawn red and the last edge is labeled with it. *)

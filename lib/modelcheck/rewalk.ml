@@ -1,0 +1,108 @@
+(* Counterexample re-walker.
+
+   A checker trace records *which* label each process fired and the
+   packed state after it — nothing about why the step was enabled or
+   what it observed.  The re-walker replays the trace through the AST
+   interpreter ([System.successors_interpreted], deliberately the
+   engine that is *not* the optimised one under test) and recovers, for
+   every step, the action that fired, the shared cells its guard and
+   effects read with the values seen, and the writes as
+   (prev -> value) diffs.  That per-step forensics is the raw material
+   for causal traces and the [explain] story. *)
+
+type write = {
+  wr_var : Mxlang.Ast.var;
+  wr_cell : int;
+  wr_prev : int;
+  wr_value : int;
+}
+
+type step = {
+  rw_pid : int;
+  rw_from_pc : int;
+  rw_to_pc : int;
+  rw_step_name : string;  (* label fired, i.e. name of [rw_from_pc] *)
+  rw_reads : Mxlang.Reads.read list;
+  rw_writes : write list;
+  rw_post : State.packed;
+}
+
+type t = {
+  rw_sys : System.t;
+  rw_init : State.packed;
+  rw_steps : step list;
+}
+
+let writes_of env ~shared ~locals ~pid (a : Mxlang.Ast.action) =
+  (* Simultaneous-assignment semantics: indices, right-hand sides and
+     the recorded previous contents are all taken in the pre-state. *)
+  List.filter_map
+    (fun (l, e) ->
+      match l with
+      | Mxlang.Ast.Lo _ -> None
+      | Mxlang.Ast.Sh (v, ix) ->
+          let value = Mxlang.Eval.eval env ~shared ~locals ~pid e in
+          let idx = Mxlang.Eval.eval env ~shared ~locals ~pid ix in
+          Some
+            {
+              wr_var = v;
+              wr_cell = idx;
+              wr_prev = shared.(Mxlang.Eval.offset env v + idx);
+              wr_value = value;
+            })
+    a.effects
+
+let of_trace sys (trace : Trace.t) =
+  match trace with
+  | [] -> Error "empty trace"
+  | first :: rest ->
+      let lay = System.layout sys in
+      let env = lay.State.env in
+      let program = System.program sys in
+      let exception Walk_error of string in
+      (try
+         let _, rev_steps =
+           List.fold_left
+             (fun (pre, acc) (e : Trace.entry) ->
+               let k = List.length acc + 1 in
+               let move =
+                 match
+                   List.find_opt
+                     (fun (m : System.move) ->
+                       m.pid = e.pid && State.equal m.dest e.state)
+                     (System.successors_interpreted sys pre)
+                 with
+                 | Some m -> m
+                 | None ->
+                     raise
+                       (Walk_error
+                          (Printf.sprintf
+                             "step %d: no interpreter move of p%d reaches the \
+                              recorded state (stale or corrupted trace?)"
+                             k e.pid))
+               in
+               let action =
+                 List.nth program.steps.(move.from_pc).actions move.alt
+               in
+               let shared = State.shared_part lay pre in
+               let locals = State.locals_part lay pre e.pid in
+               let step =
+                 {
+                   rw_pid = e.pid;
+                   rw_from_pc = move.from_pc;
+                   rw_to_pc = action.target;
+                   rw_step_name = program.steps.(move.from_pc).step_name;
+                   rw_reads =
+                     Mxlang.Reads.of_action env ~shared ~locals ~pid:e.pid
+                       action;
+                   rw_writes =
+                     writes_of env ~shared ~locals ~pid:e.pid action;
+                   rw_post = e.state;
+                 }
+               in
+               (e.state, step :: acc))
+             (first.Trace.state, [])
+             rest
+         in
+         Ok { rw_sys = sys; rw_init = first.Trace.state; rw_steps = List.rev rev_steps }
+       with Walk_error msg -> Error msg)

@@ -1,0 +1,39 @@
+(** Counterexample re-walker: replay a checker trace through the AST
+    interpreter to recover per-step forensics — which action fired,
+    which shared cells it read (with the values observed), and its
+    writes as (previous -> new) diffs.
+
+    The walk uses {!System.successors_interpreted}, the engine that is
+    {e not} the optimised one under test, so an explanation is also an
+    independent re-derivation of the counterexample. *)
+
+type write = {
+  wr_var : Mxlang.Ast.var;
+  wr_cell : int;
+  wr_prev : int;  (** cell content before the store *)
+  wr_value : int;  (** value stored (the checker never wraps) *)
+}
+
+type step = {
+  rw_pid : int;
+  rw_from_pc : int;
+  rw_to_pc : int;
+  rw_step_name : string;  (** label fired, i.e. the name of [rw_from_pc] *)
+  rw_reads : Mxlang.Reads.read list;
+      (** shared cells the guard and effects observed, in evaluation
+          order (see {!Mxlang.Reads.of_action}) *)
+  rw_writes : write list;
+  rw_post : State.packed;  (** state after the step *)
+}
+
+type t = {
+  rw_sys : System.t;
+  rw_init : State.packed;
+  rw_steps : step list;
+}
+
+val of_trace : System.t -> Trace.t -> (t, string) result
+(** Replay a trace (first entry = initial state, as produced by
+    {!Explore}).  [Error] if some recorded state is not reachable from
+    its predecessor by the recorded process — a stale or hand-edited
+    trace. *)

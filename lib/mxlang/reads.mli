@@ -1,0 +1,26 @@
+(** Shared-register read-set extraction for causal tracing.
+
+    Given an action and the pre-state it executed in, recover the shared
+    cells its guard and effects actually observed, with the values seen.
+    The walk mirrors {!Eval}'s control flow — short-circuit connectives,
+    the taken [Ite] branch, quantifier loops stopping at the deciding
+    witness — so the result is exactly the set of cells the verdict
+    depended on, not a syntactic over-approximation. *)
+
+type read = {
+  rd_var : Ast.var;  (** which shared variable *)
+  rd_cell : int;  (** cell index within the variable *)
+  rd_value : int;  (** value observed in the pre-state *)
+}
+
+val of_action :
+  Eval.env ->
+  shared:int array ->
+  locals:int array ->
+  pid:int ->
+  Ast.action ->
+  read list
+(** Reads performed by [action]'s guard and effects (right-hand sides
+    and destination indices) in evaluation order, deduplicated by
+    (variable, cell) keeping the first occurrence.  The action must be
+    executable in the given state (same precondition as {!Eval.apply}). *)

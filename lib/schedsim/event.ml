@@ -1,7 +1,18 @@
 (* Simulator events.  [time] is the global atomic-step counter. *)
 
 type t =
-  | Step of { time : int; pid : int; pc : int }
+  | Step of { time : int; pid : int; pc : int; target : int }
+  | Read of { time : int; pid : int; var : int; cell : int; value : int }
+  | Write of {
+      time : int;
+      pid : int;
+      var : int;
+      cell : int;
+      value : int;  (* value actually stored (post wrap/saturate) *)
+      prev : int;  (* cell content before the store *)
+      raw : int;  (* computed value before the overflow policy; = value
+                     unless the store wrapped or saturated *)
+    }
   | Cs_enter of { time : int; pid : int }
   | Cs_exit of { time : int; pid : int }
   | Doorway_done of { time : int; pid : int }
@@ -13,6 +24,8 @@ type t =
 
 let time = function
   | Step { time; _ }
+  | Read { time; _ }
+  | Write { time; _ }
   | Cs_enter { time; _ }
   | Cs_exit { time; _ }
   | Doorway_done { time; _ }
@@ -24,8 +37,18 @@ let time = function
       time
 
 let to_string (p : Mxlang.Ast.program) = function
-  | Step { time; pid; pc } ->
+  | Step { time; pid; pc; _ } ->
       Printf.sprintf "%8d p%d step %s" time pid p.steps.(pc).step_name
+  | Read { time; pid; var; cell; value } ->
+      Printf.sprintf "%8d p%d read %s[%d] = %d" time pid p.var_names.(var) cell
+        value
+  | Write { time; pid; var; cell; value; prev; raw } ->
+      if raw = value then
+        Printf.sprintf "%8d p%d write %s[%d] := %d (was %d)" time pid
+          p.var_names.(var) cell value prev
+      else
+        Printf.sprintf "%8d p%d write %s[%d] := %d (was %d, wrapped from %d)"
+          time pid p.var_names.(var) cell value prev raw
   | Cs_enter { time; pid } -> Printf.sprintf "%8d p%d ENTER CS" time pid
   | Cs_exit { time; pid } -> Printf.sprintf "%8d p%d exit CS" time pid
   | Doorway_done { time; pid } -> Printf.sprintf "%8d p%d doorway done" time pid

@@ -25,8 +25,19 @@ let to_csv (p : Mxlang.Ast.program) (r : Runner.result) =
     (fun e ->
       Buffer.add_string buf
         (match e with
-        | Event.Step { time; pid; pc } ->
+        | Event.Step { time; pid; pc; _ } ->
             csv_row time "step" pid p.steps.(pc).step_name
+        | Event.Read { time; pid; var; cell; value } ->
+            csv_row time "read" pid
+              (Printf.sprintf "%s[%d]=%d" p.var_names.(var) cell value)
+        | Event.Write { time; pid; var; cell; value; prev; raw } ->
+            csv_row time "write" pid
+              (if raw = value then
+                 Printf.sprintf "%s[%d]=%d (was %d)" p.var_names.(var) cell
+                   value prev
+               else
+                 Printf.sprintf "%s[%d]=%d (was %d; raw %d)" p.var_names.(var)
+                   cell value prev raw)
         | Event.Cs_enter { time; pid } -> csv_row time "cs_enter" pid ""
         | Event.Cs_exit { time; pid } -> csv_row time "cs_exit" pid ""
         | Event.Doorway_done { time; pid } -> csv_row time "doorway_done" pid ""

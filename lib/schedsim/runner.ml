@@ -19,6 +19,7 @@ type config = {
   flicker : flicker_config option;
   seed : int;
   record_events : bool;
+  record_rw : bool;
   progress : Telemetry.Progress.t option;
   metrics : Telemetry.Metrics.t option;
   trace : Telemetry.Sink.t option;
@@ -36,6 +37,7 @@ let default_config ~nprocs ~bound =
     flicker = None;
     seed = 1;
     record_events = false;
+    record_rw = false;
     progress = None;
     metrics = None;
     trace = None;
@@ -84,6 +86,13 @@ type sim = {
 }
 
 let emit sim e = if sim.cfg.record_events then sim.evs <- e :: sim.evs
+
+(* Register-level read/write events are an opt-in refinement of the
+   event log: they only flow when both [record_events] and [record_rw]
+   are set, so existing event consumers (E8, metrics, CSV exports of
+   old runs) see an unchanged stream by default. *)
+let emit_rw sim e =
+  if sim.cfg.record_events && sim.cfg.record_rw then sim.evs <- e :: sim.evs
 
 let kind_of sim pc = sim.program.steps.(pc).kind
 
@@ -187,19 +196,31 @@ let apply_action sim ~read_shared ~pid (a : Mxlang.Ast.action) =
   List.iter
     (function
       | `Local (lv, value) -> locals.(lv) <- value
-      | `Shared (v, idx, value) ->
+      | `Shared (v, idx, raw) ->
           let cell = Mxlang.Eval.offset sim.env v + idx in
           let value =
-            if sim.program.bounded.(v) && value > sim.cfg.bound then begin
+            if sim.program.bounded.(v) && raw > sim.cfg.bound then begin
               sim.overflow_events <- sim.overflow_events + 1;
               emit sim
-                (Event.Overflow { time = sim.time; pid; var = v; cell = idx; value });
+                (Event.Overflow
+                   { time = sim.time; pid; var = v; cell = idx; value = raw });
               match sim.cfg.overflow_policy with
-              | Wrap -> value mod (sim.cfg.bound + 1)
-              | Detect | Stop -> value
+              | Wrap -> raw mod (sim.cfg.bound + 1)
+              | Detect | Stop -> raw
             end
-            else value
+            else raw
           in
+          emit_rw sim
+            (Event.Write
+               {
+                 time = sim.time;
+                 pid;
+                 var = v;
+                 cell = idx;
+                 value;
+                 prev = sim.shared.(cell);
+                 raw;
+               });
           sim.shared.(cell) <- value)
     writes
 
@@ -211,8 +232,21 @@ let crash_process sim pid =
   (* Reset the process's own single-writer cells and locals (§1.2 cond 4). *)
   let p = sim.program in
   for v = 0 to p.nvars - 1 do
-    if p.per_process.(v) then
-      sim.shared.(Mxlang.Eval.offset sim.env v + pid) <- p.init_shared.(v)
+    if p.per_process.(v) then begin
+      let cell = Mxlang.Eval.offset sim.env v + pid in
+      emit_rw sim
+        (Event.Write
+           {
+             time = sim.time;
+             pid;
+             var = v;
+             cell = pid;
+             value = p.init_shared.(v);
+             prev = sim.shared.(cell);
+             raw = p.init_shared.(v);
+           });
+      sim.shared.(cell) <- p.init_shared.(v)
+    end
   done;
   Array.blit (Mxlang.Eval.init_locals sim.env) 0 sim.locals.(pid) 0
     (Array.length sim.locals.(pid));
@@ -427,11 +461,26 @@ let run program cfg =
                 List.nth (a :: rest) (Prng.Rng.int sim.rng (1 + List.length rest))
             in
             let from_pc = sim.pcs.(pid) in
+            if cfg.record_events && cfg.record_rw then
+              List.iter
+                (fun (r : Mxlang.Reads.read) ->
+                  emit_rw sim
+                    (Event.Read
+                       {
+                         time = sim.time;
+                         pid;
+                         var = r.rd_var;
+                         cell = r.rd_cell;
+                         value = r.rd_value;
+                       }))
+                (Mxlang.Reads.of_action sim.env ~shared:read_shared
+                   ~locals:sim.locals.(pid) ~pid a);
             apply_action sim ~read_shared ~pid a;
             sim.pcs.(pid) <- a.target;
             sim.label_counts.(pid).(from_pc) <-
               sim.label_counts.(pid).(from_pc) + 1;
-            emit sim (Event.Step { time = sim.time; pid; pc = from_pc });
+            emit sim
+              (Event.Step { time = sim.time; pid; pc = from_pc; target = a.target });
             note_transition sim pid ~from_pc ~to_pc:a.target;
             if cfg.overflow_policy = Stop && sim.overflow_events > 0 then begin
               outcome := Overflow_stop;

@@ -40,6 +40,12 @@ type config = {
   flicker : flicker_config option;
   seed : int;  (** drives crash and flicker randomness *)
   record_events : bool;  (** keep the full event log (memory-heavy) *)
+  record_rw : bool;
+      (** additionally log every shared-register read and write
+          ([Event.Read]/[Event.Write], with observed values, pre-write
+          contents and pre-wrap raw values) — the raw material for causal
+          traces.  Only effective together with [record_events]; off by
+          default so existing event consumers see an unchanged stream. *)
   progress : Telemetry.Progress.t option;
       (** rate-limited step/crash/flicker progress plus a forced final
           summary; [None] (the default) leaves the step loop with one

@@ -1,0 +1,174 @@
+(* Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+
+   One Chrome process (pid 1) per trace; one thread (track) per
+   simulated process, named "p<i>".  Timestamps are the event sequence
+   numbers in microseconds — deterministic, strictly monotone, and
+   order-faithful (engine step counters can tie within a step; real
+   wall clocks would make golden tests impossible).  The engine step is
+   kept in every event's args.
+
+   Tracks carry complete ("X") label-occupancy spans covering the whole
+   run, plus wait/hold spans for lock traces; resets, anomalies and
+   violations are instant ("i") events; register reads/writes are
+   thread-scoped instants in category "mem". *)
+
+module J = Telemetry.Json
+
+let num i = J.Num (float_of_int i)
+
+let base_args (e : Event.t) extra =
+  ("step", num e.step)
+  :: ("vc", J.Str (Vclock.to_string e.vc))
+  :: (if e.observed >= 0 then [ ("observed_seq", num e.observed) ] else [])
+  @ extra
+
+let complete ~name ~cat ~tid ~ts ~dur args =
+  J.Obj
+    [
+      ("name", J.Str name);
+      ("cat", J.Str cat);
+      ("ph", J.Str "X");
+      ("pid", num 1);
+      ("tid", num tid);
+      ("ts", num ts);
+      ("dur", num dur);
+      ("args", J.Obj args);
+    ]
+
+let instant ~name ~cat ~scope ~tid ~ts args =
+  J.Obj
+    [
+      ("name", J.Str name);
+      ("cat", J.Str cat);
+      ("ph", J.Str "i");
+      ("s", J.Str scope);
+      ("pid", num 1);
+      ("tid", num tid);
+      ("ts", num ts);
+      ("args", J.Obj args);
+    ]
+
+let metadata ~name ~tid args =
+  J.Obj
+    ([ ("name", J.Str name); ("ph", J.Str "M"); ("pid", num 1) ]
+    @ (match tid with Some t -> [ ("tid", num t) ] | None -> [])
+    @ [ ("args", J.Obj args) ])
+
+let of_trace (t : Event.trace) =
+  let out = ref [] in
+  let push j = out := j :: !out in
+  push
+    (metadata ~name:"process_name" ~tid:None
+       [ ("name", J.Str (t.model ^ " (" ^ t.source ^ ")")) ]);
+  let global_tid = t.nprocs in
+  for p = 0 to t.nprocs - 1 do
+    push
+      (metadata ~name:"thread_name" ~tid:(Some p)
+         [ ("name", J.Str ("p" ^ string_of_int p)) ])
+  done;
+  let total = Array.length t.events in
+  let init_label = Event.meta_find t "init_label" in
+  (* Label-occupancy spans: (label, opened-at) per pid, seeded with the
+     initial label so every process owns a complete track even if it
+     never moves. *)
+  let current =
+    Array.make t.nprocs
+      (match init_label with Some l -> Some (l, 0) | None -> None)
+  in
+  let close_span p ~at ~reopen =
+    (match current.(p) with
+    | Some (lab, since) when at >= since ->
+        push
+          (complete ~name:lab ~cat:"label" ~tid:p ~ts:since ~dur:(at - since)
+             [])
+    | _ -> ());
+    current.(p) <- reopen
+  in
+  (* Lock wait/hold spans. *)
+  let waiting = Array.make t.nprocs None in
+  let holding = Array.make t.nprocs None in
+  Array.iter
+    (fun (e : Event.t) ->
+      let ts = e.seq in
+      let tid = if e.pid < 0 then global_tid else e.pid in
+      match e.kind with
+      | Event.Label { to_label; _ } ->
+          close_span e.pid ~at:ts ~reopen:(Some (to_label, ts))
+      | Event.Reset { what } ->
+          (if what = "crash" then
+             match init_label with
+             | Some l -> close_span e.pid ~at:ts ~reopen:(Some (l, ts))
+             | None -> ());
+          push (instant ~name:what ~cat:"reset" ~scope:"t" ~tid ~ts (base_args e []))
+      | Event.Anomaly { what; cell; value } ->
+          push
+            (instant ~name:what ~cat:"anomaly" ~scope:"t" ~tid ~ts
+               (base_args e [ ("cell", num cell); ("value", num value) ]))
+      | Event.Violation { property; law; detail } ->
+          push
+            (instant ~name:("VIOLATION: " ^ property) ~cat:"violation"
+               ~scope:"g" ~tid ~ts
+               (base_args e [ ("law", J.Str law); ("detail", J.Str detail) ]))
+      | Event.Read { var; cell; value } ->
+          push
+            (instant
+               ~name:(Printf.sprintf "R %s[%d]" var cell)
+               ~cat:"mem" ~scope:"t" ~tid ~ts
+               (base_args e [ ("value", num value) ]))
+      | Event.Write { var; cell; value; prev; raw } ->
+          push
+            (instant
+               ~name:(Printf.sprintf "W %s[%d]" var cell)
+               ~cat:"mem" ~scope:"t" ~tid ~ts
+               (base_args e
+                  (("value", num value) :: ("prev", num prev)
+                  :: (if raw <> value then [ ("raw", num raw) ] else []))))
+      | Event.Wait { what } -> waiting.(e.pid) <- Some (what, ts)
+      | Event.Acquire { lock } ->
+          (match waiting.(e.pid) with
+          | Some (what, since) ->
+              push
+                (complete ~name:what ~cat:"lock" ~tid ~ts:since
+                   ~dur:(ts - since) []);
+              waiting.(e.pid) <- None
+          | None -> ());
+          holding.(e.pid) <- Some (lock, ts)
+      | Event.Release { lock } -> (
+          match holding.(e.pid) with
+          | Some (_, since) ->
+              push
+                (complete ~name:("hold " ^ lock) ~cat:"lock" ~tid ~ts:since
+                   ~dur:(ts - since) (base_args e []));
+              holding.(e.pid) <- None
+          | None ->
+              push
+                (instant ~name:("release " ^ lock) ~cat:"lock" ~scope:"t" ~tid
+                   ~ts (base_args e []))))
+    t.events;
+  (* Close every still-open span at end of run. *)
+  for p = 0 to t.nprocs - 1 do
+    close_span p ~at:(max total 1) ~reopen:None;
+    (match waiting.(p) with
+    | Some (what, since) ->
+        push (complete ~name:what ~cat:"lock" ~tid:p ~ts:since ~dur:(total - since) [])
+    | None -> ());
+    match holding.(p) with
+    | Some (lock, since) ->
+        push
+          (complete ~name:("hold " ^ lock) ~cat:"lock" ~tid:p ~ts:since
+             ~dur:(total - since) [])
+    | None -> ()
+  done;
+  J.Obj
+    [
+      ("traceEvents", J.Arr (List.rev !out));
+      ("displayTimeUnit", J.Str "ms");
+    ]
+
+let to_string t = J.to_string (of_trace t)
+
+let write ~path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc

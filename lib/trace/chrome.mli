@@ -1,0 +1,13 @@
+(** Chrome trace-event JSON export — loadable in Perfetto
+    ([ui.perfetto.dev]) and chrome://tracing.
+
+    One Chrome process per trace, one thread (track) per simulated
+    process named "p<i>", complete label-occupancy spans covering the
+    whole run, wait/hold spans for lock traces, and instant events for
+    resets, anomalies and violations.  Timestamps are event sequence
+    numbers in microseconds: deterministic and strictly monotone per
+    track; the engine step is in each event's [args]. *)
+
+val of_trace : Event.trace -> Telemetry.Json.t
+val to_string : Event.trace -> string
+val write : path:string -> Event.trace -> unit

@@ -1,0 +1,76 @@
+(* The unified structured event model.
+
+   Every execution engine — the schedsim runner, the model checker's
+   counterexample re-walker, the runtime lock zoo — renders its run as
+   one flat array of these events, causally annotated with per-process
+   vector clocks ({!Causal}).  Everything downstream (the explainer,
+   the Chrome/Perfetto exporter, the JSONL codec, derived queries) is
+   engine-agnostic: registers are named by strings, labels carry their
+   step kinds as strings, and the engine-specific conversion lives in
+   [Of_sim]/[Of_walk]/[Of_locks]. *)
+
+type kind =
+  | Label of {
+      from_label : string;
+      to_label : string;
+      from_kind : string;
+      to_kind : string;  (* step kinds as strings: "doorway", "critical", … *)
+    }
+  | Read of { var : string; cell : int; value : int }
+  | Write of {
+      var : string;
+      cell : int;
+      value : int;  (* value actually stored *)
+      prev : int;  (* cell content before the store *)
+      raw : int;  (* pre-wrap value; raw <> value means the store wrapped *)
+    }
+  | Acquire of { lock : string }
+  | Release of { lock : string }
+  | Wait of { what : string }  (* start of a blocking wait (L1, lock) *)
+  | Reset of { what : string }  (* crash, restart *)
+  | Anomaly of { what : string; cell : int; value : int }
+      (* flickered safe-register read, register overflow *)
+  | Violation of { property : string; law : string; detail : string }
+
+type t = {
+  seq : int;  (* global emission index, 0-based, strictly increasing *)
+  step : int;  (* engine step counter (sim time / trace index / rel. ns) *)
+  pid : int;  (* owning process; -1 for global events *)
+  kind : kind;
+  observed : int;
+      (* [seq] of the write (for reads) or release (for acquires) this
+         event causally observed; -1 when none *)
+  vc : int array;  (* vector clock after this event, length nprocs *)
+}
+
+type trace = {
+  source : string;  (* "sim" | "modelcheck" | "locks" *)
+  model : string;
+  nprocs : int;
+  bound : int;  (* the paper's M; 0 when not meaningful (locks) *)
+  meta : (string * string) list;  (* e.g. init_label, init_kind, outcome *)
+  events : t array;
+}
+
+let string_of_step_kind = function
+  | Mxlang.Ast.Noncritical -> "noncritical"
+  | Entry -> "entry"
+  | Doorway -> "doorway"
+  | Waiting -> "waiting"
+  | Critical -> "critical"
+  | Exit -> "exit"
+  | Plain -> "plain"
+
+let meta_find trace key =
+  List.assoc_opt key trace.meta
+
+let kind_tag = function
+  | Label _ -> "label"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Acquire _ -> "acquire"
+  | Release _ -> "release"
+  | Wait _ -> "wait"
+  | Reset _ -> "reset"
+  | Anomaly _ -> "anomaly"
+  | Violation _ -> "violation"

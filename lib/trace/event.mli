@@ -1,0 +1,56 @@
+(** The unified structured event model shared by all three execution
+    engines (schedsim runner, model-checker re-walker, runtime lock
+    zoo).  Engine-agnostic: registers and labels are named by strings;
+    conversions live in {!Of_sim}, {!Of_walk} and {!Of_locks}. *)
+
+type kind =
+  | Label of {
+      from_label : string;
+      to_label : string;
+      from_kind : string;
+      to_kind : string;
+          (** step kinds as strings: "noncritical", "entry", "doorway",
+              "waiting", "critical", "exit", "plain" *)
+    }
+  | Read of { var : string; cell : int; value : int }
+  | Write of {
+      var : string;
+      cell : int;
+      value : int;  (** value actually stored *)
+      prev : int;  (** cell content before the store *)
+      raw : int;  (** pre-wrap value; [raw <> value] means the store wrapped *)
+    }
+  | Acquire of { lock : string }
+  | Release of { lock : string }
+  | Wait of { what : string }  (** start of a blocking wait (L1, lock) *)
+  | Reset of { what : string }  (** "crash", "restart" *)
+  | Anomaly of { what : string; cell : int; value : int }
+      (** flickered safe-register read, register overflow *)
+  | Violation of { property : string; law : string; detail : string }
+
+type t = {
+  seq : int;  (** global emission index, 0-based, strictly increasing;
+                  also the event's index in {!trace.events} *)
+  step : int;  (** engine step counter (sim time / trace index / rel. ns) *)
+  pid : int;  (** owning process; -1 for global events *)
+  kind : kind;
+  observed : int;
+      (** [seq] of the write (for reads) or release (for acquires) this
+          event causally observed; -1 when none *)
+  vc : int array;  (** vector clock after this event, length nprocs *)
+}
+
+type trace = {
+  source : string;  (** "sim" | "modelcheck" | "locks" *)
+  model : string;
+  nprocs : int;
+  bound : int;  (** the paper's M; 0 when not meaningful (locks) *)
+  meta : (string * string) list;
+      (** e.g. "init_label", "init_kind", "outcome" *)
+  events : t array;
+}
+
+val string_of_step_kind : Mxlang.Ast.kind -> string
+val meta_find : trace -> string -> string option
+val kind_tag : kind -> string
+(** Lower-case constructor tag, the JSONL ["type"] field. *)

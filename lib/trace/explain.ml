@@ -1,0 +1,257 @@
+(* The explainer: render a causal trace as an annotated story.
+
+   Output is a pure function of the trace (no wall clocks, no paths),
+   so the same counterexample always explains identically — the golden
+   tests rely on that.  The story has three parts: a header, the
+   step-by-step narrative (one block per engine step: label transition,
+   reads with their causal provenance, writes as state diffs), and for
+   violating traces the reduction of the failure to the specific
+   invariant conjunct plus the causal chain to the corrupting write. *)
+
+let b_add = Buffer.add_string
+
+(* Events of one engine step by one process, in emission order. *)
+type block = { b_step : int; b_pid : int; b_events : Event.t list }
+
+let blocks_of (t : Event.trace) =
+  let rev = ref [] in
+  Array.iter
+    (fun (e : Event.t) ->
+      match !rev with
+      | { b_step; b_pid; b_events } :: rest
+        when b_step = e.step && b_pid = e.pid ->
+          rev := { b_step; b_pid; b_events = e :: b_events } :: rest
+      | _ -> rev := { b_step = e.step; b_pid = e.pid; b_events = [ e ] } :: !rev)
+    t.events;
+  List.rev_map
+    (fun b -> { b with b_events = List.rev b.b_events })
+    !rev
+
+let writer_of (t : Event.trace) seq =
+  if seq >= 0 && seq < Array.length t.events then Some t.events.(seq) else None
+
+let render_read buf (t : Event.trace) (e : Event.t) ~var ~cell ~value =
+  b_add buf (Printf.sprintf "         read   %s[%d] = %d" var cell value);
+  (match writer_of t e.observed with
+  | Some ({ kind = Event.Write { raw; value = wv; _ }; _ } as w) ->
+      if raw <> wv then
+        b_add buf
+          (Printf.sprintf "   <- p%d's write at step %d, WRAPPED from %d"
+             w.pid w.step raw)
+      else
+        b_add buf
+          (Printf.sprintf "   <- written by p%d at step %d" w.pid w.step)
+  | _ -> b_add buf "   (initial value)");
+  b_add buf "\n"
+
+let render_block buf (t : Event.trace) (b : block) =
+  let head = ref false in
+  let headline s =
+    head := true;
+    b_add buf (Printf.sprintf "step %4d  p%d  %s\n" b.b_step b.b_pid s)
+  in
+  let sub s =
+    if not !head then headline "";
+    b_add buf ("         " ^ s ^ "\n")
+  in
+  (* The label transition (if any) becomes the headline; everything else
+     is indented under it.  Emission order within a step is reads,
+     writes, label — but the story reads better label-first. *)
+  (match
+     List.find_opt
+       (fun (e : Event.t) ->
+         match e.kind with Event.Label _ -> true | _ -> false)
+       b.b_events
+   with
+  | Some { kind = Event.Label { from_label; to_label; from_kind; to_kind }; _ }
+    ->
+      let marker =
+        if to_kind = "critical" && from_kind <> "critical" then
+          "   << enters the critical section"
+        else if from_kind = "critical" && to_kind <> "critical" then
+          "   >> leaves the critical section"
+        else if from_kind = "doorway" && to_kind <> "doorway" then
+          if to_kind = "entry" || to_kind = "noncritical" then
+            "   (abandons its doorway)"
+          else "   (doorway complete)"
+        else ""
+      in
+      if from_label = to_label then headline (from_label ^ marker)
+      else headline (from_label ^ " -> " ^ to_label ^ marker)
+  | _ -> ());
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Label _ -> ()
+      | Event.Read { var; cell; value } ->
+          if not !head then headline "";
+          render_read buf t e ~var ~cell ~value
+      | Event.Write { var; cell; value; prev; raw } ->
+          sub
+            (if raw <> value then
+               Printf.sprintf "write  %s[%d] := %d  (was %d; WRAPPED from %d > M = %d)"
+                 var cell value prev raw t.bound
+             else if prev = value then
+               Printf.sprintf "write  %s[%d] := %d  (unchanged)" var cell value
+             else
+               Printf.sprintf "write  %s[%d] := %d  (was %d)" var cell value
+                 prev)
+      | Event.Acquire { lock } -> sub ("acquired " ^ lock)
+      | Event.Release { lock } -> sub ("released " ^ lock)
+      | Event.Wait { what } -> sub ("waiting: " ^ what)
+      | Event.Reset { what } ->
+          if what = "crash" then
+            headline
+              (match Event.meta_find t "init_label" with
+              | Some l ->
+                  Printf.sprintf
+                    "** crash: resets its own registers, restarts at %s **" l
+              | None -> "** crash **")
+          else headline ("** " ^ what ^ " **")
+      | Event.Anomaly { what; value; _ } ->
+          sub (Printf.sprintf "!! %s returned %d" what value)
+      | Event.Violation { property; _ } ->
+          sub (Printf.sprintf "** VIOLATION: %s **" property))
+    b.b_events
+
+let last_violation (t : Event.trace) =
+  Array.fold_left
+    (fun acc (e : Event.t) ->
+      match e.kind with Event.Violation _ -> Some e | _ -> acc)
+    None t.events
+
+(* The causal chain: which observation admitted the violator?  Prefer
+   reads that observed a *wrapped* write (the paper's §3 corruption) —
+   even the violator's own, since reading back your own wrapped ticket
+   is exactly how the corruption bites — otherwise the latest
+   cross-process read. *)
+let fatal_read (t : Event.trace) (v : Event.t) =
+  let candidate best (e : Event.t) =
+    match e.kind with
+    | Event.Read _ when e.pid = v.pid && e.seq < v.seq && e.observed >= 0 -> (
+        match writer_of t e.observed with
+        | Some w -> (
+            let wrapped =
+              match w.kind with
+              | Event.Write { raw; value; _ } -> raw <> value
+              | _ -> false
+            in
+            if not (wrapped || w.pid <> e.pid) then best
+            else
+              match best with
+              | Some (_, _, best_wrapped) when best_wrapped && not wrapped ->
+                  best
+              | _ -> Some (e, w, wrapped))
+        | _ -> best)
+    | _ -> best
+  in
+  Array.fold_left candidate None t.events
+
+let render_violation buf (t : Event.trace) (v : Event.t) =
+  match v.kind with
+  | Event.Violation { property; law; detail } ->
+      b_add buf "---- violation ----\n";
+      b_add buf (Printf.sprintf "property:  %s\n" property);
+      b_add buf (Printf.sprintf "law:       %s\n" law);
+      b_add buf (Printf.sprintf "falsified: %s\n" detail);
+      b_add buf (Printf.sprintf "at step:   %d (by p%d)\n" v.step v.pid);
+      b_add buf "\n---- causal analysis ----\n";
+      (if property = "no-overflow" then
+         (* the corrupting event is the store itself *)
+         match
+           Array.fold_left
+             (fun acc (e : Event.t) ->
+               match e.kind with
+               | Event.Write { value; _ } when value > t.bound && e.seq < v.seq
+                 ->
+                   Some e
+               | _ -> acc)
+             None t.events
+         with
+         | Some ({ kind = Event.Write { var; cell; value; _ }; _ } as w) ->
+             b_add buf
+               (Printf.sprintf
+                  "the store by p%d at step %d pushed %s[%d] to %d > M = %d.\n"
+                  w.pid w.step var cell value t.bound)
+         | _ -> b_add buf "no overflowing store found in the recorded window.\n"
+       else
+         match fatal_read t v with
+         | Some (r, w, wrapped) ->
+             let rv, rvar, rcell =
+               match r.kind with
+               | Event.Read { value; var; cell } -> (value, var, cell)
+               | _ -> (0, "?", -1)
+             in
+             b_add buf
+               (Printf.sprintf
+                  "p%d's admission rests on its read of %s[%d] = %d at step \
+                   %d,\n"
+                  v.pid rvar rcell rv r.step);
+             let whose =
+               if w.pid = r.pid then "its own"
+               else Printf.sprintf "p%d's" w.pid
+             in
+             (match w.kind with
+             | Event.Write { var; cell; value; raw; _ } when wrapped ->
+                 b_add buf
+                   (Printf.sprintf
+                      "which observed %s write at step %d: %s[%d] := %d, \
+                       WRAPPED from the raw value %d (> M = %d).\n"
+                      whose w.step var cell value raw t.bound);
+                 b_add buf
+                   "the wrapped register is the §3 corruption: the reader \
+                    mistakes a large\n\
+                    ticket for a small one and overtakes the rightful \
+                    holder.\n"
+             | Event.Write { var; cell; value; _ } ->
+                 b_add buf
+                   (Printf.sprintf
+                      "which observed %s write at step %d: %s[%d] := %d.\n"
+                      whose w.step var cell value)
+             | _ -> ());
+             b_add buf
+               (Printf.sprintf "happens-before: write vc=%s  <  read vc=%s\n"
+                  (Vclock.to_string w.vc) (Vclock.to_string r.vc))
+         | None ->
+             b_add buf
+               (Printf.sprintf
+                  "no cross-process register observation by p%d precedes the \
+                   violation\n\
+                   (register events absent? rerun with tracing enabled).\n"
+                  v.pid))
+  | _ -> ()
+
+let render ?(max_steps = 0) (t : Event.trace) =
+  let buf = Buffer.create 4096 in
+  b_add buf
+    (Printf.sprintf "forensics: %s  (source: %s, N=%d%s)\n" t.model t.source
+       t.nprocs
+       (if t.bound > 0 then Printf.sprintf ", M=%d" t.bound else ""));
+  List.iter
+    (fun (k, v) ->
+      if k <> "init_label" && k <> "init_kind" then
+        b_add buf (Printf.sprintf "%s: %s\n" k v))
+    t.meta;
+  (match Event.meta_find t "init_label" with
+  | Some l -> b_add buf (Printf.sprintf "all processes start at %s\n" l)
+  | None -> ());
+  b_add buf "\n";
+  let blocks = blocks_of t in
+  let nblocks = List.length blocks in
+  let blocks =
+    if max_steps > 0 && nblocks > max_steps then begin
+      b_add buf
+        (Printf.sprintf
+           "... (%d earlier steps elided; raise --max-steps to see them)\n"
+           (nblocks - max_steps));
+      let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+      drop (nblocks - max_steps) blocks
+    end
+    else blocks
+  in
+  List.iter (render_block buf t) blocks;
+  b_add buf "\n";
+  (match last_violation t with
+  | Some v -> render_violation buf t v
+  | None -> b_add buf "no violation recorded in this trace.\n");
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Render a causal trace as an annotated step-by-step story.
+
+    The output is a pure function of the trace — no wall clocks, no
+    file paths — so the same counterexample always explains
+    identically.  For violating traces the story ends with the failed
+    invariant reduced to its specific conjunct and the register values
+    falsifying it, plus the causal chain from the violator's fatal read
+    back to the (possibly wrapped) write it observed. *)
+
+val render : ?max_steps:int -> Event.trace -> string
+(** [max_steps] caps the number of step blocks shown, keeping the most
+    recent ones (the violation neighbourhood); [0] (default) shows
+    everything. *)

@@ -1,0 +1,14 @@
+(** Self-describing JSONL codec for causal traces.
+
+    Line 1 is a header carrying the trace schema version
+    ({!Telemetry.Runmeta.trace_schema_version}), the captured
+    {!Telemetry.Runmeta} fields, and the trace identity; every further
+    line is one event.  {!read} validates the schema first and refuses
+    incompatible files with a clear error. *)
+
+val write : path:string -> Event.trace -> unit
+
+val read : path:string -> (Event.trace, string) result
+
+val header_line : Event.trace -> Telemetry.Json.t
+val event_line : Event.t -> Telemetry.Json.t

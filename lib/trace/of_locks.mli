@@ -1,0 +1,7 @@
+(** Lock-zoo ring buffers -> unified causal trace.
+
+    [step] is nanoseconds relative to the first record; causality comes
+    from acquire-observes-previous-release. *)
+
+val trace : lock:string -> nprocs:int -> Locks.Ring.entry list -> Event.trace
+(** Feed with {!Locks.Ring.flush} output (already time-sorted). *)

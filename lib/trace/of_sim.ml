@@ -1,0 +1,122 @@
+(* Schedsim events -> unified causal trace.
+
+   Requires a run recorded with [record_events = true]; register-level
+   Read/Write events flow only when [record_rw] was also set, and
+   without them the trace still carries label transitions, resets and
+   violations (enough for Chrome export and the FCFS query, not for
+   reads-from analysis). *)
+
+module SE = Schedsim.Event
+
+let outcome_tag : Schedsim.Runner.outcome -> string = function
+  | Completed -> "completed"
+  | Steps_exhausted -> "steps_exhausted"
+  | Overflow_stop -> "overflow_stop"
+  | Stuck -> "stuck"
+
+let trace ?model (program : Mxlang.Ast.program) ~nprocs ~bound
+    (r : Schedsim.Runner.result) =
+  let model = match model with Some m -> m | None -> program.title in
+  let env = Mxlang.Eval.make_env program ~nprocs ~bound in
+  let label pc = program.steps.(pc).Mxlang.Ast.step_name in
+  let kind pc = Event.string_of_step_kind program.steps.(pc).Mxlang.Ast.kind in
+  let init_pc = program.init_pc in
+  let b =
+    Causal.create ~source:"sim" ~model ~nprocs ~bound
+      ~meta:
+        [
+          ("init_label", label init_pc);
+          ("init_kind", kind init_pc);
+          ("outcome", outcome_tag r.outcome);
+          ("steps", string_of_int r.steps);
+        ]
+      ()
+  in
+  (* Resolve a flat shared-cell index back to var[cell] (flicker events
+     record the global index). *)
+  let var_of_global_cell cell =
+    let rec go v =
+      if v >= program.nvars then None
+      else
+        let o = Mxlang.Eval.offset env v in
+        let n = Mxlang.Ast.cells_of ~nprocs program v in
+        if cell >= o && cell < o + n then Some (v, cell - o) else go (v + 1)
+    in
+    go 0
+  in
+  let pcs = Array.make nprocs init_pc in
+  let last_stepped = ref (-1) in
+  List.iter
+    (fun (e : SE.t) ->
+      match e with
+      | SE.Step { time; pid; pc; target } ->
+          last_stepped := pid;
+          Causal.push b ~step:time ~pid
+            (Event.Label
+               {
+                 from_label = label pc;
+                 to_label = label target;
+                 from_kind = kind pc;
+                 to_kind = kind target;
+               });
+          pcs.(pid) <- target
+      | SE.Read { time; pid; var; cell; value } ->
+          Causal.push b ~step:time ~pid
+            (Event.Read { var = program.var_names.(var); cell; value })
+      | SE.Write { time; pid; var; cell; value; prev; raw } ->
+          Causal.push b ~step:time ~pid
+            (Event.Write
+               { var = program.var_names.(var); cell; value; prev; raw })
+      | SE.Overflow { time; pid; var; cell; value } ->
+          Causal.push b ~step:time ~pid
+            (Event.Anomaly
+               {
+                 what =
+                   Printf.sprintf "overflow of %s[%d]" program.var_names.(var)
+                     cell;
+                 cell;
+                 value;
+               })
+      | SE.Mutex_violation { time; pids } ->
+          let culprit =
+            (* the process whose entry triggered the violation: the last
+               one that stepped *)
+            if List.mem !last_stepped pids then !last_stepped
+            else match pids with p :: _ -> p | [] -> -1
+          in
+          Causal.push b ~step:time ~pid:culprit
+            (Event.Violation
+               {
+                 property = Modelcheck.Invariant.mutex.name;
+                 law = Modelcheck.Invariant.mutex.law;
+                 detail =
+                   Printf.sprintf
+                     "processes %s are all inside the critical section (%s)"
+                     (String.concat ", "
+                        (List.map (fun i -> "p" ^ string_of_int i) pids))
+                     (String.concat ", "
+                        (List.map
+                           (fun i ->
+                             Printf.sprintf "p%d@%s" i (label pcs.(i)))
+                           pids));
+               })
+      | SE.Crash { time; pid } ->
+          Causal.push b ~step:time ~pid (Event.Reset { what = "crash" });
+          pcs.(pid) <- init_pc
+      | SE.Restart { time; pid } ->
+          Causal.push b ~step:time ~pid (Event.Reset { what = "restart" })
+      | SE.Flicker { time; pid; cell; value } ->
+          let what =
+            match var_of_global_cell cell with
+            | Some (v, idx) ->
+                Printf.sprintf "flickered read of %s[%d]"
+                  program.var_names.(v) idx
+            | None -> Printf.sprintf "flickered read of cell %d" cell
+          in
+          Causal.push b ~step:time ~pid (Event.Anomaly { what; cell; value })
+      | SE.Cs_enter _ | SE.Cs_exit _ | SE.Doorway_done _ ->
+          (* derivable from Label transitions; the unified trace keeps
+             one source of truth *)
+          ())
+    r.events;
+  Causal.finish b

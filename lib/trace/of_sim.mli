@@ -1,0 +1,17 @@
+(** Schedsim events -> unified causal trace.
+
+    The run must have been recorded with
+    [Schedsim.Runner.config.record_events = true]; register-level
+    reads/writes additionally need [record_rw = true] (without them the
+    trace still carries label transitions, resets and violations —
+    enough for Chrome export and {!Query.fcfs_inversions}, not for
+    reads-from analysis). *)
+
+val trace :
+  ?model:string ->
+  Mxlang.Ast.program ->
+  nprocs:int ->
+  bound:int ->
+  Schedsim.Runner.result ->
+  Event.trace
+(** [?model] defaults to the program title. *)

@@ -1,0 +1,71 @@
+(* Modelcheck re-walk -> unified causal trace.
+
+   The step counter is the 1-based trace index ("State k" in the TLC
+   rendering is step k-1 here).  The checker never wraps stores, so
+   every Write has [raw = value]; wrap corruption shows up instead as a
+   stored value exceeding M, which the no-overflow conjunct names. *)
+
+let trace ?model ?violation (w : Modelcheck.Rewalk.t) =
+  let sys = w.rw_sys in
+  let program = Modelcheck.System.program sys in
+  let nprocs = Modelcheck.System.nprocs sys in
+  let bound = Modelcheck.System.bound sys in
+  let lay = Modelcheck.System.layout sys in
+  let model = match model with Some m -> m | None -> program.title in
+  let label pc = program.steps.(pc).Mxlang.Ast.step_name in
+  let kind pc = Event.string_of_step_kind program.steps.(pc).Mxlang.Ast.kind in
+  let init_pc = Modelcheck.State.pc lay w.rw_init 0 in
+  let b =
+    Causal.create ~source:"modelcheck" ~model ~nprocs ~bound
+      ~meta:
+        [ ("init_label", label init_pc); ("init_kind", kind init_pc) ]
+      ()
+  in
+  let last = ref (-1, 0) in
+  List.iteri
+    (fun i (s : Modelcheck.Rewalk.step) ->
+      let step = i + 1 in
+      last := (s.rw_pid, step);
+      List.iter
+        (fun (r : Mxlang.Reads.read) ->
+          Causal.push b ~step ~pid:s.rw_pid
+            (Event.Read
+               {
+                 var = program.var_names.(r.rd_var);
+                 cell = r.rd_cell;
+                 value = r.rd_value;
+               }))
+        s.rw_reads;
+      List.iter
+        (fun (wr : Modelcheck.Rewalk.write) ->
+          Causal.push b ~step ~pid:s.rw_pid
+            (Event.Write
+               {
+                 var = program.var_names.(wr.wr_var);
+                 cell = wr.wr_cell;
+                 value = wr.wr_value;
+                 prev = wr.wr_prev;
+                 raw = wr.wr_value;
+               }))
+        s.rw_writes;
+      Causal.push b ~step ~pid:s.rw_pid
+        (Event.Label
+           {
+             from_label = label s.rw_from_pc;
+             to_label = label s.rw_to_pc;
+             from_kind = kind s.rw_from_pc;
+             to_kind = kind s.rw_to_pc;
+           }))
+    w.rw_steps;
+  (match violation with
+  | None -> ()
+  | Some (f : Modelcheck.Invariant.failure) ->
+      let pid, step = !last in
+      Causal.push b ~step ~pid
+        (Event.Violation
+           {
+             property = f.f_name;
+             law = f.f_law;
+             detail = (match f.f_detail with Some d -> d | None -> f.f_law);
+           }));
+  Causal.finish b

@@ -1,0 +1,15 @@
+(** Modelcheck re-walk -> unified causal trace.
+
+    The step counter is the 1-based counterexample index.  The checker
+    never wraps stores, so every Write has [raw = value]; wrap
+    corruption shows up as a stored value exceeding M, which the
+    no-overflow conjunct names. *)
+
+val trace :
+  ?model:string ->
+  ?violation:Modelcheck.Invariant.failure ->
+  Modelcheck.Rewalk.t ->
+  Event.trace
+(** [?violation] (from {!Modelcheck.Invariant.explain_failure} on the
+    final state) is appended as a [Violation] event attributed to the
+    process that fired the last step. *)

@@ -1,0 +1,64 @@
+(* Derived queries over causal traces.
+
+   E8's first-come-first-served inversions used to be a bespoke counter
+   updated inside the runner's transition bookkeeping; here the same
+   quantity is derived from the unified trace's label transitions alone,
+   so any engine that emits a trace gets the metric — and the runner's
+   counter doubles as a differential oracle for the trace pipeline
+   (they must agree on every run). *)
+
+(* FCFS in Lamport's sense: process q is overtaken when p enters its
+   critical section although q finished its doorway before p *started*
+   its own, and q is still waiting.  Tracks doorway start/completion
+   times per process from Label kinds; crashes reset a process's claim
+   (the runner does the same). *)
+let fcfs_inversions (t : Event.trace) =
+  let n = t.nprocs in
+  let init_kind =
+    match Event.meta_find t "init_kind" with
+    | Some k -> k
+    | None -> "noncritical"
+  in
+  let cur_kind = Array.make n init_kind in
+  let doorway_start = Array.make n (-1) in
+  let doorway_done = Array.make n (-1) in
+  let inversions = ref 0 in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Reset { what } when what = "crash" && e.pid >= 0 ->
+          cur_kind.(e.pid) <- init_kind;
+          doorway_start.(e.pid) <- -1;
+          doorway_done.(e.pid) <- -1
+      | Event.Label { from_kind; to_kind; _ } when e.pid >= 0 ->
+          let p = e.pid in
+          if from_kind <> "doorway" && to_kind = "doorway" then
+            doorway_start.(p) <- e.step;
+          (if from_kind = "doorway" && to_kind <> "doorway" then
+             if to_kind = "entry" || to_kind = "noncritical" then begin
+               (* abandoned doorway: no claim to a turn *)
+               doorway_start.(p) <- -1;
+               doorway_done.(p) <- -1
+             end
+             else doorway_done.(p) <- e.step);
+          (* [cur_kind] must be updated after the overtaking check below
+             reads the *other* processes' kinds, but before we use our
+             own — order matters only for others, so update ours last. *)
+          if from_kind <> "critical" && to_kind = "critical" then begin
+            let my_start = doorway_start.(p) in
+            if my_start >= 0 then
+              for other = 0 to n - 1 do
+                if
+                  other <> p
+                  && doorway_done.(other) >= 0
+                  && doorway_done.(other) < my_start
+                  && cur_kind.(other) <> "critical"
+                then incr inversions
+              done;
+            doorway_start.(p) <- -1;
+            doorway_done.(p) <- -1
+          end;
+          cur_kind.(p) <- to_kind
+      | _ -> ())
+    t.events;
+  !inversions

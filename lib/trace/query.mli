@@ -1,0 +1,9 @@
+(** Derived queries over causal traces. *)
+
+val fcfs_inversions : Event.trace -> int
+(** First-come-first-served inversions in Lamport's sense: critical-
+    section entries that overtook a process whose doorway completed
+    before the enterer's started and which is still waiting.  Derived
+    from label transitions alone; agrees with
+    [Schedsim.Runner.result.fcfs_inversions] on every simulator run
+    (differentially tested). *)

@@ -1,0 +1,27 @@
+(* Vector clocks over process ids 0 .. nprocs-1.
+
+   Clocks are plain int arrays; the causal annotator owns one mutable
+   clock per process and stamps events with copies, so comparison
+   functions here never mutate. *)
+
+let leq a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+(* Strict happens-before: componentwise <= and different somewhere. *)
+let lt a b = leq a b && not (leq b a)
+
+let concurrent a b = (not (lt a b)) && not (lt b a)
+
+let join_into ~into src =
+  for i = 0 to Array.length into - 1 do
+    if src.(i) > into.(i) then into.(i) <- src.(i)
+  done
+
+let to_string v =
+  "["
+  ^ String.concat "," (Array.to_list (Array.map string_of_int v))
+  ^ "]"

@@ -1,0 +1,16 @@
+(** Vector clocks over process ids [0 .. nprocs-1]. *)
+
+val leq : int array -> int array -> bool
+(** Componentwise [<=] (false on length mismatch). *)
+
+val lt : int array -> int array -> bool
+(** Strict happens-before: [leq a b] and [a <> b] somewhere. *)
+
+val concurrent : int array -> int array -> bool
+(** Neither [lt a b] nor [lt b a]. *)
+
+val join_into : into:int array -> int array -> unit
+(** [into.(i) <- max into.(i) src.(i)] for all [i]. *)
+
+val to_string : int array -> string
+(** ["[1,2,3]"]. *)

@@ -54,8 +54,8 @@ let subcommand_help name () =
 
 let subcommands =
   [
-    "list"; "show"; "check"; "sim"; "lasso"; "refine"; "verify"; "tla";
-    "graph"; "fuzz"; "bench";
+    "list"; "show"; "check"; "sim"; "explain"; "lasso"; "refine"; "verify";
+    "tla"; "graph"; "fuzz"; "bench";
   ]
 
 let check_progress_metrics () =
@@ -184,6 +184,67 @@ let fuzz_replay_corpus () =
   check int_t "bad file exits 2" 2 code;
   check bool_t "error names the file" true (contains ~affix:".repro" err)
 
+(* ------------------------------------------------------------- explain *)
+
+let explain_repro () =
+  (* the acceptance scenario: the wrap repro explains deterministically,
+     naming the failed mutex conjunct and the wrapping write *)
+  let file = Filename.concat "corpus" "bakery_wrap_56.repro" in
+  let code, out, _ = run_capture [ "explain"; "--repro"; file ] in
+  check int_t "explain exits 0" 0 code;
+  List.iter
+    (fun affix ->
+      check bool_t ("story mentions " ^ affix) true (contains ~affix out))
+    [
+      "VIOLATION: mutual-exclusion";
+      "at most one process is at a Critical-kind label";
+      "WRAPPED";
+      "happens-before";
+    ];
+  let code2, out2, _ = run_capture [ "explain"; "--repro"; file ] in
+  check int_t "same exit" code code2;
+  check Alcotest.string "byte-identical stories" out out2
+
+let explain_chrome_out () =
+  let file = Filename.concat "corpus" "bakery_wrap_56.repro" in
+  let json = Filename.temp_file "cli" ".json" in
+  let code, _, _ =
+    run_capture [ "explain"; "--repro"; file; "--chrome-out"; json ]
+  in
+  check int_t "explain exits 0" 0 code;
+  let ic = open_in_bin json in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  (* well-formed by our own parser, with events on every process track *)
+  match Telemetry.Json.parse s with
+  | Error e -> Alcotest.fail ("chrome JSON unparseable: " ^ e)
+  | Ok v -> (
+      match Telemetry.Json.member "traceEvents" v with
+      | Some (Telemetry.Json.Arr evs) ->
+          check bool_t "has events" true (List.length evs > 0)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let explain_model () =
+  let code, out, _ =
+    run_capture [ "explain"; "--model"; "bakery_mod_naive"; "-n"; "3"; "-m"; "2" ]
+  in
+  check int_t "explain --model exits 0" 0 code;
+  check bool_t "source is the checker" true
+    (contains ~affix:"source: modelcheck" out);
+  check bool_t "names the conjunct" true
+    (contains ~affix:"at most one process is at a Critical-kind label" out)
+
+let explain_usage_errors () =
+  let code, _, err = run_capture [ "explain" ] in
+  check int_t "no input is a usage error" 2 code;
+  check bool_t "says which flags" true (contains ~affix:"--repro" err);
+  let file = Filename.concat "corpus" "bakery_wrap_56.repro" in
+  let code, _, _ =
+    run_capture [ "explain"; "--repro"; file; "--model"; "bakery_pp" ]
+  in
+  check int_t "both inputs is a usage error" 2 code
+
 let () =
   Alcotest.run "cli"
     [
@@ -206,5 +267,13 @@ let () =
           Alcotest.test_case "summary is deterministic" `Quick
             fuzz_deterministic;
           Alcotest.test_case "--replay on the corpus" `Quick fuzz_replay_corpus;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "--repro acceptance scenario" `Quick explain_repro;
+          Alcotest.test_case "--chrome-out well-formed" `Quick
+            explain_chrome_out;
+          Alcotest.test_case "--model counterexample" `Quick explain_model;
+          Alcotest.test_case "usage errors" `Quick explain_usage_errors;
         ] );
     ]
