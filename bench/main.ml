@@ -12,11 +12,14 @@
      dune exec bench/main.exe -- --check-regress e11
                                            # perf gate against prior datapoints
 
-   Experiments that record datapoints (currently E11) also leave
+   Experiments that record datapoints (currently E11/E12) also leave
    BENCH_modelcheck.json in the working directory, so perf trajectories
    can be tracked across PRs.  [--check-regress] compares every fresh
    states/sec datapoint against the best prior one for the same metric
-   and exits non-zero on a >15% regression. *)
+   and exits non-zero on a >15% regression.  Prior rows predating the
+   timestamp/engine stamping are marked ["legacy": true] on the next
+   rewrite; rows without a string metric and numeric value are skipped
+   by the gate. *)
 
 let say fmt = Printf.printf fmt
 
@@ -52,6 +55,20 @@ let write_json_values path values =
   close_out oc;
   say "wrote %d datapoint(s) to %s\n%!" (List.length values) path
 
+(* Rows written before the driver stamped timestamp/engine metadata
+   cannot be placed on a timeline; mark them ["legacy": true] once so
+   downstream tooling (and the regress gate's log) can tell them apart.
+   Already-stamped and already-marked rows pass through untouched. *)
+let backfill_legacy v =
+  let open Telemetry.Json in
+  match v with
+  | Obj fields
+    when (not (List.mem_assoc "timestamp" fields)
+         || not (List.mem_assoc "engine" fields))
+         && not (List.mem_assoc "legacy" fields) ->
+      Obj (fields @ [ ("legacy", Bool true) ])
+  | v -> v
+
 (* Existing datapoints in [path] (from earlier runs / earlier PRs), or
    [] when the file is absent or unreadable.  Merging instead of
    clobbering keeps the perf trajectory. *)
@@ -63,7 +80,7 @@ let existing_datapoints path =
       let s = really_input_string ic n in
       close_in ic;
       match Telemetry.Json.parse s with
-      | Ok (Telemetry.Json.Arr vs) -> vs
+      | Ok (Telemetry.Json.Arr vs) -> List.map backfill_legacy vs
       | Ok _ | Error _ ->
           say "warning: %s exists but is not a JSON array; overwriting\n%!"
             path;
@@ -210,7 +227,7 @@ let () =
     List.filter
       (fun v ->
         match Telemetry.Json.member "experiment" v with
-        | Some (Telemetry.Json.Str "e11") -> true
+        | Some (Telemetry.Json.Str ("e11" | "e12")) -> true
         | _ -> false)
       metrics
   in
@@ -223,16 +240,35 @@ let () =
     let fresh =
       List.filter
         (fun (dp : Harness.Experiments.datapoint) ->
-          dp.dp_exp = "e11"
+          (dp.dp_exp = "e11" || dp.dp_exp = "e12")
           && String.ends_with ~suffix:"/states_per_sec" dp.dp_metric)
         raw_dps
     in
     if fresh = [] then begin
       prerr_endline
-        "--check-regress: the run recorded no e11 states/sec datapoints \
-         (include e11 in the experiment list)";
+        "--check-regress: the run recorded no e11/e12 states/sec datapoints \
+         (include e11 or e12 in the experiment list)";
       exit 2
     end;
+    (* A prior row participates in the baseline only if it carries a
+       string metric and a numeric value; anything else (hand-edited,
+       truncated, or foreign rows) is skipped rather than crashing or
+       poisoning the max. *)
+    let malformed =
+      List.length
+        (List.filter
+           (fun v ->
+             match
+               ( Telemetry.Json.member "metric" v,
+                 Telemetry.Json.member "value" v )
+             with
+             | Some (Telemetry.Json.Str _), Some (Telemetry.Json.Num _) ->
+                 false
+             | _ -> true)
+           prior)
+    in
+    if malformed > 0 then
+      say "regress-check: skipping %d malformed prior row(s)\n" malformed;
     let best_prior metric =
       List.fold_left
         (fun best v ->

@@ -208,6 +208,14 @@ let check_cmd =
     let doc = "Use the level-synchronized parallel BFS engine with this many domains." in
     Arg.(value & opt int 0 & info [ "parallel" ] ~docv:"D" ~doc)
   in
+  let fp_only_arg =
+    let doc =
+      "With $(b,--parallel), keep only 63-bit state fingerprints in the \
+       visited set (TLC-style): ~10x less memory, a ~2^-63 per-pair chance \
+       of conflating two states."
+    in
+    Arg.(value & flag & info [ "fp-only" ] ~doc)
+  in
   let dot_out_arg =
     let doc =
       "Export the counterexample as Graphviz DOT to $(docv), with the \
@@ -216,7 +224,7 @@ let check_cmd =
     Arg.(value & opt (some string) None & info [ "dot-out" ] ~docv:"FILE" ~doc)
   in
   let run model nprocs bound cap max_states with_overflow coverage parallel
-      chrome_out dot_out progress metrics_out trace_out =
+      fp_only chrome_out dot_out progress metrics_out trace_out =
     let p = find_model model in
     let sys = Modelcheck.System.make p ~nprocs ~bound in
     let invariants =
@@ -235,7 +243,7 @@ let check_cmd =
       if parallel > 0 then
         Modelcheck.Par_explore.run ?progress:tl.tl_progress
           ?metrics:tl.tl_metrics ~invariants ?constraint_ ~max_states
-          ~domains:parallel sys
+          ~domains:parallel ~fingerprint_only:fp_only sys
       else
         Modelcheck.Explore.run ?progress:tl.tl_progress ?metrics:tl.tl_metrics
           ~invariants ?constraint_ ~max_states sys
@@ -282,8 +290,9 @@ let check_cmd =
        ~doc:"Model-check a model for mutual exclusion (and overflow-freedom)")
     Term.(
       const run $ model_arg $ nprocs_arg $ bound_arg $ cap_arg $ max_states_arg
-      $ no_overflow_arg $ coverage_arg $ parallel_arg $ chrome_out_arg
-      $ dot_out_arg $ progress_arg $ metrics_out_arg $ trace_out_arg)
+      $ no_overflow_arg $ coverage_arg $ parallel_arg $ fp_only_arg
+      $ chrome_out_arg $ dot_out_arg $ progress_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* ---------------------------------------------------------------- sim *)
 

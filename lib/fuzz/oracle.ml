@@ -12,22 +12,25 @@ type case =
     }
   | Sched_case of Gen.plan
 
-type t = Compile | Parallel | Replay
+type t = Compile | Parallel | Sharded | Replay
 
-let all = [ Compile; Parallel; Replay ]
+let all = [ Compile; Parallel; Sharded; Replay ]
 
 let name = function
   | Compile -> "compile"
   | Parallel -> "parallel"
+  | Sharded -> "sharded"
   | Replay -> "replay"
 
 let of_name = function
   | "compile" -> Ok Compile
   | "parallel" -> Ok Parallel
+  | "sharded" -> Ok Sharded
   | "replay" -> Ok Replay
   | s ->
       Error
-        (Printf.sprintf "unknown oracle %S (expected compile|parallel|replay)" s)
+        (Printf.sprintf
+           "unknown oracle %S (expected compile|parallel|sharded|replay)" s)
 
 let fail tag fmt = Printf.ksprintf (fun detail -> Fail { tag; detail }) fmt
 
@@ -91,6 +94,11 @@ let run_prog_case ~engine ~program ~nprocs ~bound ~max_states =
       MC.Explore.run ~interpreted:true ~invariants ~max_states sys
   | `Compiled -> MC.Explore.run ~invariants ~max_states sys
   | `Parallel -> MC.Par_explore.run ~invariants ~max_states ~domains:2 sys
+  | `Sharded ->
+      (* 3 domains exercises non-power-of-two shard routing; Fp_only
+         exercises the replay-based trace reconstruction. *)
+      MC.Par_explore.run ~invariants ~max_states ~domains:3
+        ~fingerprint_only:true sys
 
 let compile_oracle ~program ~nprocs ~bound ~max_states =
   let reference =
@@ -104,9 +112,12 @@ let compile_oracle ~program ~nprocs ~bound ~max_states =
   compare_fingerprints ~tag:"engine_mismatch" ~left:"interp" ~right:"compiled"
     ~exact_trace:true (fingerprint reference) (fingerprint compiled)
 
-let parallel_oracle ~program ~nprocs ~bound ~max_states =
+(* The compiled sequential engine vs a parallel configuration ([engine]
+   is [`Parallel] for the 2-domain exact table, [`Sharded] for 3 domains
+   in fingerprint-only mode). *)
+let vs_sequential ~engine ~tag ~program ~nprocs ~bound ~max_states =
   let seq = run_prog_case ~engine:`Compiled ~program ~nprocs ~bound ~max_states in
-  let par = run_prog_case ~engine:`Parallel ~program ~nprocs ~bound ~max_states in
+  let par = run_prog_case ~engine ~program ~nprocs ~bound ~max_states in
   match (seq.outcome, par.outcome) with
   | MC.Explore.Capacity, _ | _, MC.Explore.Capacity ->
       (* the state-count cutoff lands mid-level in one engine and at a
@@ -115,8 +126,8 @@ let parallel_oracle ~program ~nprocs ~bound ~max_states =
   | MC.Explore.Pass, MC.Explore.Pass ->
       (* exhaustive exploration: the reachable set itself must be
          identical, so every statistic agrees exactly *)
-      compare_fingerprints ~tag:"par_mismatch" ~left:"seq" ~right:"par"
-        ~exact_trace:false (fingerprint seq) (fingerprint par)
+      compare_fingerprints ~tag ~left:"seq" ~right:"par" ~exact_trace:false
+        (fingerprint seq) (fingerprint par)
   | ( (MC.Explore.Violation _ | MC.Explore.Deadlock _),
       (MC.Explore.Violation _ | MC.Explore.Deadlock _) ) ->
       (* Both engines report a counterexample.  The sequential explorer
@@ -127,9 +138,12 @@ let parallel_oracle ~program ~nprocs ~bound ~max_states =
          "this program has a bug" is the sound claim. *)
       Pass
   | _ ->
-      fail "par_mismatch:outcome" "seq=[%s] par=[%s]"
+      fail (tag ^ ":outcome") "seq=[%s] par=[%s]"
         (fp_to_string (fingerprint seq))
         (fp_to_string (fingerprint par))
+
+let parallel_oracle = vs_sequential ~engine:`Parallel ~tag:"par_mismatch"
+let sharded_oracle = vs_sequential ~engine:`Sharded ~tag:"sharded_mismatch"
 
 (* -------------------------------------------------------- replay oracle *)
 
@@ -269,7 +283,7 @@ let replay_oracle (pl : Gen.plan) =
 
 let generate oracle rng (dp : Driver_params.t) =
   match oracle with
-  | Compile | Parallel ->
+  | Compile | Parallel | Sharded ->
       let program =
         Gen.program rng
           {
@@ -296,8 +310,10 @@ let run oracle case =
       compile_oracle ~program ~nprocs ~bound ~max_states
   | Parallel, Prog_case { program; nprocs; bound; max_states } ->
       parallel_oracle ~program ~nprocs ~bound ~max_states
+  | Sharded, Prog_case { program; nprocs; bound; max_states } ->
+      sharded_oracle ~program ~nprocs ~bound ~max_states
   | Replay, Sched_case pl -> replay_oracle pl
-  | (Compile | Parallel), Sched_case _ ->
+  | (Compile | Parallel | Sharded), Sched_case _ ->
       fail "bad_case" "%s oracle expects a program case" (name oracle)
   | Replay, Prog_case _ -> fail "bad_case" "replay oracle expects a schedule case"
 

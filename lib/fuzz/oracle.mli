@@ -18,6 +18,12 @@
       checked is that both find {e some} bug — one engine passing
       while the other reports a violation or deadlock is a failure.
       Guards the same claims under the parallel engine.
+    - [Sharded]: the same claim against the sharded engine's stress
+      configuration — 3 domains (non-power-of-two shard routing) in
+      fingerprint-only mode, where the visited set keeps 63-bit
+      fingerprints and counterexamples are rebuilt by replaying
+      recorded moves.  Catches routing, hand-off, quiescence and
+      replay bugs that the 2-domain exact-table oracle cannot see.
     - [Replay]: a schedule executed by the simulator must (a) replay
       bit-identically, (b) agree with the model checker's compiled
       transition system walked along the same pid sequence, and (c) on
@@ -36,7 +42,7 @@ type case =
     }
   | Sched_case of Gen.plan
 
-type t = Compile | Parallel | Replay
+type t = Compile | Parallel | Sharded | Replay
 
 val all : t list
 val name : t -> string

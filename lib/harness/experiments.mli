@@ -46,6 +46,13 @@ val e11 : quick:bool -> Table.t list
     on the same exhaustive Bakery++ workloads.  Records
     (experiment, metric, value) triples via {!record_metric}. *)
 
+val e12 : quick:bool -> Table.t list
+(** Sharded explorer: exhaustive Bakery++ configurations past the old
+    engine's small-N wall, using the fingerprint-sharded visited set
+    and (for the largest runs) fingerprint-only state storage.  Reports
+    the engine's collision / steal / hand-off telemetry alongside
+    throughput. *)
+
 type datapoint = {
   dp_exp : string;
   dp_metric : string;

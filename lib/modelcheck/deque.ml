@@ -1,0 +1,105 @@
+(* Per-domain work deque for the sharded explorer.
+
+   The owner pushes and pops at the tail (LIFO keeps its cache warm
+   within a wave — order inside a BFS level is semantically free);
+   thieves steal a batch from the head, taking the oldest work.  A
+   plain per-deque mutex guards both ends: the owner's lock is
+   uncontended except while a thief is actually stealing, and stealing
+   moves a batch per lock acquisition, not an item.
+
+   Entries are (global id, packed state) pairs held in two parallel
+   circular buffers, so neither push nor pop allocates. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable gids : int array;
+  mutable states : State.packed array;
+  mutable head : int;  (* index of the first occupied slot *)
+  mutable len : int;
+}
+
+let initial_cap = 256
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    gids = Array.make initial_cap 0;
+    states = Array.make initial_cap [||];
+    head = 0;
+    len = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.gids in
+  let gids = Array.make (2 * cap) 0 in
+  let states = Array.make (2 * cap) [||] in
+  let first = min t.len (cap - t.head) in
+  Array.blit t.gids t.head gids 0 first;
+  Array.blit t.gids 0 gids first (t.len - first);
+  Array.blit t.states t.head states 0 first;
+  Array.blit t.states 0 states first (t.len - first);
+  t.gids <- gids;
+  t.states <- states;
+  t.head <- 0
+
+let push t gid (s : State.packed) =
+  Mutex.lock t.mutex;
+  let cap = Array.length t.gids in
+  if t.len = cap then grow t;
+  let cap = Array.length t.gids in
+  let i = (t.head + t.len) land (cap - 1) in
+  t.gids.(i) <- gid;
+  t.states.(i) <- s;
+  t.len <- t.len + 1;
+  Mutex.unlock t.mutex
+
+type slot = { mutable s_gid : int; mutable s_state : State.packed }
+
+let slot () = { s_gid = -1; s_state = [||] }
+
+let pop t out =
+  Mutex.lock t.mutex;
+  if t.len = 0 then begin
+    Mutex.unlock t.mutex;
+    false
+  end
+  else begin
+    let cap = Array.length t.gids in
+    let i = (t.head + t.len - 1) land (cap - 1) in
+    out.s_gid <- t.gids.(i);
+    out.s_state <- t.states.(i);
+    t.states.(i) <- [||];
+    t.len <- t.len - 1;
+    Mutex.unlock t.mutex;
+    true
+  end
+
+(* Steal up to [max] items (at most half the victim's load, at least
+   one) from the head into the thief's scratch arrays.  Returns the
+   number taken; 0 when the victim is empty. *)
+let steal t ~gids ~states ~max =
+  Mutex.lock t.mutex;
+  let n = min max (min ((t.len + 1) / 2) (Array.length gids)) in
+  let cap = Array.length t.gids in
+  for k = 0 to n - 1 do
+    let i = (t.head + k) land (cap - 1) in
+    gids.(k) <- t.gids.(i);
+    states.(k) <- t.states.(i);
+    t.states.(i) <- [||]
+  done;
+  if n > 0 then begin
+    t.head <- (t.head + n) land (cap - 1);
+    t.len <- t.len - n
+  end;
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  Array.fill t.states 0 (Array.length t.states) [||];
+  t.head <- 0;
+  t.len <- 0;
+  Mutex.unlock t.mutex

@@ -1,0 +1,25 @@
+(** Per-domain work deque of (global id, packed state) items for the
+    sharded explorer: the owner pushes/pops the tail, thieves steal
+    batches from the head.  Mutex-per-deque; no operation allocates on
+    the owner's fast path. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> int -> State.packed -> unit
+
+type slot = { mutable s_gid : int; mutable s_state : State.packed }
+
+val slot : unit -> slot
+
+val pop : t -> slot -> bool
+(** Owner-side pop from the tail into [slot]; [false] when empty. *)
+
+val steal : t -> gids:int array -> states:State.packed array -> max:int -> int
+(** Thief-side batch steal from the head into scratch arrays: takes at
+    most [max] items and at most half the victim's load; returns the
+    count taken. *)
+
+val clear : t -> unit

@@ -156,8 +156,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     let lay = System.layout sys in
     let scratch = Array.make lay.State.words 0 in
     let current = Array.make lay.State.words 0 in
-    let queue = Vec.create () in
-    let qhead = ref 0 in
+    let wave = Wave.create () in
     (* One tick per dequeued state; a disabled reporter costs one call
        to a static no-op closure, nothing else (E11 must not move). *)
     let tick =
@@ -172,8 +171,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
               ( "distinct",
                 Telemetry.Json.Num (float_of_int (Store.length idx)) );
               ( "queue",
-                Telemetry.Json.Num
-                  (float_of_int (Vec.length queue - !qhead)) );
+                Telemetry.Json.Num (float_of_int (Wave.pending wave)) );
               ( "kstates_s",
                 Telemetry.Json.Num
                   (if elapsed > 0.0 then
@@ -194,7 +192,14 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
           Some (Telemetry.Metrics.histogram m "explore.wave_s")
     in
     let wave_t0 = ref (now ()) in
-    let note_wave () =
+    let on_wave ~depth ~frontier =
+      max_depth := depth;
+      (match metrics with
+      | None -> ()
+      | Some m ->
+          Telemetry.Metrics.set
+            (Telemetry.Metrics.gauge m "explore.frontier_depth")
+            (float_of_int frontier));
       match wave_hist with
       | None -> ()
       | Some h ->
@@ -224,7 +229,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
       match first_violated_staged buf with
       | Some invariant ->
           raise (Stop (finish (Violation { invariant; trace = trace id' })))
-      | None -> if expand buf then ignore (Vec.push queue id')
+      | None -> if expand buf then Wave.push wave id'
     in
     let init = System.initial sys in
     incr generated;
@@ -233,32 +238,23 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
         push_meta ~parent:(-1) ~pid:(-1) ~pc:(-1);
         vet id init
     | None -> assert false);
-    (* BFS depth by wave boundary: ids enter the queue in depth order, so
-       no per-state depth needs storing. *)
-    let boundary = ref (Vec.length queue) in
-    while !qhead < Vec.length queue do
-      if !qhead = !boundary then begin
-        incr max_depth;
-        boundary := Vec.length queue;
-        note_wave ()
-      end;
-      tick ();
-      let id = Vec.get queue !qhead in
-      incr qhead;
-      Store.read_into idx id current;
-      let any = ref false in
-      System.iter_successors_scratch sys current ~scratch
-        (fun ~pid ~from_pc ~alt:_ ->
-          any := true;
-          incr generated;
-          if Store.probe idx scratch = -1 then begin
-            let id' = Store.add_probed idx scratch in
-            push_meta ~parent:id ~pid ~pc:from_pc;
-            vet id' scratch
-          end);
-      if check_deadlock && not !any then
-        raise (Stop (finish (Deadlock { trace = trace id })))
-    done;
+    (* BFS depth by wave boundary: ids enter the driver in depth order,
+       so no per-state depth needs storing. *)
+    Wave.drive ~on_wave wave (fun id ->
+        tick ();
+        Store.read_into idx id current;
+        let any = ref false in
+        System.iter_successors_scratch sys current ~scratch
+          (fun ~pid ~from_pc ~alt:_ ->
+            any := true;
+            incr generated;
+            if Store.probe idx scratch = -1 then begin
+              let id' = Store.add_probed idx scratch in
+              push_meta ~parent:id ~pid ~pc:from_pc;
+              vet id' scratch
+            end);
+        if check_deadlock && not !any then
+          raise (Stop (finish (Deadlock { trace = trace id }))));
     finish Pass
   in
   (* The seed engine, preserved as baseline: one hash to probe, a second
@@ -270,7 +266,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     let trace id =
       trace_of sys ~state_of:(Vec.get states) ~parent ~via_pid ~via_pc id
     in
-    let queue = Queue.create () in
+    let wave = Wave.create () in
     let tick =
       match progress with
       | None -> fun () -> ()
@@ -282,7 +278,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
               ("generated", Telemetry.Json.Num (float_of_int !generated));
               ( "distinct",
                 Telemetry.Json.Num (float_of_int (Vec.length states)) );
-              ("queue", Telemetry.Json.Num (float_of_int (Queue.length queue)));
+              ("queue", Telemetry.Json.Num (float_of_int (Wave.pending wave)));
               ( "kstates_s",
                 Telemetry.Json.Num
                   (if elapsed > 0.0 then
@@ -312,34 +308,29 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     | Some id -> (
         match check_state id init with
         | Some bad -> raise (Stop (finish bad))
-        | None -> if expand init then Queue.add id queue)
+        | None -> if expand init then Wave.push wave id)
     | None -> assert false);
-    let this_wave = ref (Queue.length queue) in
-    while not (Queue.is_empty queue) do
-      if !this_wave = 0 then begin
-        incr max_depth;
-        this_wave := Queue.length queue
-      end;
-      decr this_wave;
-      tick ();
-      let id = Queue.pop queue in
-      let s = Vec.get states id in
-      let moves = System.successors_interpreted sys s in
-      if check_deadlock && moves = [] then
-        raise (Stop (finish (Deadlock { trace = trace id })));
-      List.iter
-        (fun (m : System.move) ->
-          incr generated;
-          match add ~parent:id ~pid:m.pid ~pc:m.from_pc m.dest with
-          | None -> ()
-          | Some id' -> (
-              if Vec.length states > max_states then
-                raise (Stop (finish Capacity));
-              match check_state id' m.dest with
-              | Some bad -> raise (Stop (finish bad))
-              | None -> if expand m.dest then Queue.add id' queue))
-        moves
-    done;
+    Wave.drive
+      ~on_wave:(fun ~depth ~frontier:_ -> max_depth := depth)
+      wave
+      (fun id ->
+        tick ();
+        let s = Vec.get states id in
+        let moves = System.successors_interpreted sys s in
+        if check_deadlock && moves = [] then
+          raise (Stop (finish (Deadlock { trace = trace id })));
+        List.iter
+          (fun (m : System.move) ->
+            incr generated;
+            match add ~parent:id ~pid:m.pid ~pc:m.from_pc m.dest with
+            | None -> ()
+            | Some id' -> (
+                if Vec.length states > max_states then
+                  raise (Stop (finish Capacity));
+                match check_state id' m.dest with
+                | Some bad -> raise (Stop (finish bad))
+                | None -> if expand m.dest then Wave.push wave id'))
+          moves);
     finish Pass
   in
   try if interpreted then run_interpreted () else run_compiled ()
@@ -362,36 +353,30 @@ let run_graph ?constraint_ ?(max_states = 5_000_000) sys =
   let lay = System.layout sys in
   let scratch = Array.make lay.State.words 0 in
   let current = Array.make lay.State.words 0 in
-  let queue = Vec.create () in
-  let qhead = ref 0 in
+  let wave = Wave.create () in
   let init = System.initial sys in
   incr generated;
   (match Store.add idx init with
   | Some id ->
       push_meta ~parent:(-1) ~pid:(-1) ~pc:(-1);
-      if expand init then ignore (Vec.push queue id)
+      if expand init then Wave.push wave id
   | None -> assert false);
-  let boundary = ref (Vec.length queue) in
   let exception Full in
   (try
-     while !qhead < Vec.length queue do
-       if !qhead = !boundary then begin
-         incr max_depth;
-         boundary := Vec.length queue
-       end;
-       let id = Vec.get queue !qhead in
-       incr qhead;
-       Store.read_into idx id current;
-       System.iter_successors_scratch sys current ~scratch
-         (fun ~pid ~from_pc ~alt:_ ->
-           incr generated;
-           if Store.probe idx scratch = -1 then begin
-             let id' = Store.add_probed idx scratch in
-             push_meta ~parent:id ~pid ~pc:from_pc;
-             if Store.length idx > max_states then raise Full;
-             if expand scratch then ignore (Vec.push queue id')
-           end)
-     done
+     Wave.drive
+       ~on_wave:(fun ~depth ~frontier:_ -> max_depth := depth)
+       wave
+       (fun id ->
+         Store.read_into idx id current;
+         System.iter_successors_scratch sys current ~scratch
+           (fun ~pid ~from_pc ~alt:_ ->
+             incr generated;
+             if Store.probe idx scratch = -1 then begin
+               let id' = Store.add_probed idx scratch in
+               push_meta ~parent:id ~pid ~pc:from_pc;
+               if Store.length idx > max_states then raise Full;
+               if expand scratch then Wave.push wave id'
+             end))
    with Full -> ());
   (* Materialize boxed states for the graph consumers (lassos, coverage,
      dot rendering): one pass, outside the search loop. *)

@@ -1,0 +1,13 @@
+(** 63-bit state fingerprints (splitmix-style mixing over the packed
+    representation) for the sharded parallel explorer.
+
+    Unlike {!State.hash} (FNV-1a, only ever used with the full state
+    available for tie-breaking), these fingerprints also select the
+    owning shard ({!Shard_table.owner}) and the in-shard table slot, so
+    the mixing must avalanche across the whole word. *)
+
+val hash : State.packed -> int
+(** Fingerprint of a packed state: uniform over [0, max_int]. *)
+
+val mix : int -> int
+(** The splitmix64 finalizer, exposed for tests and derived hashes. *)

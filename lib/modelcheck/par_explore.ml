@@ -1,24 +1,106 @@
+(* Sharded level-synchronized parallel BFS.
+
+   The previous engine parallelized only successor *generation*: workers
+   expanded slices of the frontier into buffers and the main domain then
+   deduplicated every candidate sequentially through one shared Store —
+   an Amdahl bottleneck that made pool4 measurably slower than pool1.
+
+   This engine shards the whole pipeline by state fingerprint
+   ({!Fingerprint}).  Domain [w] owns shard [w] of the visited set
+   ({!Shard_table}): it is the only domain that inserts there, so
+   deduplication runs with zero synchronization on the table itself.
+   Within a BFS wave:
+
+   - each domain drains its own work deque ({!Deque}) of frontier
+     states (all owned by its shard), expanding successors into a
+     scratch buffer exactly like the sequential engine — duplicates
+     never allocate;
+   - a successor owned by the expanding domain is probed and inserted
+     directly; one owned by another shard is appended to a per-
+     destination batch and handed off [batch_cap] states at a time
+     (one mutex acquisition per batch, not per state);
+   - a domain whose deque runs dry first drains its inbox of handed-off
+     batches, then steals a batch of frontier items from the tail of
+     another domain's deque — expansion is shard-agnostic, only
+     insertion is owned;
+   - the wave ends by quiescence: a global in-flight counter tracks
+     unexpanded frontier items plus live hand-off batches; when it
+     reaches zero no same-wave work can exist anywhere and every
+     domain exits to the pool barrier.  Idle domains back off (spin,
+     then sleep) and count idle epochs for telemetry.
+
+   Waves are still globally synchronized, which is what keeps the
+   engine's observable semantics bit-identical to {!Explore.run} (the
+   property the fuzz seq-vs-par oracle pins): states inserted during
+   wave [d] are exactly the BFS level [d+1], so [distinct], [generated]
+   and [depth] all match the sequential engine on a Pass, and a
+   violation is still reported with a shortest counterexample.
+
+   Fingerprint-only mode ([fingerprint_only:true]) additionally drops
+   the stored states, TLC-style: the visited set keeps 63-bit
+   fingerprints only, cutting memory per state by ~an order of
+   magnitude at a ~2^-63-per-pair risk of conflating two states.
+   Counterexample traces are then rebuilt by replaying the recorded
+   (pid, pc, alt) parent chain from the initial state. *)
+
 let now () = Unix.gettimeofday ()
 
-(* Per-worker wave output, allocated once per run and reused: the move
-   buffer plus, for each move, the frontier index it came from (needed
-   for parent ids and deadlock detection).  Workers write only their own
-   buffers; the main domain reads them after the pool barrier. *)
-type wave_out = { owners : int Vec.t; moves : System.move Vec.t }
+let batch_cap = 64
+let steal_max = 64
 
-let expand_slice sys (frontier : State.packed array) ~lo ~hi out =
-  Vec.clear out.owners;
-  Vec.clear out.moves;
-  for k = lo to hi - 1 do
-    let before = Vec.length out.moves in
-    System.successors_into sys frontier.(k) out.moves;
-    for _ = before to Vec.length out.moves - 1 do
-      ignore (Vec.push out.owners k)
-    done
-  done
+(* One hand-off batch: up to [batch_cap] candidate states (flat), with
+   their fingerprints and parent metadata.  Allocated per flush and
+   dropped after draining; one allocation per ~64 states. *)
+type batch = {
+  b_data : int array;
+  b_fps : int array;
+  b_parents : int array;
+  b_vias : int array;
+  mutable b_n : int;
+}
+
+let fresh_batch words =
+  {
+    b_data = Array.make (batch_cap * words) 0;
+    b_fps = Array.make batch_cap 0;
+    b_parents = Array.make batch_cap 0;
+    b_vias = Array.make batch_cap 0;
+    b_n = 0;
+  }
+
+type inbox = { i_mutex : Mutex.t; mutable i_batches : batch list }
+
+(* (pid, pc, alt) packed into one int; pc and alt are tiny by
+   construction (mxlang programs have dozens of steps). *)
+let pack_via ~pid ~pc ~alt = (pid lsl 24) lor (pc lsl 8) lor alt
+let via_pid v = v lsr 24
+let via_pc v = (v lsr 8) land 0xffff
+let via_alt v = v land 0xff
+
+(* Per-domain mutable state.  Written only by its domain during a wave;
+   read by the main domain after the pool barrier. *)
+type dstate = {
+  mutable d_generated : int;
+  mutable d_inserts : int;
+  mutable d_steals : int;  (* successful steal operations *)
+  mutable d_steal_items : int;
+  mutable d_batches : int;  (* hand-off batches flushed *)
+  mutable d_handoff : int;  (* states handed off *)
+  mutable d_idle : int;  (* idle epochs (no work found) *)
+  mutable d_violation_gid : int;
+  mutable d_violation_inv : string;
+  mutable d_deadlock_gid : int;
+  d_scratch : int array;  (* successor construction buffer *)
+  d_probe : int array;  (* batch-drain probe buffer *)
+  d_slot : Deque.slot;
+  d_steal_gids : int array;
+  d_steal_states : State.packed array;
+  d_out : batch array;  (* outgoing batch per destination shard *)
+  d_staged : (string * (State.packed -> bool)) array;
+}
 
 let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
-    ?progress ?metrics sys =
+    ?(fingerprint_only = false) ?hash ?progress ?metrics sys =
   let invariants =
     match invariants with
     | Some l -> l
@@ -32,96 +114,338 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
     | None, None -> min 8 (Domain.recommended_domain_count ())
   in
   let t0 = now () in
-  let idx = Store.create () in
-  let parent = Vec.create () in
-  let via_pid = Vec.create () in
-  let via_pc = Vec.create () in
-  (* Only the trace path is ever materialized out of the arena. *)
-  let trace id =
-    Explore.trace_of sys ~state_of:(Store.get idx) ~parent ~via_pid ~via_pc id
+  let lay = System.layout sys in
+  let words = lay.State.words in
+  let mode = if fingerprint_only then Shard_table.Fp_only else Shard_table.Exact in
+  let tbl = Shard_table.create ?hash ~mode ~nshards:ndomains ~words () in
+  (* Per-shard parent metadata, indexed by local id. *)
+  let meta_parent = Array.init ndomains (fun _ -> Vec.create ()) in
+  let meta_via = Array.init ndomains (fun _ -> Vec.create ()) in
+  let cur = ref (Array.init ndomains (fun _ -> Deque.create ())) in
+  let nxt = ref (Array.init ndomains (fun _ -> Deque.create ())) in
+  let inboxes =
+    Array.init ndomains (fun _ -> { i_mutex = Mutex.create (); i_batches = [] })
   in
-  let generated = ref 0 in
+  let pending = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let dstates =
+    Array.init ndomains (fun _ ->
+        {
+          d_generated = 0;
+          d_inserts = 0;
+          d_steals = 0;
+          d_steal_items = 0;
+          d_batches = 0;
+          d_handoff = 0;
+          d_idle = 0;
+          d_violation_gid = -1;
+          d_violation_inv = "";
+          d_deadlock_gid = -1;
+          d_scratch = Array.make words 0;
+          d_probe = Array.make words 0;
+          d_slot = Deque.slot ();
+          d_steal_gids = Array.make steal_max 0;
+          d_steal_states = Array.make steal_max [||];
+          d_out = Array.init ndomains (fun _ -> fresh_batch words);
+          d_staged =
+            Array.of_list
+              (List.map
+                 (fun inv -> (inv.Invariant.name, Invariant.stage inv sys))
+                 invariants);
+        })
+  in
+  let expand_ok s =
+    match constraint_ with None -> true | Some c -> c sys s
+  in
   let depth = ref 0 in
+  (* Counterexample reconstruction by replay: collect the (pid, pc,
+     alt) chain from the root, then re-execute it from the initial
+     state — works identically whether or not states were stored. *)
+  let trace gid =
+    let rec chain gid acc =
+      let sh = Shard_table.shard_of_gid tbl gid in
+      let lc = Shard_table.local_of_gid tbl gid in
+      let parent = Vec.get meta_parent.(sh) lc in
+      if parent < 0 then acc
+      else chain parent (Vec.get meta_via.(sh) lc :: acc)
+    in
+    let p = System.program sys in
+    let init = System.initial sys in
+    let s = ref init in
+    let rest =
+      List.map
+        (fun via ->
+          let pid = via_pid via and pc = via_pc via and alt = via_alt via in
+          s := System.apply_move sys !s ~pid ~pc ~alt;
+          { Trace.pid; step_name = p.steps.(pc).step_name; state = !s })
+        (chain gid [])
+    in
+    { Trace.pid = -1; step_name = "<init>"; state = init } :: rest
+  in
+  let total_generated () =
+    Array.fold_left (fun acc d -> acc + d.d_generated) 1 dstates
+  in
   let finish outcome =
     let stats =
       {
-        Explore.generated = !generated;
-        distinct = Store.length idx;
+        Explore.generated = total_generated ();
+        distinct = Shard_table.total tbl;
         depth = !depth;
         runtime = now () -. t0;
       }
     in
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        let open Telemetry.Metrics in
+        let sum f = Array.fold_left (fun acc d -> acc + f d) 0 dstates in
+        add (counter m "par_explore.steals") (sum (fun d -> d.d_steals));
+        add (counter m "par_explore.steal_items") (sum (fun d -> d.d_steal_items));
+        add (counter m "par_explore.handoff_batches") (sum (fun d -> d.d_batches));
+        add (counter m "par_explore.handoff_states") (sum (fun d -> d.d_handoff));
+        add (counter m "par_explore.idle_epochs") (sum (fun d -> d.d_idle));
+        add (counter m "par_explore.fp_collisions") (Shard_table.collisions tbl);
+        let mn, mx = Shard_table.occupancy tbl in
+        set (gauge m "par_explore.shard_occupancy_min") (float_of_int mn);
+        set (gauge m "par_explore.shard_occupancy_max") (float_of_int mx);
+        set (gauge m "par_explore.table_mb")
+          (float_of_int (Shard_table.memory_bytes tbl) /. 1048576.0));
     Explore.record_finish ?progress ?metrics ~prefix:"par_explore" outcome
-      stats;
+      {
+        Explore.generated = stats.Explore.generated;
+        distinct = stats.Explore.distinct;
+        depth = stats.Explore.depth;
+        runtime = stats.Explore.runtime;
+      };
     { Explore.outcome; stats }
   in
-  let expand s =
-    match constraint_ with None -> true | Some c -> c sys s
-  in
   let exception Stop of Explore.result in
-  let staged =
-    Array.of_list
-      (List.map (fun inv -> (inv.Invariant.name, Invariant.stage inv sys)) invariants)
+  (* Probe-and-insert a candidate into shard [w] (caller must be its
+     owning domain, or the main domain between waves).  [s] is a
+     scratch buffer; its contents are copied if the state is new. *)
+  let insert_candidate w (d : dstate) ~fp ~parent ~via (s : State.packed) =
+    match Shard_table.insert tbl ~shard:w ~fp s with
+    | -1 -> ()
+    | local ->
+        let g = Shard_table.gid tbl ~shard:w ~local in
+        ignore (Vec.push meta_parent.(w) parent);
+        ignore (Vec.push meta_via.(w) via);
+        d.d_inserts <- d.d_inserts + 1;
+        (* Soft capacity check: exact accounting happens at the wave
+           barrier; this just stops a runaway wave early.  [total] reads
+           other shards' counters racily — good enough for a cutoff. *)
+        if
+          d.d_inserts land 255 = 0
+          && Shard_table.total tbl > max_states
+        then Atomic.set stop true;
+        let rec first k =
+          if k >= Array.length d.d_staged then -1
+          else
+            let _, holds = Array.unsafe_get d.d_staged k in
+            if holds s then first (k + 1) else k
+        in
+        (match first 0 with
+        | k when k >= 0 ->
+            if d.d_violation_gid < 0 then begin
+              d.d_violation_gid <- g;
+              d.d_violation_inv <- fst d.d_staged.(k)
+            end;
+            Atomic.set stop true
+        | _ -> if expand_ok s then Deque.push !nxt.(w) g (Array.copy s))
   in
-  let check id s =
-    let rec first k =
-      if k >= Array.length staged then None
-      else
-        let name, holds = staged.(k) in
-        if holds s then first (k + 1) else Some name
-    in
-    match first 0 with
-    | Some invariant ->
-        raise (Stop (finish (Explore.Violation { invariant; trace = trace id })))
-    | None -> ()
+  (* Flush domain [w]'s outgoing batch for shard [o].  The batch was
+     counted in [pending] when its first state arrived, so enqueueing
+     transfers that debt to the draining owner. *)
+  let flush (d : dstate) o =
+    let b = d.d_out.(o) in
+    if b.b_n > 0 then begin
+      let ib = inboxes.(o) in
+      Mutex.lock ib.i_mutex;
+      ib.i_batches <- b :: ib.i_batches;
+      Mutex.unlock ib.i_mutex;
+      d.d_batches <- d.d_batches + 1;
+      d.d_handoff <- d.d_handoff + b.b_n;
+      d.d_out.(o) <- fresh_batch words
+    end
   in
-  (* Insert a state discovered from [parent_id]; returns the new id if it
-     was unseen.  The workers' dest arrays are blitted into the arena;
-     duplicates pay only the index probe. *)
-  let insert ~parent_id ~pid ~pc s =
-    match Store.probe idx s with
-    | i when i >= 0 -> None
+  let flush_all w d =
+    for o = 0 to ndomains - 1 do
+      if o <> w then flush d o
+    done
+  in
+  let route (d : dstate) o ~fp ~parent ~via (s : State.packed) =
+    let b = d.d_out.(o) in
+    (* An empty batch going live is in-flight work: count it before it
+       becomes visible so [pending] can never transiently hit zero
+       while states sit in a partial buffer. *)
+    if b.b_n = 0 then Atomic.incr pending;
+    Array.blit s 0 b.b_data (b.b_n * words) words;
+    b.b_fps.(b.b_n) <- fp;
+    b.b_parents.(b.b_n) <- parent;
+    b.b_vias.(b.b_n) <- via;
+    b.b_n <- b.b_n + 1;
+    if b.b_n = batch_cap then flush d o
+  in
+  (* Expand one frontier state: successors are built in the domain's
+     scratch buffer; own-shard candidates insert directly, foreign ones
+     are routed into batches.  Decrementing [pending] comes last so the
+     item's routed work is always counted before the item itself is
+     retired. *)
+  let expand w (d : dstate) gid (s : State.packed) =
+    let any = ref false in
+    System.iter_successors_scratch sys s ~scratch:d.d_scratch
+      (fun ~pid ~from_pc ~alt ->
+        any := true;
+        d.d_generated <- d.d_generated + 1;
+        let fp = Shard_table.fingerprint tbl d.d_scratch in
+        let o = Shard_table.owner tbl fp in
+        let via = pack_via ~pid ~pc:from_pc ~alt in
+        if o = w then insert_candidate w d ~fp ~parent:gid ~via d.d_scratch
+        else route d o ~fp ~parent:gid ~via d.d_scratch);
+    if not !any then begin
+      if d.d_deadlock_gid < 0 then d.d_deadlock_gid <- gid;
+      Atomic.set stop true
+    end;
+    Atomic.decr pending
+  in
+  let drain_inbox w (d : dstate) =
+    let ib = inboxes.(w) in
+    Mutex.lock ib.i_mutex;
+    let batches = ib.i_batches in
+    ib.i_batches <- [];
+    Mutex.unlock ib.i_mutex;
+    match batches with
+    | [] -> false
     | _ ->
-        let id = Store.add_probed idx s in
-        ignore (Vec.push parent parent_id);
-        ignore (Vec.push via_pid pid);
-        ignore (Vec.push via_pc pc);
-        if Store.length idx > max_states then
-          raise (Stop (finish Explore.Capacity));
-        check id s;
-        Some id
+        List.iter
+          (fun b ->
+            for k = 0 to b.b_n - 1 do
+              Array.blit b.b_data (k * words) d.d_probe 0 words;
+              insert_candidate w d ~fp:b.b_fps.(k) ~parent:b.b_parents.(k)
+                ~via:b.b_vias.(k) d.d_probe
+            done;
+            Atomic.decr pending)
+          batches;
+        true
   in
-  let outs =
-    Array.init ndomains (fun _ -> { owners = Vec.create (); moves = Vec.create () })
+  let try_steal w (d : dstate) =
+    let got = ref 0 in
+    let v = ref ((w + 1) mod ndomains) in
+    while !got = 0 && !v <> w do
+      let n =
+        Deque.steal !cur.(!v) ~gids:d.d_steal_gids ~states:d.d_steal_states
+          ~max:steal_max
+      in
+      if n > 0 then begin
+        got := n;
+        d.d_steals <- d.d_steals + 1;
+        d.d_steal_items <- d.d_steal_items + n
+      end
+      else v := (!v + 1) mod ndomains
+    done;
+    !got
   in
-  let next_ids = Vec.create () in
-  let next_states = Vec.create () in
-  (* Per-wave telemetry: progress is polled once per BFS level (waves
-     are the engine's natural heartbeat), reporting search rates plus
-     each pool domain's busy fraction since the previous report. *)
-  let wave_tick pool_for_stats frontier_size =
+  (* One domain's share of a wave, running until global quiescence:
+     no unexpanded frontier item and no live hand-off batch anywhere. *)
+  let worker w =
+    let d = dstates.(w) in
+    let backoff = ref 0 in
+    let running = ref true in
+    while !running do
+      if Atomic.get stop then running := false
+      else if Deque.pop !cur.(w) d.d_slot then begin
+        expand w d d.d_slot.s_gid d.d_slot.s_state;
+        backoff := 0
+      end
+      else if drain_inbox w d then backoff := 0
+      else begin
+        flush_all w d;
+        let n = try_steal w d in
+        if n > 0 then begin
+          for k = 0 to n - 1 do
+            expand w d d.d_steal_gids.(k) d.d_steal_states.(k);
+            d.d_steal_states.(k) <- [||]
+          done;
+          backoff := 0
+        end
+        else if Atomic.get pending = 0 then running := false
+        else begin
+          (* Idle epoch: out of local work but the wave is not over.
+             Spin briefly (multicore: the gap is ns), then sleep
+             (single-core: yield the CPU to whoever holds the work). *)
+          d.d_idle <- d.d_idle + 1;
+          incr backoff;
+          if !backoff <= 32 then Domain.cpu_relax ()
+          else Unix.sleepf (Float.min 0.001 (1e-5 *. float_of_int !backoff))
+        end
+      end
+    done
+  in
+  (* Small waves are cheaper expanded on the main domain — with the
+     workers parked there is no concurrent writer, so main may insert
+     into any shard directly. *)
+  let inline_wave () =
+    let d = dstates.(0) in
+    Array.iter
+      (fun dq ->
+        while Deque.pop dq d.d_slot do
+          let gid = d.d_slot.s_gid and s = d.d_slot.s_state in
+          let any = ref false in
+          System.iter_successors_scratch sys s ~scratch:d.d_scratch
+            (fun ~pid ~from_pc ~alt ->
+              any := true;
+              d.d_generated <- d.d_generated + 1;
+              let fp = Shard_table.fingerprint tbl d.d_scratch in
+              let o = Shard_table.owner tbl fp in
+              insert_candidate o d ~fp ~parent:gid
+                ~via:(pack_via ~pid ~pc:from_pc ~alt) d.d_scratch);
+          if (not !any) && d.d_deadlock_gid < 0 then begin
+            d.d_deadlock_gid <- gid;
+            Atomic.set stop true
+          end
+        done)
+      !cur
+  in
+  let frontier_size () =
+    Array.fold_left (fun acc dq -> acc + Deque.length dq) 0 !cur
+  in
+  let wave_tick pool_for_stats frontier =
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        Telemetry.Metrics.set
+          (Telemetry.Metrics.gauge m "par_explore.frontier_depth")
+          (float_of_int frontier));
     match progress with
     | None -> ()
     | Some p ->
         let fields () =
           let elapsed = now () -. t0 in
+          let generated = total_generated () in
+          let mn, mx = Shard_table.occupancy tbl in
           let base =
             [
               ("depth", Telemetry.Json.Num (float_of_int !depth));
-              ("generated", Telemetry.Json.Num (float_of_int !generated));
+              ("generated", Telemetry.Json.Num (float_of_int generated));
               ( "distinct",
-                Telemetry.Json.Num (float_of_int (Store.length idx)) );
-              ("frontier", Telemetry.Json.Num (float_of_int frontier_size));
+                Telemetry.Json.Num (float_of_int (Shard_table.total tbl)) );
+              ("frontier", Telemetry.Json.Num (float_of_int frontier));
               ("domains", Telemetry.Json.Num (float_of_int ndomains));
               ( "kstates_s",
                 Telemetry.Json.Num
                   (if elapsed > 0.0 then
-                     float_of_int !generated /. elapsed /. 1e3
+                     float_of_int generated /. elapsed /. 1e3
                    else 0.0) );
-              ("store_load", Telemetry.Json.Num (Store.load_factor idx));
-              ( "arena_mb",
+              ("shard_min", Telemetry.Json.Num (float_of_int mn));
+              ("shard_max", Telemetry.Json.Num (float_of_int mx));
+              ( "steals",
                 Telemetry.Json.Num
-                  (float_of_int (Store.arena_bytes idx) /. 1048576.0) );
+                  (float_of_int
+                     (Array.fold_left (fun a d -> a + d.d_steals) 0 dstates))
+              );
+              ( "table_mb",
+                Telemetry.Json.Num
+                  (float_of_int (Shard_table.memory_bytes tbl) /. 1048576.0) );
             ]
           in
           match pool_for_stats with
@@ -159,8 +483,31 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
         in
         Telemetry.Progress.poll p fields
   in
-  (* The search itself, parameterized by how a wave's slices are run:
-     through a persistent pool, or inline when there is one worker. *)
+  (* After each wave barrier, turn per-domain records into an outcome.
+     Violation wins over deadlock (both are one-wave-nondeterministic
+     between domains anyway; the choice is fixed for reproducibility),
+     then capacity, by exact count. *)
+  let post_wave () =
+    Array.iter
+      (fun (d : dstate) ->
+        if d.d_violation_gid >= 0 then
+          raise
+            (Stop
+               (finish
+                  (Explore.Violation
+                     {
+                       invariant = d.d_violation_inv;
+                       trace = trace d.d_violation_gid;
+                     }))))
+      dstates;
+    Array.iter
+      (fun (d : dstate) ->
+        if d.d_deadlock_gid >= 0 then
+          raise (Stop (finish (Explore.Deadlock { trace = trace d.d_deadlock_gid }))))
+      dstates;
+    if Shard_table.total tbl > max_states then
+      raise (Stop (finish Explore.Capacity))
+  in
   let search ?stats_pool run_wave =
     let pool_for_stats =
       match stats_pool with
@@ -168,76 +515,37 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
       | Some pl -> Some (pl, ref (Pool.busy_ns pl), ref (now ()))
     in
     let init = System.initial sys in
-    incr generated;
-    let fr = ref [||] in
-    let ids = ref [||] in
-    (match insert ~parent_id:(-1) ~pid:(-1) ~pc:(-1) init with
-    | Some id ->
-        if expand init then begin
-          fr := [| init |];
-          ids := [| id |]
-        end
-    | None -> assert false);
-    while Array.length !fr > 0 do
-      let frontier = !fr and fids = !ids in
-      let n = Array.length frontier in
-      (* Contiguous slices keep each worker's output in ascending
-         frontier order, so the sequential merge below visits moves in
-         exactly the order the sequential engine would generate them. *)
-      let slice d = (n * d / ndomains, n * (d + 1) / ndomains) in
-      run_wave ~n (fun w ->
-          let lo, hi = slice w in
-          expand_slice sys frontier ~lo ~hi outs.(w));
-      Vec.clear next_ids;
-      Vec.clear next_states;
-      let had_successor = Array.make n false in
-      for w = 0 to ndomains - 1 do
-        let out = outs.(w) in
-        for j = 0 to Vec.length out.moves - 1 do
-          let k = Vec.get out.owners j in
-          let (m : System.move) = Vec.get out.moves j in
-          had_successor.(k) <- true;
-          incr generated;
-          match insert ~parent_id:fids.(k) ~pid:m.pid ~pc:m.from_pc m.dest with
-          | None -> ()
-          | Some id ->
-              if expand m.dest then begin
-                ignore (Vec.push next_ids id);
-                ignore (Vec.push next_states m.dest)
-              end
-        done
-      done;
-      (* Deadlock: a frontier state with no successors at all. *)
-      Array.iteri
-        (fun k alive ->
-          if not alive then
-            raise
-              (Stop
-                 (finish (Explore.Deadlock { trace = trace fids.(k) }))))
-        had_successor;
-      let nnext = Vec.length next_ids in
-      if nnext > 0 then incr depth;
-      wave_tick pool_for_stats nnext;
-      fr := Array.init nnext (Vec.get next_states);
-      ids := Array.init nnext (Vec.get next_ids)
+    dstates.(0).d_generated <- 0;
+    (* [total_generated] seeds the sum with 1 for the initial state. *)
+    let fp = Shard_table.fingerprint tbl init in
+    let o = Shard_table.owner tbl fp in
+    insert_candidate o dstates.(0) ~fp ~parent:(-1) ~via:(-1) init;
+    (* The initial insert pushed into [nxt]: promote it to the first
+       frontier. *)
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp;
+    post_wave ();
+    let n = ref (frontier_size ()) in
+    while !n > 0 do
+      Atomic.set pending !n;
+      if !n < 2 || ndomains = 1 then inline_wave () else run_wave worker;
+      post_wave ();
+      let tmp = !cur in
+      cur := !nxt;
+      nxt := tmp;
+      n := frontier_size ();
+      if !n > 0 then incr depth;
+      wave_tick pool_for_stats !n
     done;
     finish Explore.Pass
   in
-  let inline_wave ~n:_ job =
-    for w = 0 to ndomains - 1 do
-      job w
-    done
-  in
-  let pooled_wave p ~n job =
-    (* A one-state wave is cheaper expanded in place than handed over
-       the barrier; every worker's buffers still get reset. *)
-    if n < 2 then inline_wave ~n job else Pool.run p job
-  in
   try
     match pool with
-    | Some p -> search ~stats_pool:p (pooled_wave p)
+    | Some p -> search ~stats_pool:p (fun job -> Pool.run p job)
     | None ->
-        if ndomains = 1 then search inline_wave
+        if ndomains = 1 then search (fun job -> job 0)
         else
-          Pool.with_pool ndomains (fun p -> search ~stats_pool:p (pooled_wave p))
+          Pool.with_pool ndomains (fun p ->
+              search ~stats_pool:p (fun job -> Pool.run p job))
   with Stop r -> r

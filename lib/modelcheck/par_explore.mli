@@ -1,25 +1,28 @@
-(** Level-synchronized parallel BFS over a persistent pool of OCaml 5
-    domains.
+(** Sharded level-synchronized parallel BFS over a persistent pool of
+    OCaml 5 domains.
 
-    Each BFS level's frontier is split into contiguous slices across
-    worker domains, which generate successor states in parallel (the
-    expensive part: compiled guard evaluation and effect application)
-    into per-worker reusable buffers; deduplication against the global
-    state table happens sequentially between levels, in frontier order,
-    so the result is bit-identical to {!Explore.run}'s reachable set.
+    Each state's {!Fingerprint.hash} assigns it to an owning domain;
+    every domain deduplicates and stores its own shard of the visited
+    set ({!Shard_table}) with no synchronization on the table itself.
+    Within a wave, domains expand their own work deques ({!Deque}),
+    hand foreign-shard successors across in batches, steal work from
+    each other when idle, and detect wave completion by quiescence (a
+    global in-flight counter).  This replaces the old design in which
+    workers only generated successors and one domain deduplicated
+    everything sequentially — the bottleneck that made pool4 slower
+    than pool1.
 
-    The worker domains are spawned once per run (or borrowed from a
-    caller-supplied {!Pool.t}) and parked between waves — not respawned
-    per level, which used to cost a [Domain.spawn]/[join] pair per
-    worker per wave.
+    Waves remain globally synchronized, so the observable result is
+    bit-identical to {!Explore.run}: states inserted during wave [d]
+    are exactly BFS level [d+1], hence [generated], [distinct] and
+    [depth] match the sequential engine on a Pass and a violation is
+    reported with a shortest counterexample.  The fuzz seq-vs-par
+    oracle pins this equivalence.
 
-    Invariants are checked on insertion.  Because levels are explored in
-    order, a reported violation still carries a shortest counterexample,
-    exactly like the sequential engine.
-
-    On a single-core machine this adds coordination overhead and no
-    speedup; it exists so the checker scales on real multi-core hosts and
-    is tested for agreement with the sequential engine. *)
+    On a single-core machine the extra domains add coordination
+    overhead and no speedup (idle domains sleep rather than spin); the
+    sharded design exists so the checker scales on real multi-core
+    hosts. *)
 
 val run :
   ?invariants:Invariant.t list ->
@@ -27,20 +30,31 @@ val run :
   ?max_states:int ->
   ?domains:int ->
   ?pool:Pool.t ->
+  ?fingerprint_only:bool ->
+  ?hash:(State.packed -> int) ->
   ?progress:Telemetry.Progress.t ->
   ?metrics:Telemetry.Metrics.t ->
   System.t ->
   Explore.result
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
-    at 8.  With [domains = 1] the wave machinery still runs (useful for
-    differential testing) but slices are expanded inline, with no domain
-    spawned.  [pool] reuses an existing pool across runs — it overrides
+    at 8, and fixes the shard count.  With [domains = 1] the whole
+    search runs inline on the calling domain (one shard, no pool).
+    [pool] reuses an existing pool across runs — it overrides
     [domains], is left running on return, and must not be used
     concurrently from another thread.
 
+    [fingerprint_only] switches the visited set to
+    {!Shard_table.Fp_only}: ~10x less memory per state, a ~2^-63
+    per-pair chance of conflating two states, and counterexample
+    traces rebuilt by replaying recorded (pid, pc, alt) moves from the
+    initial state.  [hash] overrides the fingerprint function (tests
+    inject colliding hashes with it).
+
     [progress] reports once per BFS wave (rate-limited): depth, states
-    generated/distinct, frontier size, kstates/s, store load, arena
-    bytes, and — when a pool is driving the waves — each worker
-    domain's busy fraction since the previous report.  [metrics]
-    accumulates final stats under [par_explore.*].  Both default to
-    off, leaving the wave loop unchanged. *)
+    generated/distinct, frontier size, kstates/s, shard occupancy
+    spread, steal count, table bytes, and — when a pool is driving the
+    waves — each worker domain's busy fraction since the previous
+    report.  [metrics] accumulates final stats under [par_explore.*],
+    including steal/hand-off/idle counters, fingerprint collisions,
+    shard occupancy, and a per-wave [par_explore.frontier_depth]
+    gauge.  Both default to off. *)

@@ -1,0 +1,69 @@
+(** Sharded, fingerprint-keyed visited set for the parallel explorer.
+
+    A state's {!Fingerprint.hash} picks its owning shard; each shard is
+    an independent open-addressing table (plus, in [Exact] mode, its own
+    chunked state arena), so per-shard single-writer insertion never
+    contends on shared memory — the replacement for the one global
+    {!Store} that made parallel BFS scale negatively.
+
+    Concurrency contract: at most one domain inserts into a given shard
+    at a time; cross-shard reads of counters and stored states are only
+    meaningful at a synchronization point (the engine's wave barrier). *)
+
+type mode =
+  | Exact
+      (** Keep full packed states: fingerprint-equal but distinct states
+          are both stored and counted as collisions; answers are
+          bit-identical to the sequential engine.  The default, and the
+          debug mode that measures the fingerprint collision rate. *)
+  | Fp_only
+      (** Keep only fingerprints (TLC's space-saving mode): ~10x less
+          memory per state, but fingerprint-equal states are conflated
+          — a collision can silently drop states. *)
+
+type t
+
+val create :
+  ?hash:(State.packed -> int) ->
+  mode:mode ->
+  nshards:int ->
+  words:int ->
+  unit ->
+  t
+(** [hash] defaults to {!Fingerprint.hash}; it is injectable so tests
+    can force collisions.  [words] is the packed-state width. *)
+
+val mode : t -> mode
+val nshards : t -> int
+
+val fingerprint : t -> State.packed -> int
+val owner : t -> int -> int
+(** Owning shard of a fingerprint. *)
+
+val gid : t -> shard:int -> local:int -> int
+(** Global state id from a shard-local one (interleaved encoding). *)
+
+val shard_of_gid : t -> int -> int
+val local_of_gid : t -> int -> int
+
+val insert : t -> shard:int -> fp:int -> State.packed -> int
+(** [insert t ~shard ~fp s] adds [s] to its owning [shard] if absent:
+    the new local id, or [-1] when already present.  [fp] must be
+    [fingerprint t s] and [shard] its owner; only the shard's owning
+    domain may call this. *)
+
+val count : t -> shard:int -> int
+val total : t -> int
+
+val collisions : t -> int
+(** Distinct-state/equal-fingerprint pairs detected ([Exact] mode only;
+    [Fp_only] cannot see them — that is its trade-off). *)
+
+val get : t -> shard:int -> int -> State.packed
+(** Materialize a stored state ([Exact] mode only). *)
+
+val read_into : t -> shard:int -> int -> State.packed -> unit
+
+val memory_bytes : t -> int
+val occupancy : t -> int * int
+(** [(min, max)] shard population — balance telemetry. *)

@@ -64,6 +64,17 @@ let iter_successors_scratch t (s : State.packed) ~scratch f =
     done
   done
 
+(* Re-execute one recorded move.  The sharded explorer's
+   fingerprint-only mode stores no states, only (pid, pc, alt) triples
+   along the parent chain; a counterexample trace is rebuilt by
+   replaying them from the initial state. *)
+let apply_move t (s : State.packed) ~pid ~pc ~alt =
+  let (a : Mxlang.Compile.caction) = t.comp.actions.(pc).(pid).(alt) in
+  let dest = Array.copy s in
+  a.perform dest;
+  dest.(t.lay.pcs_off + pid) <- a.target;
+  dest
+
 let successors_of_pid t (s : State.packed) pid =
   let lay = t.lay in
   let pc = s.(lay.pcs_off + pid) in

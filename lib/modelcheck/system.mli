@@ -49,6 +49,12 @@ val successors_interpreted : t -> State.packed -> move list
     instead of the compiled closures — the differential-testing baseline
     and the "before" engine of the throughput experiment. *)
 
+val apply_move : t -> State.packed -> pid:int -> pc:int -> alt:int -> State.packed
+(** Re-execute one recorded move (no guard check): the destination of
+    alternative [alt] of step [pc] fired by [pid].  Used to replay a
+    parent chain of (pid, pc, alt) triples into a concrete trace when
+    the explorer kept only fingerprints. *)
+
 val successors_of_pid : t -> State.packed -> int -> move list
 (** Moves of one process only (used by the starvation search, which
     freezes one process and lets the others run). *)

@@ -1,0 +1,26 @@
+(** Shared BFS wave driver: a FIFO of work items with depth tracked at
+    level boundaries.  One implementation of the loop that
+    {!Explore.run}, {!Explore.run_graph} and {!Refine.check} all used
+    to duplicate. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue a work item at the back (discovery order = BFS order). *)
+
+val depth : 'a t -> int
+(** Depth of the level currently being processed (0 until the first
+    boundary is crossed); after {!drive} returns, the maximum BFS
+    depth reached — the exact value the engines report. *)
+
+val pending : 'a t -> int
+
+val drive : ?on_wave:(depth:int -> frontier:int -> unit) -> 'a t -> ('a -> unit) -> unit
+(** [drive t f] pops items in FIFO order and hands each to [f] (which
+    may {!push} newly discovered work).  [on_wave] fires once per
+    completed level with the new depth and the size of the frontier
+    about to be processed — the hook behind the per-wave
+    [*.frontier_depth] telemetry gauge.  Exceptions from [f] propagate
+    (the engines' stop-with-result idiom). *)

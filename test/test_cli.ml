@@ -134,7 +134,7 @@ let fuzz_run_and_metrics () =
   check int_t "fuzz exits 0 when nothing fails" 0 code;
   check bool_t "summary header" true (contains ~affix:"fuzz: seed=3" out);
   check bool_t "per-oracle lines" true (contains ~affix:"compile" out);
-  check bool_t "total line" true (contains ~affix:"total: 15 cases" out);
+  check bool_t "total line" true (contains ~affix:"total: 20 cases" out);
   (* metrics snapshot parses and records the case counters *)
   let ic = open_in metrics in
   let lines = ref [] in

@@ -100,9 +100,11 @@ let engines_agree () =
 (* --------------------------------------------------- parallel explorer *)
 
 (* [Par_explore.run] at 1..4 domains vs the sequential explorer, on
-   every registry model: same outcome and the same distinct-state
-   count.  On this barrier-synchronized design the insertion order is
-   deterministic, so the counts must match exactly. *)
+   every registry model: same outcome always, and on a Pass — where
+   both engines explore the full reachable set wave by wave — the
+   exact same distinct and generated counts.  On a violation or at
+   capacity the engines stop mid-wave at different points, so only
+   the outcome is pinned there. *)
 let par_matches_sequential () =
   List.iter
     (fun (name, prog) ->
@@ -111,15 +113,24 @@ let par_matches_sequential () =
       List.iter
         (fun domains ->
           let par = MC.Par_explore.run ~max_states:cap ~domains sys in
-          check Alcotest.string
-            (Printf.sprintf "%s d=%d: outcome" name domains)
-            (outcome_label seq.outcome) (outcome_label par.outcome);
-          check int_t
-            (Printf.sprintf "%s d=%d: distinct" name domains)
-            seq.stats.distinct par.stats.distinct;
-          check int_t
-            (Printf.sprintf "%s d=%d: generated" name domains)
-            seq.stats.generated par.stats.generated)
+          (* Capacity is a resource limit, not a verdict: the engines
+             overshoot the cap by different amounts within the final
+             wave, and one may legitimately find a real violation
+             there while the other gives up.  Everything else must
+             agree. *)
+          if seq.outcome <> MC.Explore.Capacity && par.outcome <> MC.Explore.Capacity
+          then
+            check Alcotest.string
+              (Printf.sprintf "%s d=%d: outcome" name domains)
+              (outcome_label seq.outcome) (outcome_label par.outcome);
+          if seq.outcome = MC.Explore.Pass then begin
+            check int_t
+              (Printf.sprintf "%s d=%d: distinct" name domains)
+              seq.stats.distinct par.stats.distinct;
+            check int_t
+              (Printf.sprintf "%s d=%d: generated" name domains)
+              seq.stats.generated par.stats.generated
+          end)
         [ 1; 2; 3; 4 ])
     Harness.Registry.models
 
@@ -134,8 +145,9 @@ let shared_pool () =
           check Alcotest.string
             (name ^ " pooled: outcome")
             (outcome_label seq.outcome) (outcome_label par.outcome);
-          check int_t (name ^ " pooled: distinct") seq.stats.distinct
-            par.stats.distinct)
+          if seq.outcome = MC.Explore.Pass then
+            check int_t (name ^ " pooled: distinct") seq.stats.distinct
+              par.stats.distinct)
         [
           ("bakery_pp", Core.Bakery_pp_model.program ());
           ("peterson2", Algorithms.Peterson2.program ());

@@ -190,12 +190,12 @@ let registry_families () =
 (* ---------------------------------------------------------- experiments *)
 
 let experiment_registry () =
-  check int_t "eleven experiments plus three ablations" 14
+  check int_t "twelve experiments plus three ablations" 15
     (List.length Harness.Experiments.all);
   let expected =
     [
       "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "a1"; "a2"; "a3";
+      "e12"; "a1"; "a2"; "a3";
     ]
   in
   check (Alcotest.list Alcotest.string) "ids are ordered" expected
@@ -255,6 +255,6 @@ let () =
                    experiment_smoke id))
              [
                "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10";
-               "a1"; "a2"; "a3";
+               "e12"; "a1"; "a2"; "a3";
              ] );
     ]

@@ -295,10 +295,131 @@ let par_agrees_with_sequential () =
                prog.Mxlang.Ast.title n m domains)
             true
             (outcome_equal seq.outcome par.outcome);
-          check int_t
-            (Printf.sprintf "%s N=%d M=%d (%d domains): same state count"
+          (* Exact state counts are guaranteed on a full exploration;
+             on a violation the engines stop mid-wave at different
+             points (the sharded engine keeps inserting until the stop
+             flag propagates), so only the outcome is pinned. *)
+          if seq.outcome = MC.Explore.Pass then
+            check int_t
+              (Printf.sprintf "%s N=%d M=%d (%d domains): same state count"
+                 prog.Mxlang.Ast.title n m domains)
+              seq.stats.distinct par.stats.distinct)
+        [ 1; 3 ])
+    cases
+
+(* ---------------------------------------------- sharding / fingerprints *)
+
+let shard_table_basics () =
+  let sys = sys_of (Core.Bakery_pp_model.program ()) in
+  let words = (MC.System.layout sys).MC.State.words in
+  (* 3 shards: non-power-of-two, so the mod/div routing is exercised *)
+  let tbl =
+    MC.Shard_table.create ~mode:MC.Shard_table.Exact ~nshards:3 ~words ()
+  in
+  let s0 = MC.System.initial sys in
+  let fp = MC.Shard_table.fingerprint tbl s0 in
+  let sh = MC.Shard_table.owner tbl fp in
+  let local = MC.Shard_table.insert tbl ~shard:sh ~fp s0 in
+  check int_t "first insert gets local id 0" 0 local;
+  check int_t "duplicate insert returns -1" (-1)
+    (MC.Shard_table.insert tbl ~shard:sh ~fp s0);
+  let gid = MC.Shard_table.gid tbl ~shard:sh ~local in
+  check int_t "gid round-trips shard" sh (MC.Shard_table.shard_of_gid tbl gid);
+  check int_t "gid round-trips local" local (MC.Shard_table.local_of_gid tbl gid);
+  check bool_t "stored state reads back" true
+    (MC.State.equal s0 (MC.Shard_table.get tbl ~shard:sh local));
+  check int_t "total counts the one state" 1 (MC.Shard_table.total tbl);
+  (* bulk insert far past the initial table size to exercise growth *)
+  let n = 5_000 in
+  let states = Array.init n (fun i -> Array.make words (i + 7)) in
+  Array.iter
+    (fun s ->
+      let fp = MC.Shard_table.fingerprint tbl s in
+      let sh = MC.Shard_table.owner tbl fp in
+      check bool_t "bulk insert is new" true
+        (MC.Shard_table.insert tbl ~shard:sh ~fp s >= 0))
+    states;
+  check int_t "total after bulk" (n + 1) (MC.Shard_table.total tbl);
+  Array.iter
+    (fun s ->
+      let fp = MC.Shard_table.fingerprint tbl s in
+      let sh = MC.Shard_table.owner tbl fp in
+      check int_t "bulk reinsert dedups" (-1)
+        (MC.Shard_table.insert tbl ~shard:sh ~fp s))
+    states;
+  let mn, mx = MC.Shard_table.occupancy tbl in
+  check bool_t "occupancy sums to total" true
+    (mn > 0 && mx >= mn && MC.Shard_table.total tbl = n + 1);
+  check int_t "no collisions under the real fingerprint" 0
+    (MC.Shard_table.collisions tbl)
+
+(* A pathological hash maps every state to one fingerprint.  Exact mode
+   must shrug it off (full states break the ties) while *counting* the
+   collisions; fingerprint-only mode must degrade in the predictable
+   way: all states conflate into one, and bugs go unseen. *)
+let collision_injection () =
+  let bad (_ : MC.State.packed) = 42 in
+  let sys = sys_of ~nprocs:2 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let seq = MC.Explore.run sys in
+  let m = Telemetry.Metrics.create () in
+  let exact = MC.Par_explore.run ~domains:1 ~hash:bad ~metrics:m sys in
+  check bool_t "exact: outcome unchanged under total collision" true
+    (seq.outcome = MC.Explore.Pass && exact.outcome = MC.Explore.Pass);
+  check int_t "exact: same distinct count" seq.stats.distinct
+    exact.stats.distinct;
+  check bool_t "exact: collisions are detected and counted" true
+    (Telemetry.Metrics.counter_value
+       (Telemetry.Metrics.counter m "par_explore.fp_collisions")
+    > 0);
+  let fp_only =
+    MC.Par_explore.run ~domains:1 ~hash:bad ~fingerprint_only:true sys
+  in
+  check int_t "fp-only: every state conflated into one" 1
+    fp_only.stats.distinct;
+  (* ...and a real mutual-exclusion violation is silently missed *)
+  let bug = sys_of ~nprocs:2 ~bound:4 (Algorithms.No_lock.program ()) in
+  (match (MC.Explore.run bug).outcome with
+  | MC.Explore.Violation _ -> ()
+  | _ -> Alcotest.fail "no_lock must violate mutual exclusion");
+  match
+    (MC.Par_explore.run ~domains:1 ~hash:bad ~fingerprint_only:true bug).outcome
+  with
+  | MC.Explore.Pass -> ()
+  | o ->
+      Alcotest.failf "fp-only with a colliding hash must miss the bug, got %s"
+        (MC.Explore.outcome_tag o)
+
+(* With the real fingerprint, fp-only mode agrees with the sequential
+   engine — including counterexamples, which it reconstructs by
+   replaying recorded moves rather than reading stored states. *)
+let sharded_fp_only_agrees () =
+  let cases =
+    [
+      (Core.Bakery_pp_model.program (), 2, 2);
+      (Algorithms.No_lock.program (), 2, 4);
+      (Algorithms.Bakery.program (), 2, 2);
+    ]
+  in
+  List.iter
+    (fun (prog, n, m) ->
+      let sys = sys_of ~nprocs:n ~bound:m prog in
+      let seq = MC.Explore.run sys in
+      List.iter
+        (fun domains ->
+          let par =
+            MC.Par_explore.run ~domains ~fingerprint_only:true sys
+          in
+          check bool_t
+            (Printf.sprintf "%s N=%d M=%d (%d domains, fp-only): same outcome"
                prog.Mxlang.Ast.title n m domains)
-            seq.stats.distinct par.stats.distinct)
+            true
+            (outcome_equal seq.outcome par.outcome);
+          if seq.outcome = MC.Explore.Pass then
+            check int_t
+              (Printf.sprintf
+                 "%s N=%d M=%d (%d domains, fp-only): same state count"
+                 prog.Mxlang.Ast.title n m domains)
+              seq.stats.distinct par.stats.distinct)
         [ 1; 3 ])
     cases
 
@@ -427,6 +548,10 @@ let () =
           Alcotest.test_case "agrees with sequential engine" `Slow
             par_agrees_with_sequential;
           Alcotest.test_case "detects deadlock" `Quick par_deadlock;
+          Alcotest.test_case "shard table basics" `Quick shard_table_basics;
+          Alcotest.test_case "collision injection" `Quick collision_injection;
+          Alcotest.test_case "fp-only agrees via replayed traces" `Quick
+            sharded_fp_only_agrees;
         ] );
       ( "coverage",
         [
