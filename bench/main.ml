@@ -39,7 +39,22 @@ let datapoint_json ~timestamp (dp : Harness.Experiments.datapoint) =
      ]
     @ opt "engine" (Option.map (fun e -> Str e) dp.dp_engine)
     @ opt "wall_s" (Option.map (fun w -> Num w) dp.dp_wall_s)
-    @ Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ()))
+    @ Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ())
+    @ Telemetry.Metrics.gc_fields ())
+
+(* One lock scorecard -> one BENCH_locks.json row: the full scorecard
+   object plus the same timestamp/runmeta/GC stamping the datapoints
+   get, so rows from different PRs and machines stay comparable. *)
+let card_json ~timestamp card =
+  let open Telemetry.Json in
+  match Workload.Scorecard.to_json card with
+  | Obj fields ->
+      Obj
+        (fields
+        @ [ ("timestamp", Num timestamp) ]
+        @ Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ())
+        @ Telemetry.Metrics.gc_fields ())
+  | j -> j
 
 let write_json_values path values =
   let oc = open_out path in
@@ -219,6 +234,7 @@ let () =
     wanted;
   let timestamp = Unix.time () in
   let raw_dps = Harness.Experiments.take_metrics () in
+  let cards = Harness.Experiments.take_scorecards () in
   let metrics = List.map (datapoint_json ~timestamp) raw_dps in
   (match json_path with
   | Some path -> write_json_values path metrics
@@ -236,6 +252,21 @@ let () =
      fresh run against history, not against itself. *)
   let prior = existing_datapoints path in
   if modelcheck <> [] then write_json_values path (prior @ modelcheck);
+  let locks_path = "BENCH_locks.json" in
+  let locks_prior =
+    match Workload.Suite.load_rows locks_path with
+    | Ok rows -> rows
+    | Error reason ->
+        (* Skip, never crash: a hand-damaged history file degrades the
+           gate to "no prior", it does not take the bench down. *)
+        say "warning: %s; treating prior scorecards as empty\n%!" reason;
+        []
+  in
+  let fresh_cards = List.map (card_json ~timestamp) cards in
+  if fresh_cards <> [] then begin
+    Workload.Suite.write_rows locks_path (locks_prior @ fresh_cards);
+    say "wrote %d scorecard(s) to %s\n%!" (List.length fresh_cards) locks_path
+  end;
   if check_regress then begin
     let fresh =
       List.filter
@@ -244,10 +275,11 @@ let () =
           && String.ends_with ~suffix:"/states_per_sec" dp.dp_metric)
         raw_dps
     in
-    if fresh = [] then begin
+    if fresh = [] && cards = [] then begin
       prerr_endline
         "--check-regress: the run recorded no e11/e12 states/sec datapoints \
-         (include e11 or e12 in the experiment list)";
+         and no lock scorecards (include e11, e12 or e13 in the experiment \
+         list)";
       exit 2
     end;
     (* A prior row participates in the baseline only if it carries a
@@ -296,11 +328,31 @@ let () =
           say "regress-check %-48s fresh %10.0f  (no prior datapoint)\n"
             dp.dp_metric dp.dp_value)
       fresh;
-    if !failed then begin
+    if !failed then
       prerr_endline
         "bench: states/sec regressed >15% against the best prior datapoint \
          in BENCH_modelcheck.json";
-      exit 1
-    end
+    (* Lock SLO gate: goodput must not drop and p99 must not inflate
+       against the best prior scorecard for the same algo/domains/rate
+       cell.  Same >15% bar as the states/sec gate. *)
+    let lock_failed = ref false in
+    List.iter
+      (fun (g : Workload.Suite.gate) ->
+        let label = g.g_key ^ "/" ^ g.g_metric in
+        if Float.is_nan g.g_ratio then
+          say "regress-check %-48s fresh %10.0f  (no prior scorecard)\n" label
+            g.g_fresh
+        else begin
+          say "regress-check %-48s fresh %10.0f  best %10.0f  ratio %.2f%s\n"
+            label g.g_fresh g.g_best g.g_ratio
+            (if g.g_fail then "  REGRESSION" else "");
+          if g.g_fail then lock_failed := true
+        end)
+      (Workload.Suite.regress ~prior:locks_prior cards);
+    if !lock_failed then
+      prerr_endline
+        "bench: lock goodput/p99 regressed >15% against the best prior \
+         scorecard in BENCH_locks.json";
+    if !failed || !lock_failed then exit 1
     else say "regress-check: OK (every metric within 15%% of its best prior)\n"
   end

@@ -71,4 +71,36 @@ let () =
       "bench-smoke: pool4 states/sec collapsed to %.2fx of pool1 (gate %.2f) \
        — parallel engine regression"
       ratio min_ratio;
+  (* ------------------------------------------------- locks smoke (~2s) *)
+  (* One tiny open-loop cell against Bakery++: the scorecard JSON must
+     round-trip through the persisted-row codec with the SLO verdict
+     intact, and a second run with the same seed must reproduce every
+     non-timing field — the two invariants `bakery_cli bench locks`
+     relies on. *)
+  let resolve = Harness.Experiments.lock_resolver ~bound:32 () in
+  let cell () =
+    Workload.Suite.run_cell resolve ~virtual_bound:32 ~algo:"bakery_pp"
+      ~nprocs:2 ~rate:2_000.0 ~budget:(Workload.Openloop.Ops 400) ~seed:11 ()
+  in
+  let card = cell () in
+  Printf.printf
+    "bench-smoke locks  goodput=%.0f/s p99=%dns issued=%d sched_fp=%s slo=%b\n"
+    card.goodput card.p99_ns card.issued card.sched_fp card.slo_pass;
+  (match Workload.Scorecard.of_json (Workload.Scorecard.to_json card) with
+  | Error e -> fail "bench-smoke: scorecard does not round-trip: %s" e
+  | Ok back ->
+      if back <> card then
+        fail "bench-smoke: scorecard JSON round-trip changed a field";
+      if back.slo_reasons <> [] && back.slo_pass then
+        fail "bench-smoke: SLO verdict inconsistent with its reasons");
+  let again = cell () in
+  if
+    Workload.Scorecard.deterministic_fields again
+    <> Workload.Scorecard.deterministic_fields card
+  then
+    fail
+      "bench-smoke: same-seed rerun changed a deterministic scorecard field";
+  if card.issued <> 400 || card.completed <> 400 then
+    fail "bench-smoke: ops budget 400 not honoured (issued %d completed %d)"
+      card.issued card.completed;
   print_endline "bench-smoke: OK"

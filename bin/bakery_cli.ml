@@ -63,6 +63,9 @@ type telemetry = {
 }
 
 let write_metrics_snapshot path m =
+  (* Refresh the GC gauges so every snapshot carries allocation health
+     alongside the run's own instruments. *)
+  Telemetry.Metrics.observe_gc m;
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   let t = Unix.time () in
   let meta = Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ()) in
@@ -782,16 +785,163 @@ let fuzz_cmd =
 
 (* -------------------------------------------------------------- bench *)
 
+(* `bench locks`: the SLO observatory as a CLI verb — open-loop seeded
+   traffic against chosen locks, scorecards to stdout and (stamped with
+   run metadata) appended to a BENCH_locks.json-style file. *)
+let run_locks ~tl ~quick ~seed ~rate_raw ~ops ~duration_raw ~algos ~domains
+    ~vbound ~out =
+  let parse_pos ~docv ~flag raw =
+    match Harness.Argscan.parse_suffixed ~docv ~flag raw with
+    | Ok v when v > 0.0 -> v
+    | Ok _ ->
+        Printf.eprintf "%s: %s must be positive\n" flag docv;
+        exit 2
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  let rate = parse_pos ~docv:"RATE" ~flag:"--rate" rate_raw in
+  let budget =
+    match (ops, duration_raw) with
+    | Some n, _ when n > 0 -> Workload.Openloop.Ops n
+    | Some _, _ ->
+        prerr_endline "--ops: must be positive";
+        exit 2
+    | None, Some d ->
+        Workload.Openloop.Seconds
+          (parse_pos ~docv:"DURATION" ~flag:"--duration" d)
+    | None, None -> Workload.Openloop.Ops (if quick then 400 else 2_000)
+  in
+  let algos = if algos = [] then [ "bakery"; "bakery_pp" ] else algos in
+  (* Bound-sensitive locks are created at the observatory's virtual
+     bound, so the same M that judges the unbounded bakery's tickets
+     also drives Bakery++'s resets. *)
+  let resolve = Harness.Experiments.lock_resolver ~bound:vbound () in
+  let t =
+    Harness.Table.make
+      ~title:
+        (Printf.sprintf
+           "bench locks: open-loop SLO scorecards (seed %d, rate %.0f/s, M=%d)"
+           seed rate vbound)
+      ~notes:
+        [
+          "latency from each op's intended start (no coordinated \
+           omission); SLO = Workload.Slo.default";
+          "overflow column: unbounded locks report when peak_ticket \
+           crossed M; resetting locks report storm count and worst \
+           storm duration";
+        ]
+      [
+        "lock"; "domains"; "goodput/s"; "p50"; "p99"; "p999"; "max stall";
+        "inv"; "jain"; "behind"; "SLO"; "overflow";
+      ]
+  in
+  let cell ns =
+    match ns with
+    | 0 -> "-"
+    | ns when ns < 1_000 -> Printf.sprintf "%dns" ns
+    | ns when ns < 1_000_000 -> Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+    | ns -> Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  in
+  let timestamp = Unix.time () in
+  let cards =
+    List.map
+      (fun algo ->
+        let card =
+          Workload.Suite.run_cell resolve ?progress:tl.tl_progress
+            ~virtual_bound:vbound ~algo ~nprocs:domains ~rate ~budget ~seed ()
+        in
+        let overflow_cell =
+          match card.Workload.Scorecard.overflow with
+          | None -> "-"
+          | Some o -> (
+              match (o.overflow_at_s, o.storms) with
+              | Some at, _ ->
+                  Printf.sprintf "ticket>M at %.4fs" at
+              | None, storms when storms > 0 ->
+                  Printf.sprintf "%d storm(s), worst %.4fs" storms
+                    o.storm_max_s
+              | None, _ -> "none")
+        in
+        Harness.Table.add_rowf t "%s|%d|%.0f|%s|%s|%s|%s|%d|%.3f|%d|%s|%s"
+          algo domains card.goodput (cell card.p50_ns) (cell card.p99_ns)
+          (cell card.p999_ns)
+          (cell card.max_stall_ns)
+          card.inversions card.jain card.behind
+          (if card.slo_pass then "pass"
+           else "FAIL: " ^ String.concat "; " card.slo_reasons)
+          overflow_cell;
+        card)
+      algos
+  in
+  print_string (Harness.Table.render t);
+  print_newline ();
+  List.iter
+    (fun (card : Workload.Scorecard.t) ->
+      match card.overflow with
+      | Some o when o.resets > 0 ->
+          Printf.printf
+            "%s: %d reset(s) in %d storm(s) under M=%d (worst storm %.4fs)\n"
+            card.algo o.resets o.storms o.virtual_bound o.storm_max_s
+      | Some { overflow_at_s = Some at; overflow_ticket = Some tk; _ } ->
+          Printf.printf
+            "%s: a width-%d register would have overflowed after %.4fs \
+             (ticket %d)\n"
+            card.algo vbound at tk
+      | _ -> ())
+    cards;
+  let rows =
+    List.map
+      (fun card ->
+        match Workload.Scorecard.to_json card with
+        | Telemetry.Json.Obj fields ->
+            Telemetry.Json.Obj
+              (fields
+              @ [ ("timestamp", Telemetry.Json.Num timestamp) ]
+              @ Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ())
+              @ Telemetry.Metrics.gc_fields ())
+        | j -> j)
+      cards
+  in
+  (match Workload.Suite.load_rows out with
+  | Ok _ -> ()
+  | Error reason -> Printf.eprintf "warning: %s; starting fresh\n" reason);
+  Workload.Suite.append_rows out rows;
+  Printf.printf "appended %d scorecard(s) to %s\n" (List.length rows) out;
+  tl.tl_finish ()
+
 let bench_cmd =
   let ids_arg =
-    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all), or 'locks' for the open-loop SLO suite.")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes (seconds, not minutes).")
   in
-  let run ids quick progress metrics_out trace_out =
-    let ids = if ids = [] then List.map (fun (e : Harness.Experiments.experiment) -> e.id) Harness.Experiments.all else ids in
-    let tl = telemetry_setup ~name:"bench" progress metrics_out trace_out in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Arrival-schedule seed for `bench locks` (same seed, same schedule).")
+  in
+  let rate_arg =
+    Arg.(value & opt string "2k" & info [ "rate" ] ~docv:"RATE" ~doc:"Offered aggregate arrival rate in ops/s for `bench locks`; unit suffixes (2k, 1M) accepted.")
+  in
+  let ops_arg =
+    Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N" ~doc:"Operation budget for `bench locks` (deterministic non-timing fields); overrides --duration.")
+  in
+  let duration_arg =
+    Arg.(value & opt (some string) None & info [ "duration" ] ~docv:"DURATION" ~doc:"Wall-clock budget for `bench locks`; unit suffixes (30s, 250ms) accepted.")
+  in
+  let algo_arg =
+    Arg.(value & opt_all string [] & info [ "algo" ] ~docv:"LOCK" ~doc:"Lock families to score (repeatable; default bakery and bakery_pp).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"D" ~doc:"Worker domains for `bench locks`.")
+  in
+  let vbound_arg =
+    Arg.(value & opt int 64 & info [ "virtual-bound" ] ~docv:"M" ~doc:"Register width the overflow observatory judges tickets against (also the bound for bound-sensitive locks).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_locks.json" & info [ "out" ] ~docv:"FILE" ~doc:"Scorecard history file `bench locks` appends to.")
+  in
+  let run_experiments ~ids ~quick ~tl =
     let trace = Option.value tl.tl_trace ~default:Telemetry.Sink.null in
     List.iter
       (fun id ->
@@ -826,10 +976,29 @@ let bench_cmd =
       ids;
     tl.tl_finish ()
   in
-  Cmd.v (Cmd.info "bench" ~doc:"Regenerate experiment tables (see EXPERIMENTS.md)")
+  let run ids quick seed rate_raw ops duration_raw algos domains vbound out
+      progress metrics_out trace_out =
+    let ids = if ids = [] then List.map (fun (e : Harness.Experiments.experiment) -> e.id) Harness.Experiments.all else ids in
+    let tl = telemetry_setup ~name:"bench" progress metrics_out trace_out in
+    if List.mem "locks" ids then begin
+      if List.length ids > 1 then begin
+        prerr_endline "bench locks does not combine with experiment ids";
+        exit 2
+      end;
+      run_locks ~tl ~quick ~seed ~rate_raw ~ops ~duration_raw ~algos ~domains
+        ~vbound ~out
+    end
+    else run_experiments ~ids ~quick ~tl
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Regenerate experiment tables (see EXPERIMENTS.md), or `bench \
+          locks` for open-loop SLO scorecards")
     Term.(
-      const run $ ids_arg $ quick_arg $ progress_arg $ metrics_out_arg
-      $ trace_out_arg)
+      const run $ ids_arg $ quick_arg $ seed_arg $ rate_arg $ ops_arg
+      $ duration_arg $ algo_arg $ domains_arg $ vbound_arg $ out_arg
+      $ progress_arg $ metrics_out_arg $ trace_out_arg)
 
 let () =
   let info =

@@ -26,3 +26,14 @@ val extract_value :
     every message starts with the offending flag's own name and
     describes the expected value as [docv] (default ["VALUE"]), e.g.
     ["--json: missing FILE (flag is the last argument)"]. *)
+
+val parse_suffixed :
+  ?docv:string -> flag:string -> string -> (float, string) result
+(** [parse_suffixed ~flag raw] reads a number with an optional unit
+    suffix, so rates and durations read naturally on the command line:
+    ["30s"] is 30.0, ["250ms"] is 0.25, ["50k"] is 50_000.0, ["2M"] is
+    2e6.  Known suffixes: [s] (×1), [ms] (×1e-3), [us] (×1e-6), [k]/[K]
+    (×1e3), [M] (×1e6), [G] (×1e9).  A lowercase [m] alone is rejected
+    (milli or mega?), as are negative results and anything that is not
+    number-then-suffix.  Errors start with [flag]'s own name and name
+    the value as [docv], matching {!extract_value}'s message style. *)

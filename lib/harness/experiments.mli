@@ -53,6 +53,16 @@ val e12 : quick:bool -> Table.t list
     the engine's collision / steal / hand-off telemetry alongside
     throughput. *)
 
+val e13 : quick:bool -> Table.t list
+(** SLO observatory: every algorithm in the sweep under identical
+    seeded open-loop Poisson traffic ({!Workload.Openloop}), scored on
+    goodput, coordinated-omission-free tail latency, FCFS inversions
+    and Jain fairness; plus the overflow observatory — time until the
+    unbounded bakery's peak ticket would have overflowed a width-M
+    register, and Bakery++ reset storms under the same traffic.
+    Records flat datapoints via {!record_metric} and whole scorecards
+    via {!record_scorecard}. *)
+
 type datapoint = {
   dp_exp : string;
   dp_metric : string;
@@ -70,6 +80,20 @@ val record_metric :
 val take_metrics : unit -> datapoint list
 (** All datapoints recorded since the last call, oldest first; clears
     the buffer. *)
+
+val record_scorecard : Workload.Scorecard.t -> unit
+(** Buffer one whole lock scorecard (E13); drained separately from the
+    flat datapoints because the bench driver persists the full rows to
+    [BENCH_locks.json]. *)
+
+val take_scorecards : unit -> Workload.Scorecard.t list
+(** All scorecards recorded since the last call, oldest first; clears
+    the buffer. *)
+
+val lock_resolver : ?bound:int -> unit -> Workload.Suite.resolver
+(** The zoo resolver the observatory cells use: looks the family up in
+    {!Registry} and instantiates it with [bound] (default 4096;
+    [ticket_mod] always gets 64, as in the microbenchmarks). *)
 
 val a1 : quick:bool -> Table.t list
 (** Ablation: Bakery++ without the L1 gate (safety survives). *)

@@ -1,3 +1,5 @@
+module Shape = Workload.Shape
+
 type result = {
   nprocs : int;
   elapsed : float;
@@ -17,7 +19,7 @@ let wait_barrier barrier =
 
 let now () = Unix.gettimeofday ()
 
-let run ?(workload = Workload.contended) ?(duration = 0.3) ?(seed = 7)
+let run ?(workload = Shape.contended) ?(duration = 0.3) ?(seed = 7)
     ?(instrument = false) (lock : Locks.Lock_intf.instance) ~nprocs =
   if nprocs < 1 then invalid_arg "Throughput.run: nprocs must be >= 1";
   let lock = if instrument then Locks.Latency.instrument lock else lock in
@@ -30,10 +32,10 @@ let run ?(workload = Workload.contended) ?(duration = 0.3) ?(seed = 7)
     wait_barrier barrier;
     while not (Atomic.get stop) do
       lock.acquire i;
-      sink := !sink + Workload.spin (Workload.draw rng workload.cs);
+      sink := !sink + Shape.spin (Shape.draw rng workload.Shape.cs);
       lock.release i;
       incr count;
-      sink := !sink + Workload.spin (Workload.draw rng workload.think)
+      sink := !sink + Shape.spin (Shape.draw rng workload.Shape.think)
     done;
     (!count, !sink)
   in
@@ -61,7 +63,7 @@ type overflow_result = {
   overflowed : bool;
 }
 
-let run_until_overflow ?(workload = Workload.contended) ?(max_seconds = 20.0)
+let run_until_overflow ?(workload = Shape.contended) ?(max_seconds = 20.0)
     ~make ~recover ~nprocs () =
   if nprocs < 1 then invalid_arg "Throughput.run_until_overflow: nprocs >= 1";
   let lock : Locks.Lock_intf.instance = make () in
@@ -78,7 +80,7 @@ let run_until_overflow ?(workload = Workload.contended) ?(max_seconds = 20.0)
     (try
        while not (Atomic.get stop) do
          lock.acquire i;
-         sink := !sink + Workload.spin (Workload.draw rng workload.cs);
+         sink := !sink + Shape.spin (Shape.draw rng workload.Shape.cs);
          lock.release i;
          incr count;
          if !count land 0xff = 0 && deadline_guard t0 then Atomic.set stop true

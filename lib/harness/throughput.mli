@@ -21,7 +21,7 @@ type result = {
 }
 
 val run :
-  ?workload:Workload.t ->
+  ?workload:Workload.Shape.t ->
   ?duration:float ->
   ?seed:int ->
   ?instrument:bool ->
@@ -29,7 +29,7 @@ val run :
   nprocs:int ->
   result
 (** [run instance ~nprocs] drives [nprocs] domains for [duration]
-    (default 0.3 s) under [workload] (default {!Workload.contended}).
+    (default 0.3 s) under [workload] (default {!Workload.Shape.contended}).
     [instrument] (default false) wraps the lock in
     {!Locks.Latency.instrument}, so [lock_stats] additionally carries
     acquire-latency percentiles ([acq_p50_ns], [acq_p95_ns],
@@ -43,7 +43,7 @@ type overflow_result = {
 }
 
 val run_until_overflow :
-  ?workload:Workload.t ->
+  ?workload:Workload.Shape.t ->
   ?max_seconds:float ->
   make:(unit -> Locks.Lock_intf.instance) ->
   recover:(int -> unit) ->

@@ -1,12 +1,21 @@
 let buckets_s =
   [|
     1e-7; 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4;
-    1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0;
+    1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
   |]
 
 let ns_of s = if Float.is_nan s then 0 else int_of_float (s *. 1e9)
 
-let instrument ?registry (inst : Lock_intf.instance) =
+type mode = Closed_loop | Open_loop of (int -> float)
+
+(* Open-loop recording is the coordinated-omission fix: when a lock stalls,
+   every operation scheduled behind the stall was *supposed* to start on
+   time, so its latency must be charged from the intended start, not from
+   whenever the caller finally got around to invoking [acquire].  The
+   closed-loop clock (start at call time) silently forgives the backlog:
+   one stalled operation records one bad sample and the queue behind it
+   records near-zero ones. *)
+let instrument ?registry ?(mode = Closed_loop) (inst : Lock_intf.instance) =
   let registry =
     match registry with Some r -> r | None -> Telemetry.Metrics.create ()
   in
@@ -14,13 +23,19 @@ let instrument ?registry (inst : Lock_intf.instance) =
     Telemetry.Metrics.histogram registry ~buckets:buckets_s
       ("lock." ^ inst.instance_name ^ ".acquire_s")
   in
+  let start_of =
+    match mode with
+    | Closed_loop -> fun _pid -> Telemetry.Clock.now_s ()
+    | Open_loop intended -> intended
+  in
   {
     inst with
     acquire =
       (fun pid ->
-        let t0 = Telemetry.Clock.now_s () in
+        let t0 = start_of pid in
         inst.acquire pid;
-        Telemetry.Metrics.observe hist (Telemetry.Clock.now_s () -. t0));
+        Telemetry.Metrics.observe hist
+          (Float.max 0.0 (Telemetry.Clock.now_s () -. t0)));
     stats =
       (fun () ->
         inst.stats ()
@@ -28,6 +43,7 @@ let instrument ?registry (inst : Lock_intf.instance) =
             ("acq_p50_ns", ns_of (Telemetry.Metrics.percentile hist 0.50));
             ("acq_p95_ns", ns_of (Telemetry.Metrics.percentile hist 0.95));
             ("acq_p99_ns", ns_of (Telemetry.Metrics.percentile hist 0.99));
+            ("acq_p999_ns", ns_of (Telemetry.Metrics.percentile hist 0.999));
             ("acq_max_ns", ns_of (Telemetry.Metrics.percentile hist 1.0));
           ]);
   }

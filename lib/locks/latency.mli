@@ -10,13 +10,33 @@
     acquire; wrap only when the numbers are wanted. *)
 
 val buckets_s : float array
-(** The latency ladder: 100 ns to 1 s, 1–2–5 steps (seconds). *)
+(** The latency ladder: 100 ns to 5 s, 1–2–5 steps (seconds).  The top
+    extends past 1 s because open-loop backlogs (see {!Open_loop}) can
+    legitimately accumulate multi-second queueing delays. *)
+
+type mode =
+  | Closed_loop
+      (** Latency runs from the moment [acquire] was called — the
+          classical measurement, blind to coordinated omission: a
+          stalled lock delays the *next* call, and that queueing time
+          is never charged to anyone. *)
+  | Open_loop of (int -> float)
+      (** [Open_loop intended]: latency runs from [intended pid], the
+          operation's scheduled start on the {!Telemetry.Clock.now_s}
+          scale.  An open-loop driver (Workload.Openloop) sets the
+          intended time from its arrival schedule before each acquire,
+          so backlog caused by a stall is charged to every operation
+          that was due during it. *)
 
 val instrument :
-  ?registry:Telemetry.Metrics.t -> Lock_intf.instance -> Lock_intf.instance
+  ?registry:Telemetry.Metrics.t ->
+  ?mode:mode ->
+  Lock_intf.instance ->
+  Lock_intf.instance
 (** [instrument inst] returns an instance with the same name, release
-    and space accounting whose [acquire] is timed.  [stats ()] returns
-    the underlying stats with [acq_p50_ns], [acq_p95_ns], [acq_p99_ns]
-    and [acq_max_ns] appended (integer nanoseconds; 0 until the first
+    and space accounting whose [acquire] is timed under [mode] (default
+    {!Closed_loop}).  [stats ()] returns the underlying stats with
+    [acq_p50_ns], [acq_p95_ns], [acq_p99_ns], [acq_p999_ns] and
+    [acq_max_ns] appended (integer nanoseconds; 0 until the first
     acquire).  When [registry] is given the histogram is also
     registered there as [lock.<name>.acquire_s]. *)

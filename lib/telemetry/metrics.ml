@@ -135,6 +135,29 @@ let percentile h q =
     walk 0 0
   end
 
+(* ------------------------------------------------------------------ GC *)
+
+(* [Gc.quick_stat] is the cheap variant: no heap traversal, safe to call
+   from a sampling loop.  Its live/free word fields are zero by design,
+   so the gauge set sticks to what it actually measures: collection
+   counts and the major-heap size. *)
+
+let words_to_mb w = float_of_int w *. float_of_int (Sys.word_size / 8) /. 1e6
+
+let gc_fields () =
+  let s = Gc.quick_stat () in
+  [
+    ("gc_minor", Json.Num (float_of_int s.Gc.minor_collections));
+    ("gc_major", Json.Num (float_of_int s.Gc.major_collections));
+    ("gc_heap_mb", Json.Num (words_to_mb s.Gc.heap_words));
+  ]
+
+let observe_gc t =
+  let s = Gc.quick_stat () in
+  set (gauge t "gc.minor_collections") (float_of_int s.Gc.minor_collections);
+  set (gauge t "gc.major_collections") (float_of_int s.Gc.major_collections);
+  set (gauge t "gc.heap_mb") (words_to_mb s.Gc.heap_words)
+
 (* ----------------------------------------------------------- snapshots *)
 
 type histogram_snapshot = {

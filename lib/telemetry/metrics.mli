@@ -53,6 +53,18 @@ val percentile : histogram -> float -> float
     empty.  The usual fixed-bucket estimator: exact rank, bucket-bound
     resolution. *)
 
+(** {1 GC gauges} — allocation pathologies in long soak runs. *)
+
+val observe_gc : t -> unit
+(** Refresh three gauges from [Gc.quick_stat] (no heap traversal):
+    [gc.minor_collections], [gc.major_collections] and [gc.heap_mb]
+    (major-heap size in MB).  Call before {!snapshot} — typically once
+    at the end of a run, or periodically from a sampling loop. *)
+
+val gc_fields : unit -> (string * Json.t) list
+(** The same three readings as JSON fields ([gc_minor], [gc_major],
+    [gc_heap_mb]) for stamping progress lines and datapoints. *)
+
 (** {1 Snapshots} *)
 
 type histogram_snapshot = {

@@ -1,0 +1,51 @@
+(* FCFS inversions: at the moment a process acquires, every *other*
+   process still waiting whose protocol entry (Acquire_start) predates
+   the acquirer's own entry was overtaken — count one inversion per such
+   waiter.  Waiter sets are at most nprocs long, so the quadratic scan
+   is negligible next to the ring flush that produced [entries]. *)
+let inversions entries =
+  let pending = ref [] in
+  let inv = ref 0 in
+  List.iter
+    (fun (e : Locks.Ring.entry) ->
+      match e.e_op with
+      | Locks.Ring.Acquire_start ->
+          pending := !pending @ [ (e.e_pid, e.e_t_ns) ]
+      | Locks.Ring.Acquired -> (
+          match List.assoc_opt e.e_pid !pending with
+          | None -> () (* its start fell off the ring; nothing to judge *)
+          | Some t0 ->
+              let rest = List.filter (fun (p, _) -> p <> e.e_pid) !pending in
+              List.iter (fun (_, t) -> if t < t0 then incr inv) rest;
+              pending := rest)
+      | Locks.Ring.Released -> ())
+    entries;
+  !inv
+
+let max_stall_ns entries =
+  let last = ref None in
+  let best = ref 0 in
+  List.iter
+    (fun (e : Locks.Ring.entry) ->
+      match e.e_op with
+      | Locks.Ring.Acquired ->
+          (match !last with
+          | Some t when e.e_t_ns - t > !best -> best := e.e_t_ns - t
+          | _ -> ());
+          last := Some e.e_t_ns
+      | _ -> ())
+    entries;
+  !best
+
+let jain counts =
+  let n = Array.length counts in
+  if n = 0 then 1.0
+  else begin
+    let s = Array.fold_left (fun a c -> a +. float_of_int c) 0.0 counts in
+    let s2 =
+      Array.fold_left
+        (fun a c -> a +. (float_of_int c *. float_of_int c))
+        0.0 counts
+    in
+    if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+  end

@@ -1,0 +1,22 @@
+(** Fairness queries over a flushed {!Locks.Ring} event log.
+
+    These read the merged, time-sorted entry list that every open-loop
+    run collects anyway, so fairness costs nothing extra at runtime —
+    it is computed after the domains have joined. *)
+
+val inversions : Locks.Ring.entry list -> int
+(** FCFS inversions: the number of (acquirer, waiter) pairs where the
+    waiter entered the acquire protocol first but was overtaken.  0 for
+    a strictly first-come-first-served lock (bakery family); grows with
+    barging (tas/ttas).  Entries whose [Acquire_start] was lost to ring
+    overflow are skipped, not guessed. *)
+
+val max_stall_ns : Locks.Ring.entry list -> int
+(** The longest gap between consecutive [Acquired] events — the worst
+    service interruption any waiter observed, whatever its cause
+    (reset storm, preemption, convoy). *)
+
+val jain : int array -> float
+(** Jain's fairness index over per-domain completion counts:
+    [(Σx)² / (n·Σx²)], 1.0 for a perfectly even split, → 1/n when one
+    domain monopolises.  1.0 for empty or all-zero input. *)

@@ -1,0 +1,103 @@
+type sample = { at_s : float; stats : (string * int) list }
+
+type report = {
+  samples : int;
+  virtual_bound : int option;
+  overflow_at_s : float option;
+  overflow_ticket : int option;
+  resets : int;
+  storms : int;
+  storm_max_s : float;
+}
+
+type t = {
+  stop_flag : bool Atomic.t;
+  sampler : sample list Domain.t; (* newest first *)
+  vb : int option;
+}
+
+let take_sample ~t0 ~on_sample (inst : Locks.Lock_intf.instance) =
+  let s = { at_s = Telemetry.Clock.now_s () -. t0; stats = inst.stats () } in
+  (match on_sample with Some f -> f s | None -> ());
+  s
+
+let start ?(interval_s = 1e-3) ?virtual_bound ?on_sample
+    (inst : Locks.Lock_intf.instance) =
+  let stop_flag = Atomic.make false in
+  let t0 = Telemetry.Clock.now_s () in
+  let sampler =
+    Domain.spawn (fun () ->
+        let acc = ref [] in
+        while not (Atomic.get stop_flag) do
+          acc := take_sample ~t0 ~on_sample inst :: !acc;
+          Unix.sleepf interval_s
+        done;
+        (* Final sample after stop, so a run shorter than one interval
+           still records the end state. *)
+        take_sample ~t0 ~on_sample inst :: !acc)
+  in
+  { stop_flag; sampler; vb = virtual_bound }
+
+let resets_of s = Option.value ~default:0 (List.assoc_opt "resets" s.stats)
+
+let analyse ~virtual_bound samples =
+  let overflow_at_s, overflow_ticket =
+    match virtual_bound with
+    | None -> (None, None)
+    | Some m ->
+        (* Strictly greater: a width-M register holds values up to M
+           (Registers.Bounded traps on v > M), and Bakery++'s tickets
+           legitimately touch M without overflowing. *)
+        let rec go = function
+          | [] -> (None, None)
+          | s :: rest -> (
+              match List.assoc_opt "peak_ticket" s.stats with
+              | Some t when t > m -> (Some s.at_s, Some t)
+              | _ -> go rest)
+        in
+        go samples
+  in
+  let storms, storm_max_s, resets =
+    match samples with
+    | [] -> (0, 0.0, 0)
+    | first :: _ ->
+        let last_r = ref (resets_of first) in
+        let last_t = ref first.at_s in
+        let in_storm = ref false in
+        let storm_start = ref 0.0 in
+        let storms = ref 0 in
+        let max_s = ref 0.0 in
+        List.iter
+          (fun s ->
+            let r = resets_of s in
+            if r > !last_r then begin
+              if not !in_storm then begin
+                in_storm := true;
+                incr storms;
+                (* The storm began somewhere after the previous quiet
+                   sample; charge from there (one-interval resolution). *)
+                storm_start := !last_t
+              end;
+              max_s := Float.max !max_s (s.at_s -. !storm_start)
+            end
+            else in_storm := false;
+            last_r := r;
+            last_t := s.at_s)
+          samples;
+        let final = List.fold_left (fun _ s -> resets_of s) 0 samples in
+        (!storms, !max_s, final - resets_of first)
+  in
+  {
+    samples = List.length samples;
+    virtual_bound;
+    overflow_at_s;
+    overflow_ticket;
+    resets;
+    storms;
+    storm_max_s;
+  }
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  let newest_first = Domain.join t.sampler in
+  analyse ~virtual_bound:t.vb (List.rev newest_first)

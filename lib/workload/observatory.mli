@@ -1,0 +1,53 @@
+(** The overflow observatory: a sampler domain that polls a lock's own
+    [stats] counters while traffic runs, then condenses the time series
+    into overflow telemetry.
+
+    Two phenomena from the paper become measurable in flight:
+
+    - {b time-to-overflow} for the unbounded bakery: the first sample
+      where [peak_ticket] crosses a *virtual* bound M answers "when
+      would a width-M register have overflowed?" without trapping — the
+      run keeps going and the scorecard still gets latency numbers.
+    - {b reset storms} for Bakery++: a storm is a maximal run of
+      consecutive samples whose [resets] counter advanced; the report
+      carries how many storms occurred and how long the worst one
+      lasted.
+
+    Sampling reads plain counters cross-domain — single-word reads, so
+    values are atomic-per-field telemetry, not a consistent snapshot;
+    exactly what a production metrics scraper sees. *)
+
+type sample = { at_s : float;  (** seconds since {!start} *) stats : (string * int) list }
+
+type report = {
+  samples : int;
+  virtual_bound : int option;  (** echoed from {!start} *)
+  overflow_at_s : float option;
+      (** first sample time with [peak_ticket > virtual_bound] — strict,
+          because a width-M register holds values up to M and Bakery++
+          tickets legitimately touch M *)
+  overflow_ticket : int option;  (** the crossing value itself *)
+  resets : int;  (** total [resets] counter advance over the window *)
+  storms : int;
+  storm_max_s : float;  (** one-interval resolution *)
+}
+
+type t
+
+val start :
+  ?interval_s:float ->
+  ?virtual_bound:int ->
+  ?on_sample:(sample -> unit) ->
+  Locks.Lock_intf.instance ->
+  t
+(** Spawn the sampler domain polling [inst.stats] every [interval_s]
+    (default 1 ms).  [on_sample] runs on the sampler domain after each
+    poll — the hook the live dashboard hangs a rate-limited
+    {!Telemetry.Progress} line on. *)
+
+val stop : t -> report
+(** Signal, join (one final sample is always taken), analyse. *)
+
+val analyse : virtual_bound:int option -> sample list -> report
+(** The pure condensation step, exposed for tests: oldest-first samples
+    in, report out. *)

@@ -1,0 +1,57 @@
+(** Open-loop traffic generation against one lock instance.
+
+    Closed-loop drivers ({!Harness.Throughput}) issue the next request
+    only after the previous one finishes, so a stalled lock quietly
+    throttles its own load — coordinated omission.  This driver
+    precomputes a seeded Poisson arrival schedule per domain
+    ({!Poisson}, per-domain rate = aggregate / nprocs) and charges
+    every operation's latency from its *intended* start
+    ({!Locks.Latency.Open_loop}): queueing behind a stall lands in the
+    histogram whether or not the caller was physically able to call
+    [acquire] on time. *)
+
+type budget =
+  | Ops of int
+      (** run exactly this many operations in total (split round-robin
+          across domains) — every non-timing result field is then a
+          pure function of (seed, rate, budget, nprocs) *)
+  | Seconds of float  (** schedule every arrival inside this horizon *)
+
+type result = {
+  issued : int;  (** operations the schedule intended *)
+  completed : int;  (** operations actually driven to release *)
+  behind : int;  (** completed ops that started after their intended time *)
+  abandoned : int;
+      (** schedule tail dropped by the wall-clock deadline
+          ([Seconds] budget + grace only; 0 under [Ops]) *)
+  elapsed_s : float;
+  offered : float;  (** the configured aggregate arrival rate, ops/s *)
+  goodput : float;  (** completed / elapsed, ops/s *)
+  registry : Telemetry.Metrics.t;
+      (** carries [lock.<name>.acquire_s] — open-loop latencies *)
+  lock_stats : (string * int) list;
+      (** underlying lock counters with [acq_p50_ns] .. [acq_max_ns]
+          appended by {!Locks.Latency} *)
+  per_domain : int array;  (** completions per domain *)
+  entries : Locks.Ring.entry list;  (** merged event log for {!Fairness} *)
+  ring_dropped : int;
+  sched_fp : string;  (** {!Poisson.fingerprint} of the full schedule *)
+}
+
+val run :
+  ?shape:Shape.t ->
+  ?seed:int ->
+  ?ring_capacity:int ->
+  ?grace_s:float ->
+  ?on_op:(unit -> unit) ->
+  rate:float ->
+  budget:budget ->
+  Locks.Lock_intf.instance ->
+  nprocs:int ->
+  result
+(** [run ~rate ~budget inst ~nprocs] drives [nprocs] domains.  Waits
+    sleep off all but the last millisecond before an intended start and
+    spin (yielding) across the remainder.  [grace_s] (default 2)
+    extends a [Seconds] budget before the tail is abandoned.  [on_op]
+    (default none) runs after every completed operation on the worker
+    domain — the live counter hook for dashboards; keep it cheap. *)

@@ -1,0 +1,42 @@
+let interarrival rng ~rate =
+  if rate <= 0.0 then invalid_arg "Workload.Poisson: rate must be > 0";
+  let u = Prng.Rng.float rng 1.0 in
+  (* Inverse-CDF of Exp(rate).  [log1p (-. u)] instead of [log (1. -. u)]
+     keeps precision when u is tiny, and u < 1.0 keeps the log finite. *)
+  -.log1p (-.u) /. rate
+
+let schedule rng ~rate ~n =
+  if n < 0 then invalid_arg "Workload.Poisson.schedule: n < 0";
+  let a = Array.make n 0.0 in
+  let t = ref 0.0 in
+  for i = 0 to n - 1 do
+    t := !t +. interarrival rng ~rate;
+    a.(i) <- !t
+  done;
+  a
+
+let schedule_until rng ~rate ~horizon_s =
+  let buf = ref [] in
+  let count = ref 0 in
+  let t = ref (interarrival rng ~rate) in
+  while !t < horizon_s do
+    buf := !t :: !buf;
+    incr count;
+    t := !t +. interarrival rng ~rate
+  done;
+  let a = Array.make !count 0.0 in
+  List.iteri (fun i v -> a.(!count - 1 - i) <- v) !buf;
+  a
+
+(* FNV-1a over the raw bit patterns, so two schedules fingerprint equal
+   iff they are float-for-float identical — the determinism witness the
+   scorecard carries. *)
+let fingerprint scheds =
+  let h = ref 0xcbf29ce484222325L in
+  let mix bits = h := Int64.mul (Int64.logxor !h bits) 0x100000001b3L in
+  Array.iter
+    (fun sched ->
+      mix (Int64.of_int (Array.length sched));
+      Array.iter (fun t -> mix (Int64.bits_of_float t)) sched)
+    scheds;
+  Printf.sprintf "%016Lx" !h

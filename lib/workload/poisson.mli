@@ -1,0 +1,24 @@
+(** Seeded Poisson arrival schedules for the open-loop generator.
+
+    Arrivals are exponential interarrivals drawn from {!Prng.Rng}
+    (splitmix64), so a schedule is a pure function of (seed, rate,
+    budget): the same inputs produce byte-identical arrays on every
+    machine.  Per-domain generators at rate R/P superpose to an
+    aggregate Poisson process at rate R, which is how {!Openloop}
+    shards one offered load across domains without coordination. *)
+
+val interarrival : Prng.Rng.t -> rate:float -> float
+(** One Exp(rate) draw, in seconds.  Raises [Invalid_argument] when
+    [rate <= 0]. *)
+
+val schedule : Prng.Rng.t -> rate:float -> n:int -> float array
+(** [n] absolute arrival offsets (seconds from the run origin),
+    strictly increasing. *)
+
+val schedule_until : Prng.Rng.t -> rate:float -> horizon_s:float -> float array
+(** Every arrival strictly before [horizon_s]. *)
+
+val fingerprint : float array array -> string
+(** 64-bit FNV-1a over the bit patterns of all per-domain schedules,
+    rendered as 16 hex digits.  Equal fingerprints mean float-for-float
+    identical schedules — the scorecard's determinism witness. *)

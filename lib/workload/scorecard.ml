@@ -1,0 +1,214 @@
+type overflow = {
+  virtual_bound : int;
+  overflow_at_s : float option;
+  overflow_ticket : int option;
+  resets : int;
+  storms : int;
+  storm_max_s : float;
+}
+
+type t = {
+  algo : string;
+  nprocs : int;
+  rate : float;
+  ops : int option;
+  duration_s : float option;
+  seed : int;
+  sched_fp : string;
+  issued : int;
+  completed : int;
+  behind : int;
+  abandoned : int;
+  goodput : float;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+  max_stall_ns : int;
+  inversions : int;
+  jain : float;
+  ring_dropped : int;
+  slo_pass : bool;
+  slo_reasons : string list;
+  overflow : overflow option;
+}
+
+let kind = "lock_scorecard"
+
+let to_json (c : t) =
+  let open Telemetry.Json in
+  let opt name f = function Some v -> [ (name, f v) ] | None -> [] in
+  let num_i n = Num (float_of_int n) in
+  let overflow_json (o : overflow) =
+    Obj
+      ([
+         ("virtual_bound", num_i o.virtual_bound);
+         ("resets", num_i o.resets);
+         ("storms", num_i o.storms);
+         ("storm_max_s", Num o.storm_max_s);
+       ]
+      @ opt "overflow_at_s" (fun s -> Num s) o.overflow_at_s
+      @ opt "overflow_ticket" num_i o.overflow_ticket)
+  in
+  Obj
+    ([
+       ("kind", Str kind);
+       ("algo", Str c.algo);
+       ("domains", num_i c.nprocs);
+       ("rate", Num c.rate);
+     ]
+    @ opt "ops" num_i c.ops
+    @ opt "duration_s" (fun s -> Num s) c.duration_s
+    @ [
+        ("seed", num_i c.seed);
+        ("sched_fp", Str c.sched_fp);
+        ("issued", num_i c.issued);
+        ("completed", num_i c.completed);
+        ("behind", num_i c.behind);
+        ("abandoned", num_i c.abandoned);
+        ("goodput", Num c.goodput);
+        ("p50_ns", num_i c.p50_ns);
+        ("p95_ns", num_i c.p95_ns);
+        ("p99_ns", num_i c.p99_ns);
+        ("p999_ns", num_i c.p999_ns);
+        ("max_ns", num_i c.max_ns);
+        ("max_stall_ns", num_i c.max_stall_ns);
+        ("inversions", num_i c.inversions);
+        ("jain", Num c.jain);
+        ("ring_dropped", num_i c.ring_dropped);
+        ("slo_pass", Bool c.slo_pass);
+        ("slo_reasons", Arr (List.map (fun r -> Str r) c.slo_reasons));
+      ]
+    @ opt "overflow" overflow_json c.overflow)
+
+let ( let* ) = Result.bind
+
+let of_json j =
+  let open Telemetry.Json in
+  let str name =
+    match member name j with
+    | Some (Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "scorecard: missing string %S" name)
+  in
+  let num_in obj name =
+    match member name obj with
+    | Some (Num x) -> Ok x
+    | _ -> Error (Printf.sprintf "scorecard: missing number %S" name)
+  in
+  let num = num_in j in
+  let int name = Result.map int_of_float (num name) in
+  let opt_int name =
+    match member name j with Some (Num x) -> Some (int_of_float x) | _ -> None
+  in
+  let opt_num name =
+    match member name j with Some (Num x) -> Some x | _ -> None
+  in
+  let* k = str "kind" in
+  if k <> kind then Error (Printf.sprintf "scorecard: kind %S, wanted %S" k kind)
+  else
+    let* algo = str "algo" in
+    let* nprocs = Result.map int_of_float (num "domains") in
+    let* rate = num "rate" in
+    let* seed = int "seed" in
+    let* sched_fp = str "sched_fp" in
+    let* issued = int "issued" in
+    let* completed = int "completed" in
+    let* behind = int "behind" in
+    let* abandoned = int "abandoned" in
+    let* goodput = num "goodput" in
+    let* p50_ns = int "p50_ns" in
+    let* p95_ns = int "p95_ns" in
+    let* p99_ns = int "p99_ns" in
+    let* p999_ns = int "p999_ns" in
+    let* max_ns = int "max_ns" in
+    let* max_stall_ns = int "max_stall_ns" in
+    let* inversions = int "inversions" in
+    let* jain = num "jain" in
+    let* ring_dropped = int "ring_dropped" in
+    let* slo_pass =
+      match member "slo_pass" j with
+      | Some (Bool b) -> Ok b
+      | _ -> Error "scorecard: missing bool \"slo_pass\""
+    in
+    let* slo_reasons =
+      match member "slo_reasons" j with
+      | Some (Arr rs) ->
+          let strs =
+            List.filter_map (function Str s -> Some s | _ -> None) rs
+          in
+          if List.length strs = List.length rs then Ok strs
+          else Error "scorecard: non-string slo reason"
+      | _ -> Error "scorecard: missing array \"slo_reasons\""
+    in
+    let* overflow =
+      match member "overflow" j with
+      | None | Some Null -> Ok None
+      | Some (Obj _ as o) ->
+          let* virtual_bound =
+            Result.map int_of_float (num_in o "virtual_bound")
+          in
+          let* resets = Result.map int_of_float (num_in o "resets") in
+          let* storms = Result.map int_of_float (num_in o "storms") in
+          let* storm_max_s = num_in o "storm_max_s" in
+          let o_int name =
+            match member name o with
+            | Some (Num x) -> Some (int_of_float x)
+            | _ -> None
+          in
+          let o_num name =
+            match member name o with Some (Num x) -> Some x | _ -> None
+          in
+          Ok
+            (Some
+               {
+                 virtual_bound;
+                 overflow_at_s = o_num "overflow_at_s";
+                 overflow_ticket = o_int "overflow_ticket";
+                 resets;
+                 storms;
+                 storm_max_s;
+               })
+      | Some _ -> Error "scorecard: \"overflow\" is not an object"
+    in
+    Ok
+      {
+        algo;
+        nprocs;
+        rate;
+        ops = opt_int "ops";
+        duration_s = opt_num "duration_s";
+        seed;
+        sched_fp;
+        issued;
+        completed;
+        behind;
+        abandoned;
+        goodput;
+        p50_ns;
+        p95_ns;
+        p99_ns;
+        p999_ns;
+        max_ns;
+        max_stall_ns;
+        inversions;
+        jain;
+        ring_dropped;
+        slo_pass;
+        slo_reasons;
+        overflow;
+      }
+
+(* The fields a double run with the same seed must reproduce exactly.
+   Everything clock-derived (latencies, goodput, behind, storms) is
+   excluded by construction. *)
+let deterministic_fields (c : t) =
+  [
+    ("algo", c.algo);
+    ("domains", string_of_int c.nprocs);
+    ("rate", Printf.sprintf "%g" c.rate);
+    ("ops", match c.ops with Some n -> string_of_int n | None -> "-");
+    ("seed", string_of_int c.seed);
+    ("sched_fp", c.sched_fp);
+    ("issued", string_of_int c.issued);
+  ]

@@ -1,0 +1,57 @@
+(** The per-run SLO scorecard: everything one open-loop run against one
+    lock produced, as a record and as a JSON row for
+    [BENCH_locks.json].
+
+    The codec round-trips ([of_json (to_json c)] restores every field),
+    so the bench smoke test can prove the persisted schema stays
+    parseable, and the regress gate reads prior rows without guessing. *)
+
+type overflow = {
+  virtual_bound : int;  (** the register width M being judged against *)
+  overflow_at_s : float option;
+      (** time-to-overflow: when [peak_ticket] crossed M, if it did *)
+  overflow_ticket : int option;
+  resets : int;  (** Bakery++ reset-counter advance over the run *)
+  storms : int;
+  storm_max_s : float;
+}
+
+type t = {
+  algo : string;
+  nprocs : int;
+  rate : float;  (** offered aggregate arrival rate, ops/s *)
+  ops : int option;  (** operation budget, when one was set *)
+  duration_s : float option;  (** wall-clock budget, when one was set *)
+  seed : int;
+  sched_fp : string;  (** {!Poisson.fingerprint} — determinism witness *)
+  issued : int;
+  completed : int;
+  behind : int;
+  abandoned : int;
+  goodput : float;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+  max_stall_ns : int;
+  inversions : int;
+  jain : float;
+  ring_dropped : int;
+  slo_pass : bool;
+  slo_reasons : string list;
+  overflow : overflow option;
+}
+
+val kind : string
+(** The row discriminator ["lock_scorecard"]; {!of_json} rejects rows
+    with any other [kind]. *)
+
+val to_json : t -> Telemetry.Json.t
+val of_json : Telemetry.Json.t -> (t, string) result
+
+val deterministic_fields : t -> (string * string) list
+(** The non-timing fields two runs with identical (seed, rate, budget,
+    domains) must agree on byte-for-byte: algo, domains, rate, ops,
+    seed, sched_fp, issued.  Rendered as strings so callers can compare
+    or print them without caring about types. *)

@@ -16,5 +16,5 @@ let spin n =
 let draw rng = function
   | Fixed n -> n
   | Uniform (a, b) ->
-      if b < a then invalid_arg "Workload.draw: empty range";
+      if b < a then invalid_arg "Workload.Shape.draw: empty range";
       a + Prng.Rng.int rng (b - a + 1)

@@ -1,6 +1,7 @@
-(** Critical-section workload shapes for the throughput experiments.
+(** Critical-section workload shapes, shared by the closed-loop
+    throughput experiments and the open-loop traffic generator.
 
-    A workload is "how long a process holds the lock" and "how long it
+    A shape is "how long a process holds the lock" and "how long it
     thinks between attempts", both expressed as iterations of an opaque
     arithmetic spin (so the optimizer cannot delete it). *)
 

@@ -1,0 +1,18 @@
+type target = { min_goodput_frac : float; max_p99_ns : int }
+
+let default = { min_goodput_frac = 0.5; max_p99_ns = 50_000_000 }
+
+type verdict = { pass : bool; reasons : string list }
+
+let check t ~offered ~goodput ~p99_ns =
+  let reasons = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> reasons := m :: !reasons) fmt in
+  if goodput < t.min_goodput_frac *. offered then
+    fail "goodput %.0f ops/s below %.0f%% of offered %.0f ops/s" goodput
+      (100.0 *. t.min_goodput_frac)
+      offered;
+  if p99_ns > t.max_p99_ns then
+    fail "p99 %.3f ms above target %.3f ms"
+      (float_of_int p99_ns /. 1e6)
+      (float_of_int t.max_p99_ns /. 1e6);
+  { pass = !reasons = []; reasons = List.rev !reasons }

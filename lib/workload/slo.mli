@@ -1,0 +1,25 @@
+(** Declared service-level objectives for a lock under open-loop load,
+    and the pass/fail verdict a scorecard carries.
+
+    Two dimensions cover the failure modes that matter for a lock
+    service: sustained goodput (can it keep up with the offered rate at
+    all?) and tail latency measured without coordinated omission (does
+    keeping up cost unbounded queueing for the unlucky?). *)
+
+type target = {
+  min_goodput_frac : float;
+      (** completed-ops rate must reach this fraction of the offered
+          arrival rate *)
+  max_p99_ns : int;  (** open-loop p99 acquire latency ceiling *)
+}
+
+val default : target
+(** Goodput ≥ 50% of offered, p99 ≤ 50 ms — deliberately loose so it
+    only trips on pathologies (livelock, reset storms, convoys), not on
+    machine noise. *)
+
+type verdict = { pass : bool; reasons : string list }
+(** [reasons] is empty exactly when [pass]; otherwise one
+    human-readable sentence per violated dimension. *)
+
+val check : target -> offered:float -> goodput:float -> p99_ns:int -> verdict

@@ -1,0 +1,68 @@
+(** Orchestration: one observed open-loop run per (algorithm, domains,
+    rate, budget) cell, scorecard persistence, and the goodput/p99
+    regress comparison the bench gate applies.
+
+    The lock zoo lives in [Harness.Registry], which depends on this
+    library — so cells take a [resolver] instead of naming the registry,
+    and the CLI/bench layers plug it in. *)
+
+type resolver = string -> nprocs:int -> Locks.Lock_intf.instance
+
+val run_cell :
+  resolver ->
+  ?shape:Shape.t ->
+  ?slo:Slo.target ->
+  ?virtual_bound:int ->
+  ?sample_interval_s:float ->
+  ?progress:Telemetry.Progress.t ->
+  algo:string ->
+  nprocs:int ->
+  rate:float ->
+  budget:Openloop.budget ->
+  seed:int ->
+  unit ->
+  Scorecard.t
+(** Resolve the lock, start the {!Observatory} (with [virtual_bound]
+    when overflow telemetry is wanted), drive {!Openloop.run}, stop the
+    sampler, judge the {!Slo} (default {!Slo.default}) and assemble the
+    {!Scorecard}.  [progress] attaches the live dashboard: one
+    rate-limited line per reporter interval carrying live op count,
+    peak ticket, resets and GC gauges. *)
+
+(** {1 BENCH_locks.json} — same merge discipline as the model-checker
+    datapoint file: read prior rows, append fresh ones, never clobber
+    parseable history. *)
+
+val load_rows : string -> (Telemetry.Json.t list, string) result
+(** [Ok []] when the file is absent; [Error reason] when it exists but
+    is not a JSON array (callers warn and continue — skip, not crash). *)
+
+val write_rows : string -> Telemetry.Json.t list -> unit
+val append_rows : string -> Telemetry.Json.t list -> unit
+
+(** {1 Regress gate} *)
+
+type gate = {
+  g_key : string;  (** algo/domains/rate cell identifier *)
+  g_metric : string;  (** ["goodput"] or ["p99_ns"] *)
+  g_fresh : float;
+  g_best : float;  (** best prior (max goodput / min p99); nan if none *)
+  g_ratio : float;
+      (** oriented so that < {!threshold} means regression, whichever
+          direction the metric improves in; nan when no prior *)
+  g_fail : bool;
+}
+
+val threshold : float
+(** 0.85 — the same >15% bar the model-checker states/sec gate uses. *)
+
+val key_of : algo:string -> nprocs:int -> rate:float -> string
+
+val regress : prior:Telemetry.Json.t list -> Scorecard.t list -> gate list
+(** Two gates per fresh card (goodput up, p99 down) against the best
+    prior row with the same algo/domains/rate key.  Prior rows missing
+    the key fields or carrying non-positive values are skipped, never
+    fatal.  The p99 gate arms only when the fresh p99 exceeds
+    {!Slo.default}'s ceiling — sub-ceiling tail movement is
+    bucket-resolution scheduler noise, already policed by the SLO
+    verdict itself. *)

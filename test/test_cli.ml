@@ -245,6 +245,56 @@ let explain_usage_errors () =
   in
   check int_t "both inputs is a usage error" 2 code
 
+(* ------------------------------------------------------- bench locks *)
+
+(* The acceptance contract: two `bench locks` runs with the same seed
+   append scorecards that agree on every non-timing field, into the
+   --out file, via the persisted-row codec. *)
+let bench_locks_deterministic () =
+  let out_file = Filename.temp_file "cli_locks" ".json" in
+  Sys.remove out_file;
+  let args =
+    [
+      "bench"; "locks"; "--seed"; "7"; "--ops"; "120"; "--rate"; "5k";
+      "--algo"; "ttas"; "--domains"; "2"; "--out"; out_file;
+    ]
+  in
+  let code1, out1, err1 = run_capture args in
+  if code1 <> 0 then Alcotest.fail ("first run failed: " ^ out1 ^ err1);
+  let code2, _, _ = run_capture args in
+  check int_t "second run exits 0" 0 code2;
+  check bool_t "scorecard table rendered" true
+    (contains ~affix:"goodput" out1 && contains ~affix:"ttas" out1);
+  let rows =
+    match Workload.Suite.load_rows out_file with
+    | Ok rows -> rows
+    | Error e -> Alcotest.fail ("persisted rows unreadable: " ^ e)
+  in
+  Sys.remove out_file;
+  check int_t "one appended row per run" 2 (List.length rows);
+  match List.map Workload.Scorecard.of_json rows with
+  | [ Ok a; Ok b ] ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "same seed, same deterministic fields"
+        (Workload.Scorecard.deterministic_fields a)
+        (Workload.Scorecard.deterministic_fields b)
+  | _ -> Alcotest.fail "persisted rows are not parseable scorecards"
+
+let bench_locks_usage_errors () =
+  let code, _, err = run_capture [ "bench"; "locks"; "--rate"; "5x" ] in
+  check int_t "malformed --rate exits 2" 2 code;
+  check bool_t "error names --rate" true (contains ~affix:"--rate" err);
+  let code, _, err =
+    run_capture [ "bench"; "locks"; "--duration"; "abc" ]
+  in
+  check int_t "malformed --duration exits 2" 2 code;
+  check bool_t "error names --duration" true
+    (contains ~affix:"--duration" err);
+  let code, _, err = run_capture [ "bench"; "locks"; "e11" ] in
+  check int_t "locks mixed with experiment ids exits 2" 2 code;
+  check bool_t "mixing error mentions locks" true (contains ~affix:"locks" err)
+
 let () =
   Alcotest.run "cli"
     [
@@ -267,6 +317,12 @@ let () =
           Alcotest.test_case "summary is deterministic" `Quick
             fuzz_deterministic;
           Alcotest.test_case "--replay on the corpus" `Quick fuzz_replay_corpus;
+        ] );
+      ( "bench-locks",
+        [
+          Alcotest.test_case "same-seed scorecards agree" `Quick
+            bench_locks_deterministic;
+          Alcotest.test_case "usage errors" `Quick bench_locks_usage_errors;
         ] );
       ( "explain",
         [

@@ -77,18 +77,18 @@ let table_render_and_csv () =
 
 let workload_draws () =
   let rng = Prng.Rng.create 1 in
-  check int_t "fixed" 7 (Harness.Workload.draw rng (Harness.Workload.Fixed 7));
+  check int_t "fixed" 7 (Workload.Shape.draw rng (Workload.Shape.Fixed 7));
   for _ = 1 to 100 do
-    let v = Harness.Workload.draw rng (Harness.Workload.Uniform (3, 9)) in
+    let v = Workload.Shape.draw rng (Workload.Shape.Uniform (3, 9)) in
     check bool_t "uniform in range" true (v >= 3 && v <= 9)
   done;
-  match Harness.Workload.draw rng (Harness.Workload.Uniform (9, 3)) with
+  match Workload.Shape.draw rng (Workload.Shape.Uniform (9, 3)) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty range rejected"
 
 let workload_spin_effectful () =
-  check bool_t "spin returns a value" true (Harness.Workload.spin 100 <> 0);
-  check int_t "spin 0 is identity-ish" 1 (Harness.Workload.spin 0)
+  check bool_t "spin returns a value" true (Workload.Shape.spin 100 <> 0);
+  check int_t "spin 0 is identity-ish" 1 (Workload.Shape.spin 0)
 
 (* ----------------------------------------------------------- throughput *)
 
@@ -190,12 +190,12 @@ let registry_families () =
 (* ---------------------------------------------------------- experiments *)
 
 let experiment_registry () =
-  check int_t "twelve experiments plus three ablations" 15
+  check int_t "thirteen experiments plus three ablations" 16
     (List.length Harness.Experiments.all);
   let expected =
     [
       "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "e12"; "a1"; "a2"; "a3";
+      "e12"; "e13"; "a1"; "a2"; "a3";
     ]
   in
   check (Alcotest.list Alcotest.string) "ids are ordered" expected
@@ -255,6 +255,6 @@ let () =
                    experiment_smoke id))
              [
                "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10";
-               "e12"; "a1"; "a2"; "a3";
+               "e12"; "e13"; "a1"; "a2"; "a3";
              ] );
     ]

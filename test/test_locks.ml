@@ -219,6 +219,64 @@ let instance_stats_surface () =
       check bool_t ("stats expose " ^ key) true (List.mem_assoc key stats))
     [ "acquires"; "resets"; "gate_spins"; "peak_ticket" ]
 
+(* One 30 ms stall inside a single acquire, with operations due every
+   0.2 ms.  Closed-loop timing charges the stall to the one unlucky op
+   (p95 over 100 ops stays microseconds); open-loop timing charges the
+   backlog to every op that was *due* during the stall, so the p95
+   inflates past the millisecond range — the coordinated-omission fix
+   in Locks.Latency made visible. *)
+let coordinated_omission () =
+  let stalling () : Locks.Lock_intf.instance =
+    let stalled = ref false in
+    {
+      instance_name = "stall";
+      acquire =
+        (fun _ ->
+          if not !stalled then begin
+            stalled := true;
+            ignore (Unix.select [] [] [] 0.03)
+          end);
+      release = (fun _ -> ());
+      space_words = 0;
+      stats = (fun () -> []);
+    }
+  in
+  let n = 100 in
+  let drive mk_mode =
+    let due = ref 0.0 in
+    let wrapped =
+      Locks.Latency.instrument ~mode:(mk_mode due) (stalling ())
+    in
+    let t0 = Telemetry.Clock.now_s () in
+    for i = 0 to n - 1 do
+      due := t0 +. (0.0002 *. float_of_int i);
+      wrapped.acquire 0;
+      wrapped.release 0
+    done;
+    let stats = wrapped.stats () in
+    fun key ->
+      match List.assoc_opt key stats with
+      | Some v -> v
+      | None -> Alcotest.fail ("missing stat " ^ key)
+  in
+  let closed = drive (fun _ -> Locks.Latency.Closed_loop) in
+  let opened =
+    drive (fun due -> Locks.Latency.Open_loop (fun _ -> !due))
+  in
+  (* Both modes see the stall itself as the max. *)
+  check bool_t "closed-loop max sees the stall" true
+    (closed "acq_max_ns" >= 20_000_000);
+  (* Closed-loop: 99 of 100 samples are sub-millisecond, so p95 is
+     tiny — the backlog the stall caused is never charged to anyone. *)
+  check bool_t "closed-loop p95 blind to the backlog" true
+    (closed "acq_p95_ns" < 1_000_000);
+  (* Open-loop: every op due during the 30 ms stall carries its
+     queueing delay, so the p95 inflates by orders of magnitude. *)
+  check bool_t "open-loop p95 charges the backlog" true
+    (opened "acq_p95_ns" >= 5_000_000);
+  check bool_t "open-loop p99 above closed-loop p99" true
+    (opened "acq_p99_ns" >= closed "acq_p99_ns")
+
 let () =
   Alcotest.run "locks"
     [
@@ -246,5 +304,7 @@ let () =
           Alcotest.test_case "fast mutex fast path" `Quick fast_mutex_fast_path;
           Alcotest.test_case "queue lock handoff" `Quick queue_locks_handoff;
           Alcotest.test_case "instance stats" `Quick instance_stats_surface;
+          Alcotest.test_case "coordinated omission" `Quick
+            coordinated_omission;
         ] );
     ]

@@ -279,6 +279,72 @@ let argscan_error_messages () =
   check bool_t "default docv" true (contains ~needle:"missing VALUE" e);
   check bool_t "default docv names flag" true (contains ~needle:"--out: " e)
 
+(* unit-suffixed values: the duration/count grammar `bench locks` uses
+   for --rate and --duration *)
+let argscan_suffixed () =
+  let ok raw expect =
+    match Harness.Argscan.parse_suffixed ~flag:"--rate" raw with
+    | Ok v ->
+        check (Alcotest.float 1e-9) (raw ^ " parses") expect v
+    | Error e -> Alcotest.fail (raw ^ " rejected: " ^ e)
+  in
+  ok "30" 30.0;
+  ok "30s" 30.0;
+  ok "250ms" 0.25;
+  ok "40us" 4e-5;
+  ok "50k" 50_000.0;
+  ok "50K" 50_000.0;
+  ok "2M" 2e6;
+  ok "0.5G" 5e8;
+  ok "1e6" 1e6;
+  ok "1.5e3ms" 1.5;
+  let err what raw fragment =
+    match Harness.Argscan.parse_suffixed ~docv:"RATE" ~flag:"--rate" raw with
+    | Ok v -> Alcotest.fail (Printf.sprintf "%s accepted as %g" what v)
+    | Error e ->
+        check bool_t (what ^ ": names the flag") true
+          (contains ~needle:"--rate" e);
+        check bool_t
+          (what ^ ": explains itself (" ^ e ^ ")")
+          true
+          (contains ~needle:fragment e)
+  in
+  err "bare suffix" "k" "expected a number";
+  err "empty" "" "expected a number";
+  err "unknown suffix" "30x" "unknown";
+  (* lowercase m alone would be ambiguous (milli vs mega) — rejected *)
+  err "ambiguous m" "30m" "unknown";
+  err "garbage mantissa" "1.2.3s" "cannot read";
+  err "negative" "-5s" "negative"
+
+(* -------------------------------------------------------------- gc *)
+
+let gc_gauges () =
+  let fields = T.Metrics.gc_fields () in
+  List.iter
+    (fun key ->
+      match List.assoc_opt key fields with
+      | Some (T.Json.Num v) ->
+          check bool_t (key ^ " is non-negative") true (v >= 0.0)
+      | Some _ -> Alcotest.fail (key ^ " is not a number")
+      | None -> Alcotest.fail ("missing gc field " ^ key))
+    [ "gc_minor"; "gc_major"; "gc_heap_mb" ];
+  let m = T.Metrics.create () in
+  T.Metrics.observe_gc m;
+  let g name = T.Metrics.gauge_value (T.Metrics.gauge m name) in
+  check bool_t "minor collections gauge set" true
+    (g "gc.minor_collections" >= 0.0);
+  check bool_t "major collections gauge set" true
+    (g "gc.major_collections" >= 0.0);
+  check bool_t "heap gauge reads megabytes" true (g "gc.heap_mb" > 0.0);
+  (* forcing a minor collection moves the counter, proving the gauges
+     track the live GC rather than a creation-time snapshot *)
+  let before = g "gc.minor_collections" in
+  Gc.minor ();
+  T.Metrics.observe_gc m;
+  check bool_t "refresh observes new collections" true
+    (g "gc.minor_collections" > before)
+
 (* ----------------------------------------------------- latency wrapper *)
 
 let latency_wrapper () =
@@ -384,7 +450,9 @@ let () =
           Alcotest.test_case "value flags" `Quick argscan_value;
           Alcotest.test_case "errors name the flag" `Quick
             argscan_error_messages;
+          Alcotest.test_case "unit-suffixed values" `Quick argscan_suffixed;
         ] );
+      ("gc", [ Alcotest.test_case "gauges and fields" `Quick gc_gauges ]);
       ( "locks",
         [ Alcotest.test_case "latency wrapper" `Quick latency_wrapper ] );
       ( "differential",

@@ -1,0 +1,445 @@
+(* Workload subsystem tests: seeded Poisson schedules (determinism,
+   empirical mean, exponential tail), fairness queries over synthetic
+   event logs, the pure observatory condensation step, scorecard JSON
+   round-trips, SLO verdicts, the BENCH_locks.json persistence helpers,
+   the regress gate, and one real open-loop run proving the Ops-budget
+   determinism contract end to end. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+let float_t = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------ poisson *)
+
+let poisson_determinism () =
+  let mk seed = Workload.Poisson.schedule (Prng.Rng.create seed) ~rate:1000.0 ~n:256 in
+  check bool_t "same seed, byte-identical schedule" true (mk 7 = mk 7);
+  check string_t "same seed, same fingerprint"
+    (Workload.Poisson.fingerprint [| mk 7 |])
+    (Workload.Poisson.fingerprint [| mk 7 |]);
+  check bool_t "different seed, different fingerprint" true
+    (Workload.Poisson.fingerprint [| mk 7 |]
+    <> Workload.Poisson.fingerprint [| mk 8 |])
+
+let poisson_mean () =
+  (* Mean of 10k Exp(rate) draws: std of the sample mean is 1% of the
+     true mean, so a 6% band is a ~6-sigma test — seed-stable. *)
+  let rng = Prng.Rng.create 42 in
+  let rate = 1000.0 in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Workload.Poisson.interarrival rng ~rate
+  done;
+  let mean = !sum /. float_of_int n in
+  let expect = 1.0 /. rate in
+  check bool_t
+    (Printf.sprintf "empirical mean %.6f within 6%% of %.6f" mean expect)
+    true
+    (Float.abs (mean -. expect) /. expect < 0.06)
+
+let poisson_invalid () =
+  (match Workload.Poisson.interarrival (Prng.Rng.create 1) ~rate:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate 0 must raise");
+  match Workload.Poisson.interarrival (Prng.Rng.create 1) ~rate:(-2.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative rate must raise"
+
+(* For Exp(rate), P(X > 1/rate) = 1/e ~ 0.368.  With 4000 draws the
+   std of the empirical fraction is ~0.008, so [0.31, 0.43] is a
+   ~7-sigma band across whatever seeds QCheck picks. *)
+let prop_exponential_tail =
+  QCheck.Test.make ~name:"interarrival tail matches exp(-rate t)" ~count:20
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let rate = 500.0 in
+      let n = 4000 in
+      let above = ref 0 in
+      for _ = 1 to n do
+        if Workload.Poisson.interarrival rng ~rate > 1.0 /. rate then
+          incr above
+      done;
+      let frac = float_of_int !above /. float_of_int n in
+      frac > 0.31 && frac < 0.43)
+
+let poisson_schedules () =
+  let rng = Prng.Rng.create 5 in
+  let s = Workload.Poisson.schedule rng ~rate:2000.0 ~n:100 in
+  check int_t "schedule length" 100 (Array.length s);
+  for i = 1 to 99 do
+    if s.(i) <= s.(i - 1) then Alcotest.fail "schedule not strictly increasing"
+  done;
+  let h = Workload.Poisson.schedule_until (Prng.Rng.create 5) ~rate:2000.0 ~horizon_s:0.05 in
+  Array.iter
+    (fun t ->
+      if t >= 0.05 then Alcotest.fail "arrival at or past the horizon")
+    h;
+  check bool_t "horizon of 0.05s at 2k/s yields some arrivals" true
+    (Array.length h > 0)
+
+let fingerprint_sensitivity () =
+  let s = Workload.Poisson.schedule (Prng.Rng.create 9) ~rate:100.0 ~n:32 in
+  let fp = Workload.Poisson.fingerprint [| s |] in
+  let s' = Array.copy s in
+  s'.(13) <- s'.(13) +. 1e-12;
+  check bool_t "one-ulp-ish perturbation changes the fingerprint" true
+    (fp <> Workload.Poisson.fingerprint [| s' |]);
+  check bool_t "per-domain split changes the fingerprint" true
+    (fp
+    <> Workload.Poisson.fingerprint
+         [| Array.sub s 0 16; Array.sub s 16 16 |])
+
+(* ----------------------------------------------------------- fairness *)
+
+let entry t pid op = { Locks.Ring.e_t_ns = t; e_pid = pid; e_op = op }
+
+let fairness_inversions () =
+  (* pid 0 enters first but pid 1 overtakes it: one inversion. *)
+  let log =
+    [
+      entry 0 0 Locks.Ring.Acquire_start;
+      entry 10 1 Locks.Ring.Acquire_start;
+      entry 20 1 Locks.Ring.Acquired;
+      entry 25 1 Locks.Ring.Released;
+      entry 30 0 Locks.Ring.Acquired;
+      entry 35 0 Locks.Ring.Released;
+    ]
+  in
+  check int_t "one overtake, one inversion" 1 (Workload.Fairness.inversions log);
+  let fcfs =
+    [
+      entry 0 0 Locks.Ring.Acquire_start;
+      entry 5 0 Locks.Ring.Acquired;
+      entry 6 1 Locks.Ring.Acquire_start;
+      entry 8 0 Locks.Ring.Released;
+      entry 9 1 Locks.Ring.Acquired;
+      entry 12 1 Locks.Ring.Released;
+    ]
+  in
+  check int_t "FCFS order has zero inversions" 0
+    (Workload.Fairness.inversions fcfs);
+  (* An Acquired whose Acquire_start was lost to ring overflow is
+     skipped, not guessed: it neither counts nor is counted. *)
+  let lossy =
+    [
+      entry 0 0 Locks.Ring.Acquire_start;
+      entry 20 1 Locks.Ring.Acquired;
+      entry 30 0 Locks.Ring.Acquired;
+    ]
+  in
+  check int_t "orphan acquired is skipped" 0
+    (Workload.Fairness.inversions lossy)
+
+let fairness_stall_and_jain () =
+  let log =
+    [
+      entry 100 0 Locks.Ring.Acquired;
+      entry 200 1 Locks.Ring.Acquired;
+      entry 500 0 Locks.Ring.Acquired;
+    ]
+  in
+  check int_t "max stall is the widest acquired gap" 300
+    (Workload.Fairness.max_stall_ns log);
+  check int_t "no gap without two acquires" 0
+    (Workload.Fairness.max_stall_ns [ entry 7 0 Locks.Ring.Acquired ]);
+  check float_t "even split is perfectly fair" 1.0
+    (Workload.Fairness.jain [| 5; 5; 5; 5 |]);
+  check float_t "monopoly tends to 1/n" 0.25
+    (Workload.Fairness.jain [| 10; 0; 0; 0 |]);
+  check float_t "empty input reads fair" 1.0 (Workload.Fairness.jain [||]);
+  check float_t "all-zero input reads fair" 1.0
+    (Workload.Fairness.jain [| 0; 0 |])
+
+(* ---------------------------------------------------------------- slo *)
+
+let slo_check () =
+  let t = { Workload.Slo.min_goodput_frac = 0.5; max_p99_ns = 1_000_000 } in
+  let ok = Workload.Slo.check t ~offered:1000.0 ~goodput:900.0 ~p99_ns:500_000 in
+  check bool_t "healthy run passes" true ok.Workload.Slo.pass;
+  check int_t "no reasons when passing" 0 (List.length ok.Workload.Slo.reasons);
+  let slow = Workload.Slo.check t ~offered:1000.0 ~goodput:300.0 ~p99_ns:500_000 in
+  check bool_t "goodput collapse fails" false slow.Workload.Slo.pass;
+  check int_t "one reason per violated dimension" 1
+    (List.length slow.Workload.Slo.reasons);
+  let both = Workload.Slo.check t ~offered:1000.0 ~goodput:300.0 ~p99_ns:2_000_000 in
+  check int_t "both dimensions reported" 2
+    (List.length both.Workload.Slo.reasons)
+
+(* -------------------------------------------------------- observatory *)
+
+let obs_sample at_s stats = { Workload.Observatory.at_s; stats }
+
+let observatory_crossing () =
+  let samples =
+    [
+      obs_sample 0.001 [ ("peak_ticket", 3) ];
+      obs_sample 0.002 [ ("peak_ticket", 8) ];
+      obs_sample 0.003 [ ("peak_ticket", 9) ];
+    ]
+  in
+  let r = Workload.Observatory.analyse ~virtual_bound:(Some 8) samples in
+  (* Strictly greater than M: a width-M register holds values up to M,
+     and Bakery++ tickets legitimately touch M without overflowing. *)
+  check (Alcotest.option float_t) "touching M is not a crossing" (Some 0.003)
+    r.Workload.Observatory.overflow_at_s;
+  check (Alcotest.option int_t) "crossing value recorded" (Some 9)
+    r.Workload.Observatory.overflow_ticket;
+  let quiet = Workload.Observatory.analyse ~virtual_bound:(Some 16) samples in
+  check (Alcotest.option float_t) "no crossing under a wide bound" None
+    quiet.Workload.Observatory.overflow_at_s;
+  let unbounded = Workload.Observatory.analyse ~virtual_bound:None samples in
+  check (Alcotest.option float_t) "no bound, no crossing" None
+    unbounded.Workload.Observatory.overflow_at_s
+
+let observatory_storms () =
+  let s t r = obs_sample t [ ("resets", r) ] in
+  (* Two storms: resets advance over samples 2-3, go quiet, advance
+     again at sample 5.  Each storm is charged from the previous quiet
+     sample (one-interval resolution). *)
+  let samples = [ s 0.001 0; s 0.002 0; s 0.003 1; s 0.004 2; s 0.005 2; s 0.006 3 ] in
+  let r = Workload.Observatory.analyse ~virtual_bound:None samples in
+  check int_t "two maximal reset runs" 2 r.Workload.Observatory.storms;
+  check int_t "total reset advance" 3 r.Workload.Observatory.resets;
+  check float_t "worst storm spans its run plus one interval" 0.002
+    r.Workload.Observatory.storm_max_s;
+  let empty = Workload.Observatory.analyse ~virtual_bound:(Some 4) [] in
+  check int_t "empty window, zero storms" 0 empty.Workload.Observatory.storms;
+  check int_t "empty window, zero samples" 0 empty.Workload.Observatory.samples
+
+(* ---------------------------------------------------------- scorecard *)
+
+let card () : Workload.Scorecard.t =
+  {
+    algo = "bakery_pp";
+    nprocs = 2;
+    rate = 2000.0;
+    ops = Some 400;
+    duration_s = None;
+    seed = 11;
+    sched_fp = "6a90805bf486149c";
+    issued = 400;
+    completed = 400;
+    behind = 12;
+    abandoned = 0;
+    goodput = 1987.3;
+    p50_ns = 1_000;
+    p95_ns = 2_000;
+    p99_ns = 5_000;
+    p999_ns = 10_000;
+    max_ns = 20_000;
+    max_stall_ns = 500_000;
+    inversions = 0;
+    jain = 0.998;
+    ring_dropped = 0;
+    slo_pass = true;
+    slo_reasons = [];
+    overflow =
+      Some
+        {
+          virtual_bound = 32;
+          overflow_at_s = Some 0.004;
+          overflow_ticket = Some 33;
+          resets = 2;
+          storms = 1;
+          storm_max_s = 0.001;
+        };
+  }
+
+let scorecard_roundtrip () =
+  let c = card () in
+  (match Workload.Scorecard.of_json (Workload.Scorecard.to_json c) with
+  | Error e -> Alcotest.fail ("round trip failed: " ^ e)
+  | Ok back -> check bool_t "every field restored" true (back = c));
+  let no_obs = { c with overflow = None; slo_pass = false; slo_reasons = [ "x" ] } in
+  match Workload.Scorecard.of_json (Workload.Scorecard.to_json no_obs) with
+  | Error e -> Alcotest.fail ("round trip without overflow failed: " ^ e)
+  | Ok back -> check bool_t "optional overflow restored as absent" true
+      (back = no_obs)
+
+let scorecard_rejects () =
+  let expect_err what j =
+    match Workload.Scorecard.of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ " must be rejected")
+  in
+  expect_err "non-object" (Telemetry.Json.Num 3.0);
+  expect_err "wrong kind"
+    (Telemetry.Json.Obj [ ("kind", Telemetry.Json.Str "datapoint") ]);
+  (match Workload.Scorecard.to_json (card ()) with
+  | Telemetry.Json.Obj fields ->
+      expect_err "missing field"
+        (Telemetry.Json.Obj (List.remove_assoc "sched_fp" fields))
+  | _ -> Alcotest.fail "to_json must produce an object")
+
+let scorecard_deterministic_fields () =
+  let c = card () in
+  let noisy = { c with goodput = 3.0; p99_ns = 1; behind = 99; jain = 0.1 } in
+  check bool_t "timing noise invisible to the determinism witness" true
+    (Workload.Scorecard.deterministic_fields c
+    = Workload.Scorecard.deterministic_fields noisy);
+  let other = { c with seed = 12 } in
+  check bool_t "seed change visible" true
+    (Workload.Scorecard.deterministic_fields c
+    <> Workload.Scorecard.deterministic_fields other)
+
+(* -------------------------------------------------- persistence, gate *)
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "test_workload_%s_%d.json" name (Unix.getpid ()))
+
+let rows_persistence () =
+  let path = tmp "rows" in
+  if Sys.file_exists path then Sys.remove path;
+  (match Workload.Suite.load_rows path with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "absent file must read as empty"
+  | Error e -> Alcotest.fail ("absent file must not error: " ^ e));
+  let j = Workload.Scorecard.to_json (card ()) in
+  Workload.Suite.append_rows path [ j ];
+  Workload.Suite.append_rows path [ j ];
+  (match Workload.Suite.load_rows path with
+  | Ok rows -> check int_t "append merges, never clobbers" 2 (List.length rows)
+  | Error e -> Alcotest.fail ("reload failed: " ^ e));
+  let oc = open_out path in
+  output_string oc "not json";
+  close_out oc;
+  (match Workload.Suite.load_rows path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed file must surface an Error");
+  Sys.remove path
+
+let regress_gate () =
+  check string_t "cell key format" "ttas/d2/r5000"
+    (Workload.Suite.key_of ~algo:"ttas" ~nprocs:2 ~rate:5000.0);
+  let fresh = { (card ()) with goodput = 1000.0; p99_ns = 10_000 } in
+  let prior g p99 =
+    Workload.Scorecard.to_json { (card ()) with goodput = g; p99_ns = p99 }
+  in
+  (* Healthy: fresh goodput within 15% of best prior, p99 not blown. *)
+  let gates =
+    Workload.Suite.regress ~prior:[ prior 1100.0 9_000; prior 900.0 50_000 ]
+      [ fresh ]
+  in
+  check int_t "two gates per card" 2 (List.length gates);
+  List.iter
+    (fun (g : Workload.Suite.gate) ->
+      if g.g_fail then
+        Alcotest.fail (g.g_key ^ "/" ^ g.g_metric ^ " failed unexpectedly"))
+    gates;
+  (* Collapse: goodput fell to half of the best prior. *)
+  let bad = Workload.Suite.regress ~prior:[ prior 2200.0 9_000 ] [ fresh ] in
+  check bool_t "goodput collapse trips the gate" true
+    (List.exists
+       (fun (g : Workload.Suite.gate) -> g.g_metric = "goodput" && g.g_fail)
+       bad);
+  (* p99 blowup past the SLO ceiling: best prior far below fresh. *)
+  let pathological = { fresh with p99_ns = 200_000_000 } in
+  let slow =
+    Workload.Suite.regress ~prior:[ prior 1000.0 1_000 ] [ pathological ]
+  in
+  check bool_t "p99 blowup trips the gate" true
+    (List.exists
+       (fun (g : Workload.Suite.gate) -> g.g_metric = "p99_ns" && g.g_fail)
+       slow);
+  (* Below the ceiling the p99 gate stays disarmed: sub-SLO tail
+     movement is bucket-resolution noise, not a regression. *)
+  let noisy = { fresh with p99_ns = 2_000_000 } in
+  let calm = Workload.Suite.regress ~prior:[ prior 1000.0 200_000 ] [ noisy ] in
+  check bool_t "sub-ceiling p99 noise never trips" false
+    (List.exists
+       (fun (g : Workload.Suite.gate) -> g.g_metric = "p99_ns" && g.g_fail)
+       calm);
+  (* No prior with this key: nan ratio, never a failure. *)
+  let other = { fresh with algo = "tas" } in
+  let nop = Workload.Suite.regress ~prior:[ prior 9999.0 1 ] [ other ] in
+  List.iter
+    (fun (g : Workload.Suite.gate) ->
+      check bool_t "no prior, no verdict" false g.g_fail;
+      check bool_t "no prior, nan ratio" true (Float.is_nan g.g_ratio))
+    nop
+
+(* ----------------------------------------------------- open-loop runs *)
+
+let openloop_ops_determinism () =
+  let fam = Harness.Registry.find_family "ttas" in
+  let go () =
+    let inst = fam.make ~nprocs:2 ~bound:64 in
+    Workload.Openloop.run ~seed:3 ~rate:5000.0
+      ~budget:(Workload.Openloop.Ops 200) inst ~nprocs:2
+  in
+  let a = go () in
+  let b = go () in
+  check int_t "ops budget issued exactly" 200 a.Workload.Openloop.issued;
+  check int_t "every issued op completed" 200 a.Workload.Openloop.completed;
+  check int_t "nothing abandoned under Ops" 0 a.Workload.Openloop.abandoned;
+  check string_t "same seed, same schedule fingerprint"
+    a.Workload.Openloop.sched_fp b.Workload.Openloop.sched_fp;
+  check int_t "rerun issues identically" a.Workload.Openloop.issued
+    b.Workload.Openloop.issued;
+  check bool_t "per-domain completions sum to the budget" true
+    (Array.fold_left ( + ) 0 a.Workload.Openloop.per_domain = 200)
+
+let run_cell_scorecard () =
+  let resolve = Harness.Experiments.lock_resolver ~bound:32 () in
+  let c =
+    Workload.Suite.run_cell resolve ~virtual_bound:32 ~algo:"bakery_pp"
+      ~nprocs:2 ~rate:4000.0 ~budget:(Workload.Openloop.Ops 200) ~seed:6 ()
+  in
+  check string_t "algo recorded" "bakery_pp" c.Workload.Scorecard.algo;
+  check int_t "completed the budget" 200 c.Workload.Scorecard.completed;
+  check bool_t "overflow telemetry attached" true
+    (c.Workload.Scorecard.overflow <> None);
+  check bool_t "percentiles ordered" true
+    (c.Workload.Scorecard.p50_ns <= c.Workload.Scorecard.p99_ns
+    && c.Workload.Scorecard.p99_ns <= c.Workload.Scorecard.max_ns)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "poisson",
+        [
+          Alcotest.test_case "seeded determinism" `Quick poisson_determinism;
+          Alcotest.test_case "empirical mean" `Quick poisson_mean;
+          Alcotest.test_case "invalid rates raise" `Quick poisson_invalid;
+          Alcotest.test_case "schedules increase, horizons hold" `Quick
+            poisson_schedules;
+          Alcotest.test_case "fingerprint sensitivity" `Quick
+            fingerprint_sensitivity;
+          QCheck_alcotest.to_alcotest prop_exponential_tail;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "inversions" `Quick fairness_inversions;
+          Alcotest.test_case "stall and jain" `Quick fairness_stall_and_jain;
+        ] );
+      ("slo", [ Alcotest.test_case "verdicts" `Quick slo_check ]);
+      ( "observatory",
+        [
+          Alcotest.test_case "virtual-bound crossing is strict" `Quick
+            observatory_crossing;
+          Alcotest.test_case "reset storms" `Quick observatory_storms;
+        ] );
+      ( "scorecard",
+        [
+          Alcotest.test_case "json round trip" `Quick scorecard_roundtrip;
+          Alcotest.test_case "malformed rows rejected" `Quick scorecard_rejects;
+          Alcotest.test_case "determinism witness fields" `Quick
+            scorecard_deterministic_fields;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "row persistence" `Quick rows_persistence;
+          Alcotest.test_case "regress gate" `Quick regress_gate;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "ops budget determinism" `Quick
+            openloop_ops_determinism;
+          Alcotest.test_case "run_cell scorecard" `Quick run_cell_scorecard;
+        ] );
+    ]
