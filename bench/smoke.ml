@@ -71,6 +71,48 @@ let () =
       "bench-smoke: pool4 states/sec collapsed to %.2fx of pool1 (gate %.2f) \
        — parallel engine regression"
       ratio min_ratio;
+  (* ---------------------------------------------- weak registers (~1s) *)
+  (* One exhaustive Bakery++ run over safe registers: the weak engine
+     must still pass mutex & no-overflow, the compiled and interpreted
+     successor engines must agree on the two-phase state space, and an
+     explicitly-atomic system must stay bit-identical to the default
+     build — the three regsem invariants @ci relies on. *)
+  let weak =
+    Modelcheck.System.make ~register_model:Regsem.Model.Safe prog ~nprocs:2
+      ~bound:3
+  in
+  let wr = Modelcheck.Explore.run weak in
+  let wi = Modelcheck.Explore.run ~interpreted:true weak in
+  Printf.printf "bench-smoke safe   distinct=%d generated=%d depth=%d %.4fs\n"
+    wr.stats.distinct wr.stats.generated wr.stats.depth wr.stats.runtime;
+  if wr.outcome <> Modelcheck.Explore.Pass then
+    fail "bench-smoke: bakery_pp n2 m3 did not Pass over safe registers";
+  if
+    wi.outcome <> wr.outcome
+    || wi.stats.distinct <> wr.stats.distinct
+    || wi.stats.generated <> wr.stats.generated
+    || wi.stats.depth <> wr.stats.depth
+  then
+    fail
+      "bench-smoke: compiled and interpreted engines disagree over safe \
+       registers (distinct %d vs %d, generated %d vs %d, depth %d vs %d)"
+      wr.stats.distinct wi.stats.distinct wr.stats.generated
+      wi.stats.generated wr.stats.depth wi.stats.depth;
+  let atomic_sys =
+    Modelcheck.System.make ~register_model:Regsem.Model.Atomic prog ~nprocs:3
+      ~bound:2
+  in
+  let ar = Modelcheck.Explore.run atomic_sys in
+  if
+    ar.outcome <> seq.outcome
+    || ar.stats.distinct <> seq.stats.distinct
+    || ar.stats.generated <> seq.stats.generated
+    || ar.stats.depth <> seq.stats.depth
+  then
+    fail
+      "bench-smoke: an explicitly-atomic system diverged from the default \
+       build (distinct %d vs %d)"
+      ar.stats.distinct seq.stats.distinct;
   (* ------------------------------------------------- locks smoke (~2s) *)
   (* One tiny open-loop cell against Bakery++: the scorecard JSON must
      round-trip through the persisted-row codec with the SLO verdict

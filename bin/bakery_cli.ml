@@ -33,6 +33,42 @@ let bound_arg =
   let doc = "Register capacity (the paper's M)." in
   Arg.(value & opt int 3 & info [ "m"; "bound" ] ~docv:"M" ~doc)
 
+(* Every --register-model flag is a raw string fed through the harness
+   enum parser in the term, so bad spellings exit 2 with the same
+   message shape as the other Argscan-backed flags (--rate etc.). *)
+let parse_register_model raw =
+  match
+    Harness.Argscan.parse_enum ~docv:"MODEL" ~flag:"--register-model"
+      ~values:
+        [
+          ("atomic", Regsem.Model.Atomic);
+          ("regular", Regsem.Model.Regular);
+          ("safe", Regsem.Model.Safe);
+        ]
+      raw
+  with
+  | Ok m -> m
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+
+let register_model_flag ~default ~doc =
+  Term.(
+    const parse_register_model
+    $ Arg.(
+        value
+        & opt string (Regsem.Model.to_string default)
+        & info [ "register-model" ] ~docv:"MODEL" ~doc))
+
+let register_model_arg =
+  register_model_flag ~default:Regsem.Model.Atomic
+    ~doc:
+      "Register semantics: $(b,atomic) (reads and writes are indivisible — \
+       today's default), $(b,regular) (a read overlapping a write returns \
+       the old or the new value), or $(b,safe) (it may return any value in \
+       the register's range).  Weak models two-phase the writes and branch \
+       every overlapped read over its candidate values."
+
 (* -------------------------------------------------- telemetry options *)
 
 let progress_arg =
@@ -226,10 +262,11 @@ let check_cmd =
     in
     Arg.(value & opt (some string) None & info [ "dot-out" ] ~docv:"FILE" ~doc)
   in
-  let run model nprocs bound cap max_states with_overflow coverage parallel
-      fp_only chrome_out dot_out progress metrics_out trace_out =
+  let run model nprocs bound register_model cap max_states with_overflow
+      coverage parallel fp_only chrome_out dot_out progress metrics_out
+      trace_out =
     let p = find_model model in
-    let sys = Modelcheck.System.make p ~nprocs ~bound in
+    let sys = Modelcheck.System.make ~register_model p ~nprocs ~bound in
     let invariants =
       Modelcheck.Invariant.mutex
       :: (if with_overflow then [ Modelcheck.Invariant.no_overflow ] else [])
@@ -292,10 +329,10 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Model-check a model for mutual exclusion (and overflow-freedom)")
     Term.(
-      const run $ model_arg $ nprocs_arg $ bound_arg $ cap_arg $ max_states_arg
-      $ no_overflow_arg $ coverage_arg $ parallel_arg $ fp_only_arg
-      $ chrome_out_arg $ dot_out_arg $ progress_arg $ metrics_out_arg
-      $ trace_out_arg)
+      const run $ model_arg $ nprocs_arg $ bound_arg $ register_model_arg
+      $ cap_arg $ max_states_arg $ no_overflow_arg $ coverage_arg
+      $ parallel_arg $ fp_only_arg $ chrome_out_arg $ dot_out_arg
+      $ progress_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ---------------------------------------------------------------- sim *)
 
@@ -321,17 +358,26 @@ let sim_cmd =
   in
   let flicker_arg =
     let doc =
-      "Safe-register flicker probability: reads of cells being written \
-       return arbitrary in-range values (0 disables)."
+      "Weak-register flicker probability: reads of cells being written \
+       return perturbed values drawn from $(b,--register-model)'s \
+       candidate set (0 disables)."
     in
     Arg.(value & opt float 0.0 & info [ "flicker" ] ~docv:"P" ~doc)
+  in
+  let flicker_model_arg =
+    register_model_flag ~default:Regsem.Model.Safe
+      ~doc:
+        "Value domain of flickered reads: $(b,safe) (any value in the \
+         variable's range — the default, matching the paper's read model), \
+         $(b,regular) (the value the overlapping write is about to store), \
+         or $(b,atomic) (no perturbation, making $(b,--flicker) inert)."
   in
   let wrap_arg =
     let doc = "Wrap too-large stores (real-register behaviour) instead of just counting them." in
     Arg.(value & flag & info [ "wrap" ] ~doc)
   in
-  let run model nprocs bound steps seed sched crash flicker wrap chrome_out
-      progress metrics_out trace_out =
+  let run model nprocs bound steps seed sched crash flicker flicker_model wrap
+      chrome_out progress metrics_out trace_out =
     let p = find_model model in
     let tl = telemetry_setup ~name:"sim" progress metrics_out trace_out in
     let strategy =
@@ -363,7 +409,12 @@ let sim_cmd =
            else None);
         flicker =
           (if flicker > 0.0 then
-             Some { Schedsim.Runner.flicker_prob = flicker; max_value = bound }
+             Some
+               {
+                 Schedsim.Runner.flicker_prob = flicker;
+                 flicker_model;
+                 flicker_slack = 0;
+               }
            else None);
         progress = tl.tl_progress;
         metrics = tl.tl_metrics;
@@ -401,8 +452,8 @@ let sim_cmd =
        ~doc:"Run a randomized simulation with crashes and register anomalies")
     Term.(
       const run $ model_arg $ nprocs_arg $ bound_arg $ steps_arg $ seed_arg
-      $ sched_arg $ crash_arg $ flicker_arg $ wrap_arg $ chrome_out_arg
-      $ progress_arg $ metrics_out_arg $ trace_out_arg)
+      $ sched_arg $ crash_arg $ flicker_arg $ flicker_model_arg $ wrap_arg
+      $ chrome_out_arg $ progress_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------ explain *)
 
@@ -447,8 +498,8 @@ let explain_cmd =
     in
     Arg.(value & opt (some string) None & info [ "dot-out" ] ~docv:"FILE" ~doc)
   in
-  let run model repro nprocs bound max_states max_steps chrome_out trace_out
-      dot_out =
+  let run model repro nprocs bound register_model max_states max_steps
+      chrome_out trace_out dot_out =
     let finish tr =
       print_string (Trace.Explain.render ~max_steps tr);
       Option.iter (fun path -> write_chrome path tr) chrome_out;
@@ -460,7 +511,9 @@ let explain_cmd =
         trace_out
     in
     let explain_check program ~model ~nprocs ~bound ~max_states =
-      let sys = Modelcheck.System.make program ~nprocs ~bound in
+      let sys =
+        Modelcheck.System.make ~register_model program ~nprocs ~bound
+      in
       let invariants =
         [ Modelcheck.Invariant.mutex; Modelcheck.Invariant.no_overflow ]
       in
@@ -484,8 +537,11 @@ let explain_cmd =
             dot_out
       | Modelcheck.Explore.Pass ->
           Printf.printf
-            "nothing to explain: %s passes at N=%d, M=%d (%d distinct states)\n"
-            model nprocs bound r.stats.distinct;
+            "nothing to explain: %s passes at N=%d, M=%d under %s registers \
+             (%d distinct states)\n"
+            model nprocs bound
+            (Regsem.Model.to_string register_model)
+            r.stats.distinct;
           exit 1
       | Modelcheck.Explore.Capacity ->
           Printf.eprintf
@@ -536,8 +592,8 @@ let explain_cmd =
           step-by-step story with causal analysis")
     Term.(
       const run $ model_opt_arg $ repro_arg $ nprocs_arg $ bound_arg
-      $ max_states_arg $ max_steps_arg $ chrome_out_arg $ trace_out_arg
-      $ dot_out_arg)
+      $ register_model_arg $ max_states_arg $ max_steps_arg $ chrome_out_arg
+      $ trace_out_arg $ dot_out_arg)
 
 (* -------------------------------------------------------------- lasso *)
 
@@ -670,8 +726,10 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Oracle to run: $(b,compile) (interpreter vs staged compiler), \
-       $(b,parallel) (sequential vs parallel BFS), $(b,replay) (simulator \
-       replay vs checker walk + mutex).  Repeatable; default all three."
+       $(b,parallel) (sequential vs parallel BFS), $(b,sharded) \
+       (fingerprint-only sharded BFS), $(b,regsem) (weak-register engine \
+       vs atomic baseline + safe-superset), $(b,replay) (simulator \
+       replay vs checker walk + mutex).  Repeatable; default all five."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
   in
@@ -702,8 +760,22 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let run seed count oracles models nprocs bound max_steps max_states out
-      replay progress metrics_out trace_out =
+  let fuzz_register_model_arg =
+    let doc =
+      "Pin the flicker value domain of generated schedule plans to \
+       $(b,regular) or $(b,safe) ($(b,atomic) turns flickering plans \
+       inert); by default each flickering plan draws one of the two weak \
+       models itself."
+    in
+    Term.(
+      const (Option.map parse_register_model)
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "register-model" ] ~docv:"MODEL" ~doc))
+  in
+  let run seed count oracles models nprocs bound register_model max_steps
+      max_states out replay progress metrics_out trace_out =
     match replay with
     | Some file -> (
         match Fuzz.Repro.load file with
@@ -762,6 +834,7 @@ let fuzz_cmd =
                 bound;
                 max_states;
                 sched_len = max_steps;
+                register_model;
               };
             out_dir = out;
             progress = tl.tl_progress;
@@ -780,8 +853,9 @@ let fuzz_cmd =
           with shrinking and .repro reproducers")
     Term.(
       const run $ seed_arg $ count_arg $ oracle_arg $ fuzz_model_arg
-      $ nprocs_arg $ bound_arg $ max_steps_arg $ max_states_arg $ out_arg
-      $ replay_arg $ progress_arg $ metrics_out_arg $ trace_out_arg)
+      $ nprocs_arg $ bound_arg $ fuzz_register_model_arg $ max_steps_arg
+      $ max_states_arg $ out_arg $ replay_arg $ progress_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -------------------------------------------------------------- bench *)
 

@@ -7,6 +7,9 @@ type t = {
   bound : int;
   max_states : int;  (* exploration budget for the engine oracles *)
   sched_len : int;  (* schedule-length budget for the replay oracle *)
+  register_model : Regsem.Model.t option;
+      (* pin the flicker value domain of generated schedule plans;
+         None lets each plan draw Regular or Safe itself *)
 }
 
 let default =
@@ -16,4 +19,5 @@ let default =
     bound = 2;
     max_states = 20_000;
     sched_len = 120;
+    register_model = None;
   }

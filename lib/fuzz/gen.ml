@@ -219,15 +219,21 @@ type plan = {
   pl_schedule : int array;
   pl_wrap : bool;
   pl_flicker : float;
+  pl_flicker_model : Regsem.Model.t;
   pl_crash : float;
   pl_seed : int;
 }
 
-let plan rng ~models ~nprocs ~bound ~max_len =
+let plan ?flicker_model rng ~models ~nprocs ~bound ~max_len =
   let model = List.nth models (R.int rng (List.length models)) in
   let len = max_len / 2 + R.int rng (max 1 (max_len / 2)) in
   let sched = schedule rng ~nprocs ~len in
   let flicker = if R.int rng 3 = 0 then 0.05 +. R.float rng 0.2 else 0.0 in
+  let fmodel =
+    match flicker_model with
+    | Some m -> m
+    | None -> if R.bool rng then Regsem.Model.Safe else Regsem.Model.Regular
+  in
   let crash = if R.int rng 4 = 0 then 0.005 +. R.float rng 0.02 else 0.0 in
   {
     pl_model = model;
@@ -236,6 +242,7 @@ let plan rng ~models ~nprocs ~bound ~max_len =
     pl_schedule = sched;
     pl_wrap = R.bool rng;
     pl_flicker = flicker;
+    pl_flicker_model = fmodel;
     pl_crash = crash;
     pl_seed = 1 + R.int rng 1_000_000;
   }

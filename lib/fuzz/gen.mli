@@ -42,12 +42,16 @@ type plan = {
   pl_bound : int;
   pl_schedule : int array;
   pl_wrap : bool;  (** wrap too-large stores (real-register behaviour) *)
-  pl_flicker : float;  (** safe-register read-anomaly probability; 0 = off *)
+  pl_flicker : float;  (** weak-register read-anomaly probability; 0 = off *)
+  pl_flicker_model : Regsem.Model.t;
+      (** value domain of flickered reads ([Regular] or [Safe]);
+          irrelevant when [pl_flicker = 0] *)
   pl_crash : float;  (** per-step crash probability; 0 = off *)
   pl_seed : int;  (** drives crash/flicker/alternative randomness *)
 }
 
 val plan :
+  ?flicker_model:Regsem.Model.t ->
   Prng.Rng.t ->
   models:string list ->
   nprocs:int ->
@@ -57,4 +61,5 @@ val plan :
 (** A random plan over one of [models]: a burst schedule of up to
     [max_len] steps; flicker on ~1/3 of plans, crashes on ~1/4 (the
     oracle only checks replay determinism for those — see
-    {!Oracle}). *)
+    {!Oracle}).  Flickering plans split ~50/50 between [Regular] and
+    [Safe] value domains unless [flicker_model] pins one. *)

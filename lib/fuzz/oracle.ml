@@ -12,25 +12,28 @@ type case =
     }
   | Sched_case of Gen.plan
 
-type t = Compile | Parallel | Sharded | Replay
+type t = Compile | Parallel | Sharded | Regsem | Replay
 
-let all = [ Compile; Parallel; Sharded; Replay ]
+let all = [ Compile; Parallel; Sharded; Regsem; Replay ]
 
 let name = function
   | Compile -> "compile"
   | Parallel -> "parallel"
   | Sharded -> "sharded"
+  | Regsem -> "regsem"
   | Replay -> "replay"
 
 let of_name = function
   | "compile" -> Ok Compile
   | "parallel" -> Ok Parallel
   | "sharded" -> Ok Sharded
+  | "regsem" -> Ok Regsem
   | "replay" -> Ok Replay
   | s ->
       Error
         (Printf.sprintf
-           "unknown oracle %S (expected compile|parallel|sharded|replay)" s)
+           "unknown oracle %S (expected compile|parallel|sharded|regsem|replay)"
+           s)
 
 let fail tag fmt = Printf.ksprintf (fun detail -> Fail { tag; detail }) fmt
 
@@ -145,6 +148,93 @@ let vs_sequential ~engine ~tag ~program ~nprocs ~bound ~max_states =
 let parallel_oracle = vs_sequential ~engine:`Parallel ~tag:"par_mismatch"
 let sharded_oracle = vs_sequential ~engine:`Sharded ~tag:"sharded_mismatch"
 
+(* ------------------------------------------------------- regsem oracle *)
+
+(* Copy one atomic state into the weak (two-phase) layout: shared cells
+   and pcs share offsets by stable numbering, original locals land at
+   the front of each process's widened local block, and the appended
+   pending slots keep their initial idle form (-1, 0) — which is also
+   their form in every quiescent weak state, because commits reset both
+   slot halves. *)
+let embed_atomic ~atomic_lay ~weak_lay ~weak_init (s : MC.State.packed) =
+  let la : MC.State.layout = atomic_lay and lw : MC.State.layout = weak_lay in
+  let w = Array.copy weak_init in
+  Array.blit s 0 w 0 (la.shared_len + la.nprocs);
+  for pid = 0 to la.nprocs - 1 do
+    Array.blit s
+      (la.locals_off + (pid * la.locals_per))
+      w
+      (lw.locals_off + (pid * lw.locals_per))
+      la.locals_per
+  done;
+  w
+
+(* Three executable claims tie the weak-register engine to the baseline:
+   1. a system built with an explicit [Atomic] model is bit-identical to
+      the default build (outcome, counts, and counterexample trace);
+   2. under [Safe], the AST interpreter and the compiled closures agree
+      exactly (the weak twin of the [Compile] oracle);
+   3. every atomic-reachable state embeds into the [Safe]-reachable set —
+      weak semantics only add behaviours, they never remove one.  The
+      subset leg is skipped when either exploration hits its state
+      budget, since a truncated reachable set decides nothing. *)
+let regsem_oracle ~program ~nprocs ~bound ~max_states =
+  let make model =
+    MC.System.make ~register_model:model program ~nprocs ~bound
+  in
+  let explicit_atomic =
+    MC.Explore.run ~invariants ~max_states (make Regsem.Model.Atomic)
+  in
+  let default_build =
+    run_prog_case ~engine:`Compiled ~program ~nprocs ~bound ~max_states
+  in
+  match
+    compare_fingerprints ~tag:"regsem_atomic_mismatch" ~left:"atomic"
+      ~right:"default" ~exact_trace:true
+      (fingerprint explicit_atomic)
+      (fingerprint default_build)
+  with
+  | Fail _ as f -> f
+  | Pass -> (
+      let safe_interp =
+        MC.Explore.run ~interpreted:true ~invariants ~max_states
+          (make Regsem.Model.Safe)
+      in
+      let safe_compiled =
+        MC.Explore.run ~invariants ~max_states (make Regsem.Model.Safe)
+      in
+      match
+        compare_fingerprints ~tag:"regsem_engine_mismatch" ~left:"interp"
+          ~right:"compiled" ~exact_trace:true (fingerprint safe_interp)
+          (fingerprint safe_compiled)
+      with
+      | Fail _ as f -> f
+      | Pass ->
+          let ga, sa = MC.Explore.run_graph ~max_states (make Regsem.Model.Atomic) in
+          let gs, ss = MC.Explore.run_graph ~max_states (make Regsem.Model.Safe) in
+          if sa.distinct >= max_states || ss.distinct >= max_states then Pass
+          else begin
+            let atomic_lay = MC.System.layout ga.sys in
+            let weak_lay = MC.System.layout gs.sys in
+            let weak_init = MC.System.initial gs.sys in
+            let verdict = ref Pass in
+            (try
+               MC.Vec.iteri
+                 (fun i s ->
+                   let w = embed_atomic ~atomic_lay ~weak_lay ~weak_init s in
+                   if gs.id_of w = None then begin
+                     verdict :=
+                       fail "regsem_not_superset"
+                         "atomic state %d of %d is unreachable under the safe \
+                          model (atomic distinct %d, safe distinct %d)"
+                         i (MC.Vec.length ga.states) sa.distinct ss.distinct;
+                     raise Exit
+                   end)
+                 ga.states
+             with Exit -> ());
+            !verdict
+          end)
+
 (* -------------------------------------------------------- replay oracle *)
 
 let sim_config (pl : Gen.plan) =
@@ -166,7 +256,12 @@ let sim_config (pl : Gen.plan) =
        else None);
     flicker =
       (if pl.pl_flicker > 0.0 then
-         Some { flicker_prob = pl.pl_flicker; max_value = pl.pl_bound }
+         Some
+           {
+             flicker_prob = pl.pl_flicker;
+             flicker_model = pl.pl_flicker_model;
+             flicker_slack = 0;
+           }
        else None);
   }
 
@@ -283,7 +378,7 @@ let replay_oracle (pl : Gen.plan) =
 
 let generate oracle rng (dp : Driver_params.t) =
   match oracle with
-  | Compile | Parallel | Sharded ->
+  | Compile | Parallel | Sharded | Regsem ->
       let program =
         Gen.program rng
           {
@@ -301,8 +396,8 @@ let generate oracle rng (dp : Driver_params.t) =
         }
   | Replay ->
       Sched_case
-        (Gen.plan rng ~models:dp.models ~nprocs:dp.nprocs ~bound:dp.bound
-           ~max_len:dp.sched_len)
+        (Gen.plan ?flicker_model:dp.register_model rng ~models:dp.models
+           ~nprocs:dp.nprocs ~bound:dp.bound ~max_len:dp.sched_len)
 
 let run oracle case =
   match (oracle, case) with
@@ -312,8 +407,10 @@ let run oracle case =
       parallel_oracle ~program ~nprocs ~bound ~max_states
   | Sharded, Prog_case { program; nprocs; bound; max_states } ->
       sharded_oracle ~program ~nprocs ~bound ~max_states
+  | Regsem, Prog_case { program; nprocs; bound; max_states } ->
+      regsem_oracle ~program ~nprocs ~bound ~max_states
   | Replay, Sched_case pl -> replay_oracle pl
-  | (Compile | Parallel | Sharded), Sched_case _ ->
+  | (Compile | Parallel | Sharded | Regsem), Sched_case _ ->
       fail "bad_case" "%s oracle expects a program case" (name oracle)
   | Replay, Prog_case _ -> fail "bad_case" "replay oracle expects a schedule case"
 

@@ -24,6 +24,14 @@
       fingerprints and counterexamples are rebuilt by replaying
       recorded moves.  Catches routing, hand-off, quiescence and
       replay bugs that the 2-domain exact-table oracle cannot see.
+    - [Regsem]: the weak-register engine against the baseline.  An
+      explicitly-[Atomic] {!Modelcheck.System} must be bit-identical to
+      the default build (outcome, state counts, counterexample trace);
+      under [Safe] the AST interpreter and the compiled closures must
+      agree exactly; and every atomic-reachable state must embed into
+      the [Safe]-reachable set (weak semantics only add behaviours).
+      The subset leg is skipped when either exploration hits its state
+      budget.
     - [Replay]: a schedule executed by the simulator must (a) replay
       bit-identically, (b) agree with the model checker's compiled
       transition system walked along the same pid sequence, and (c) on
@@ -42,7 +50,7 @@ type case =
     }
   | Sched_case of Gen.plan
 
-type t = Compile | Parallel | Sharded | Replay
+type t = Compile | Parallel | Sharded | Regsem | Replay
 
 val all : t list
 val name : t -> string

@@ -30,6 +30,7 @@ let case_to_json = function
           ("bound", num pl.pl_bound);
           ("wrap", J.Bool pl.pl_wrap);
           ("flicker", J.Num pl.pl_flicker);
+          ("flicker_model", J.Str (Regsem.Model.to_string pl.pl_flicker_model));
           ("crash", J.Num pl.pl_crash);
           ("seed", num pl.pl_seed);
           ( "schedule",
@@ -81,6 +82,14 @@ let case_of_json j =
         | Some f -> Ok f
         | None -> err "missing field \"flicker\""
       in
+      (* Absent in format-1 files written before weak-register plans
+         existed; those all have flicker 0, so the default is inert. *)
+      let* flicker_model =
+        match J.member "flicker_model" j with
+        | None -> Ok Regsem.Model.Safe
+        | Some (J.Str s) -> Regsem.Model.of_string s
+        | Some x -> err "non-string field \"flicker_model\": %s" (J.to_string x)
+      in
       let* crash =
         match Option.bind (J.member "crash" j) J.to_num with
         | Some f -> Ok f
@@ -111,6 +120,7 @@ let case_of_json j =
              pl_schedule = schedule;
              pl_wrap = wrap;
              pl_flicker = flicker;
+             pl_flicker_model = flicker_model;
              pl_crash = crash;
              pl_seed = seed;
            })

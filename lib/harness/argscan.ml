@@ -50,6 +50,14 @@ let parse_suffixed ?(docv = "VALUE") ~flag raw =
           let v = v *. scale in
           if v < 0.0 then err "%s %S is negative" docv raw else Ok v)
 
+let parse_enum ?(docv = "VALUE") ~flag ~values raw =
+  match List.assoc_opt raw values with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "%s: unknown %s %S (valid: %s)" flag docv raw
+           (String.concat "|" (List.map fst values)))
+
 let extract_value ?(docv = "VALUE") ~flag args =
   let err fmt = Printf.ksprintf (fun m -> Error (flag ^ ": " ^ m)) fmt in
   let rec go acc seen = function

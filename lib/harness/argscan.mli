@@ -27,6 +27,18 @@ val extract_value :
     describes the expected value as [docv] (default ["VALUE"]), e.g.
     ["--json: missing FILE (flag is the last argument)"]. *)
 
+val parse_enum :
+  ?docv:string ->
+  flag:string ->
+  values:(string * 'a) list ->
+  string ->
+  ('a, string) result
+(** [parse_enum ~flag ~values raw] maps [raw] through the closed
+    [values] table (e.g. [[("atomic", Atomic); ...]]).  The error
+    message starts with the offending flag's own name and lists every
+    valid spelling in table order:
+    ["--register-model: unknown MODEL \"x\" (valid: atomic|regular|safe)"]. *)
+
 val parse_suffixed :
   ?docv:string -> flag:string -> string -> (float, string) result
 (** [parse_suffixed ~flag raw] reads a number with an optional unit

@@ -1148,7 +1148,7 @@ let a3 ~quick =
   in
   let steps = if quick then 100_000 else 500_000 in
   let bound = 4 in
-  let run ~exact ~max_value =
+  let run ~exact ~slack =
     let v = { Core.Bakery_pp_model.paper_variant with gate_exact = exact } in
     let prog = Core.Bakery_pp_model.program_variant v in
     let cfg =
@@ -1156,7 +1156,13 @@ let a3 ~quick =
         (Schedsim.Runner.default_config ~nprocs:3 ~bound) with
         strategy = Schedsim.Scheduler.Uniform 19;
         max_steps = steps;
-        flicker = Some { Schedsim.Runner.flicker_prob = 0.05; max_value };
+        flicker =
+          Some
+            {
+              Schedsim.Runner.flicker_prob = 0.05;
+              flicker_model = Regsem.Model.Safe;
+              flicker_slack = slack;
+            };
       }
     in
     let r = Schedsim.Runner.run prog cfg in
@@ -1168,13 +1174,107 @@ let a3 ~quick =
     in
     Table.add_rowf t "%s|%s|%d|%d|%d|%d"
       (if exact then "=" else ">=")
-      (if max_value <= bound then "in-range (<= M)" else "arbitrary (<= 2M)")
+      (if slack = 0 then "in-range (<= M)" else "arbitrary (<= 2M)")
       gate_passes resets r.overflow_events r.mutex_violations
   in
-  run ~exact:false ~max_value:bound;
-  run ~exact:true ~max_value:bound;
-  run ~exact:false ~max_value:(2 * bound);
-  run ~exact:true ~max_value:(2 * bound);
+  run ~exact:false ~slack:0;
+  run ~exact:true ~slack:0;
+  run ~exact:false ~slack:bound;
+  run ~exact:true ~slack:bound;
+  [ t ]
+
+(* ----------------------------------------------------------------- E14 *)
+
+(* Weak-register matrix: exhaustively check mutex and no-overflow
+   (claims C1/C2) for Bakery, Bakery++ and Black-White Bakery under
+   atomic, regular and safe registers.  The verdict column is the
+   experiment's result: Bakery++'s overflow gate survives safe
+   registers at N=2,3 — a result the paper's atomic-only TLC setup
+   never established — while Black-White's color-based bound does not. *)
+let e14 ~quick =
+  let t =
+    Table.make
+      ~title:
+        "E14 (weak registers): mutex & no-overflow for Bakery, Bakery++ \
+         and Black-White Bakery under atomic, regular and safe registers"
+      ~notes:
+        [
+          "weak models two-phase every shared write and branch each \
+           overlapped read over its candidate values (lib/regsem): \
+           regular = {old, new}, safe = the register's whole range";
+          "VIOLATION rows carry the shortest counterexample's length — \
+           BFS order is preserved under the weak semantics";
+          "bakery_pp's safe rows passing is the machine-checked headline; \
+           black_white_bakery is atomic-safe but loses no-overflow under \
+           regular reads (and mutual exclusion itself at N=3)";
+          "distinct/generated count the two-phase state space under weak \
+           models, so weak rows are incomparable to atomic rows";
+        ]
+      [
+        "model"; "N"; "M"; "registers"; "verdict"; "distinct"; "generated";
+        "depth"; "time(s)"; "kstates/s";
+      ]
+  in
+  let models =
+    [
+      ("bakery", Algorithms.Bakery.program ());
+      ("bakery_pp", Core.Bakery_pp_model.program ());
+      ("black_white_bakery", Algorithms.Blackwhite.program ());
+    ]
+  in
+  let ns = if quick then [ 2 ] else [ 2; 3 ] in
+  let m = 3 in
+  let reps = if quick then 1 else 3 in
+  let best f =
+    let r0 : MC.Explore.result = f () in
+    let best = ref r0 in
+    for _ = 2 to reps do
+      let r : MC.Explore.result = f () in
+      if r.stats.runtime < !best.stats.runtime then best := r
+    done;
+    !best
+  in
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun rm ->
+              let rms = Regsem.Model.to_string rm in
+              let sys =
+                MC.System.make ~register_model:rm prog ~nprocs:n ~bound:m
+              in
+              let r =
+                best (fun () ->
+                    MC.Explore.run
+                      ~invariants:
+                        [ MC.Invariant.mutex; MC.Invariant.no_overflow ]
+                      ~max_states:5_000_000 sys)
+              in
+              let sps =
+                if r.MC.Explore.stats.runtime > 0.0 then
+                  float_of_int r.stats.distinct /. r.stats.runtime
+                else 0.0
+              in
+              (* The register model is part of the metric name, so the
+                 --check-regress gate compares weak rows only against
+                 prior weak rows of the same model.  Millisecond-scale
+                 rows are pure timer noise: their verdicts and state
+                 counts are still recorded, but they don't contribute a
+                 states/sec datapoint for the gate. *)
+              let tag = Printf.sprintf "%s_n%d_m%d/%s" name n m rms in
+              if r.stats.runtime >= 0.02 then
+                record_metric ~engine:rms ~wall_s:r.stats.runtime ~exp:"e14"
+                  ~metric:(tag ^ "/states_per_sec") sps;
+              record_metric ~engine:rms ~exp:"e14"
+                ~metric:(tag ^ "/distinct")
+                (float_of_int r.stats.distinct);
+              Table.add_rowf t "%s|%d|%d|%s|%s|%d|%d|%d|%.3f|%.1f" name n m
+                rms (outcome_cell r) r.stats.distinct r.stats.generated
+                r.stats.depth r.stats.runtime (sps /. 1e3))
+            Regsem.Model.all)
+        ns)
+    models;
   [ t ]
 
 let all =
@@ -1192,6 +1292,7 @@ let all =
     { id = "e11"; summary = "Model-checker throughput: compiled evaluator & persistent domain pool"; run = e11 };
     { id = "e12"; summary = "Sharded explorer: exhaustive Bakery++ past the small-N wall (fp-only)"; run = e12 };
     { id = "e13"; summary = "SLO observatory: open-loop lock traffic, overflow telemetry, scorecards"; run = e13 };
+    { id = "e14"; summary = "Weak registers: Bakery/Bakery++/Black-White under atomic, regular, safe (regsem)"; run = e14 };
     { id = "a1"; summary = "Ablation: remove the L1 gate — safety survives, behaviour degrades"; run = a1 };
     { id = "a2"; summary = "Ablation: increment before checking — the theorem falls at N >= 3"; run = a2 };
     { id = "a3"; summary = "Ablation: '>=' vs '=' capacity tests under read anomalies (paper §5)"; run = a3 };

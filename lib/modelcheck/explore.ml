@@ -245,7 +245,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
         Store.read_into idx id current;
         let any = ref false in
         System.iter_successors_scratch sys current ~scratch
-          (fun ~pid ~from_pc ~alt:_ ->
+          (fun ~pid ~from_pc ~alt:_ ~flick:_ ->
             any := true;
             incr generated;
             if Store.probe idx scratch = -1 then begin
@@ -369,7 +369,7 @@ let run_graph ?constraint_ ?(max_states = 5_000_000) sys =
        (fun id ->
          Store.read_into idx id current;
          System.iter_successors_scratch sys current ~scratch
-           (fun ~pid ~from_pc ~alt:_ ->
+           (fun ~pid ~from_pc ~alt:_ ~flick:_ ->
              incr generated;
              if Store.probe idx scratch = -1 then begin
                let id' = Store.add_probed idx scratch in

@@ -17,6 +17,13 @@ type write = {
   wr_value : int;
 }
 
+type flick = {
+  fl_var : Mxlang.Ast.var;
+  fl_cell : int;
+  fl_seen : int;
+  fl_actual : int;
+}
+
 type step = {
   rw_pid : int;
   rw_from_pc : int;
@@ -24,6 +31,7 @@ type step = {
   rw_step_name : string;  (* label fired, i.e. name of [rw_from_pc] *)
   rw_reads : Mxlang.Reads.read list;
   rw_writes : write list;
+  rw_flicks : flick list;
   rw_post : State.packed;
 }
 
@@ -33,16 +41,18 @@ type t = {
   rw_steps : step list;
 }
 
-let writes_of env ~shared ~locals ~pid (a : Mxlang.Ast.action) =
-  (* Simultaneous-assignment semantics: indices, right-hand sides and
-     the recorded previous contents are all taken in the pre-state. *)
+let writes_of env ~rshared ~shared ~locals ~pid (a : Mxlang.Ast.action) =
+  (* Simultaneous-assignment semantics: indices and right-hand sides are
+     taken in the pre-state — through the flickered view [rshared] when
+     a weak register model perturbed this step's reads — while the
+     recorded previous contents come from the true pre-state. *)
   List.filter_map
     (fun (l, e) ->
       match l with
       | Mxlang.Ast.Lo _ -> None
       | Mxlang.Ast.Sh (v, ix) ->
-          let value = Mxlang.Eval.eval env ~shared ~locals ~pid e in
-          let idx = Mxlang.Eval.eval env ~shared ~locals ~pid ix in
+          let value = Mxlang.Eval.eval env ~shared:rshared ~locals ~pid e in
+          let idx = Mxlang.Eval.eval env ~shared:rshared ~locals ~pid ix in
           Some
             {
               wr_var = v;
@@ -86,6 +96,23 @@ let of_trace sys (trace : Trace.t) =
                in
                let shared = State.shared_part lay pre in
                let locals = State.locals_part lay pre e.pid in
+               (* Reads are recovered against the view the move actually
+                  observed: under a weak register model the recorded
+                  flicker rank decodes (through the same path the search
+                  used) to the values each overlapping read returned. *)
+               let assignment =
+                 System.flick_assignment sys pre ~pid:e.pid ~pc:move.from_pc
+                   ~alt:move.alt ~flick:move.flick
+               in
+               let view =
+                 match assignment with
+                 | [] -> shared
+                 | _ ->
+                     let view = Array.copy shared in
+                     List.iter (fun (cell, seen) -> view.(cell) <- seen)
+                       assignment;
+                     view
+               in
                let step =
                  {
                    rw_pid = e.pid;
@@ -93,10 +120,22 @@ let of_trace sys (trace : Trace.t) =
                    rw_to_pc = action.target;
                    rw_step_name = program.steps.(move.from_pc).step_name;
                    rw_reads =
-                     Mxlang.Reads.of_action env ~shared ~locals ~pid:e.pid
-                       action;
+                     Mxlang.Reads.of_action env ~shared:view ~locals
+                       ~pid:e.pid action;
                    rw_writes =
-                     writes_of env ~shared ~locals ~pid:e.pid action;
+                     writes_of env ~rshared:view ~shared ~locals ~pid:e.pid
+                       action;
+                   rw_flicks =
+                     List.map
+                       (fun (cell, seen) ->
+                         let v, idx = System.var_of_cell sys cell in
+                         {
+                           fl_var = v;
+                           fl_cell = idx;
+                           fl_seen = seen;
+                           fl_actual = shared.(cell);
+                         })
+                       assignment;
                    rw_post = e.state;
                  }
                in

@@ -14,6 +14,15 @@ type write = {
   wr_value : int;  (** value stored (the checker never wraps) *)
 }
 
+type flick = {
+  fl_var : Mxlang.Ast.var;
+  fl_cell : int;
+  fl_seen : int;  (** value the flickered read returned *)
+  fl_actual : int;  (** value the register actually held *)
+}
+(** One read that overlapped another process's in-flight write and
+    returned a perturbed value (weak register models only). *)
+
 type step = {
   rw_pid : int;
   rw_from_pc : int;
@@ -21,8 +30,11 @@ type step = {
   rw_step_name : string;  (** label fired, i.e. the name of [rw_from_pc] *)
   rw_reads : Mxlang.Reads.read list;
       (** shared cells the guard and effects observed, in evaluation
-          order (see {!Mxlang.Reads.of_action}) *)
+          order (see {!Mxlang.Reads.of_action}); under a weak register
+          model the values are the ones the flickered view returned *)
   rw_writes : write list;
+  rw_flicks : flick list;
+      (** the reads that flickered in this step; empty under [Atomic] *)
   rw_post : State.packed;  (** state after the step *)
 }
 

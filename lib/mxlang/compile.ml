@@ -217,6 +217,9 @@ type caction = {
   enabled : int array -> bool;  (** the guard, against the flat image *)
   perform : int array -> unit;
       (** apply all effects in place, simultaneous-assignment semantics *)
+  perform_rw : read:int array -> write:int array -> unit;
+      (** split-image variant: evaluate against [read], store into
+          [write]; the two must not alias *)
   target : int;
 }
 
@@ -293,10 +296,35 @@ let cperform env ~lbase ~pid (effects : (Ast.lhs * Ast.expr) list) =
           m.(staged.((2 * j) + 1)) <- staged.(2 * j)
         done
 
+(* Split-image effect application: every right-hand side and every
+   destination index is evaluated against [read], every store lands in
+   [write].  Because the two images never alias (the weak engine passes
+   a flickered view and a scratch successor), the stores can be direct
+   — nothing staged here can observe them — and declaration order
+   preserves the atomic last-write-wins outcome. *)
+let cperform_rw env ~lbase ~pid (effects : (Ast.lhs * Ast.expr) list) =
+  let pairs =
+    Array.of_list
+      (List.map
+         (fun eff ->
+           let d, v = ceffect env ~lbase ~pid eff in
+           (force d, v))
+         effects)
+  in
+  let k = Array.length pairs in
+  fun ~read ~write ->
+    for j = 0 to k - 1 do
+      let fd, fv = Array.unsafe_get pairs j in
+      let value = fv read in
+      let d = fd read in
+      Array.unsafe_set write d value
+    done
+
 let caction_of env ~lbase ~pid (a : Ast.action) =
   {
     enabled = bforce (cbexpr_of env ~lbase ~pid ~q:None a.guard);
     perform = cperform env ~lbase ~pid a.effects;
+    perform_rw = cperform_rw env ~lbase ~pid a.effects;
     target = a.target;
   }
 

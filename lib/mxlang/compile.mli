@@ -30,6 +30,12 @@ type caction = {
       (** apply all effects in place with simultaneous-assignment
           semantics (every right-hand side and destination index is
           evaluated against the pre-state before any write) *)
+  perform_rw : read:int array -> write:int array -> unit;
+      (** split-image variant for the weak-register engine: evaluate
+          every right-hand side and destination index against [read]
+          (e.g. a flickered view of the pre-state) and store into
+          [write] (the successor under construction).  The images must
+          not alias; stores are applied in declaration order. *)
   target : int;  (** the destination label; the caller updates the pc *)
 }
 

@@ -129,17 +129,19 @@ let enabled_actions env ~shared ~locals ~pid ~pc =
   let step = env.program.steps.(pc) in
   List.filter (fun (a : Ast.action) -> eval_b env ~shared ~locals ~pid a.guard) step.actions
 
-let apply env ~shared ~locals ~pid (a : Ast.action) =
+let apply_split env ~rshared ~shared ~locals ~pid (a : Ast.action) =
   (* Simultaneous assignment: evaluate every right-hand side and every
-     destination index in the pre-state, then write. *)
+     destination index in the pre-state — reading shared cells from
+     [rshared], which under a weak register model may be a flickered
+     view of [shared] — then write into [shared]/[locals]. *)
   let writes =
     List.map
       (fun (l, e) ->
-        let value = eval env ~shared ~locals ~pid e in
+        let value = eval env ~shared:rshared ~locals ~pid e in
         match l with
         | Ast.Lo l -> `Local (l, value)
         | Ast.Sh (v, ix) ->
-            let idx = eval env ~shared ~locals ~pid ix in
+            let idx = eval env ~shared:rshared ~locals ~pid ix in
             let n = cells env v in
             if idx < 0 || idx >= n then
               raise
@@ -154,3 +156,6 @@ let apply env ~shared ~locals ~pid (a : Ast.action) =
       | `Local (l, value) -> locals.(l) <- value
       | `Shared (cell, value) -> shared.(cell) <- value)
     writes
+
+let apply env ~shared ~locals ~pid (a : Ast.action) =
+  apply_split env ~rshared:shared ~shared ~locals ~pid a

@@ -54,3 +54,17 @@ val apply :
     all right-hand sides and indices are evaluated before any write).
     The caller is responsible for updating the process's program counter
     to [action.target]. *)
+
+val apply_split :
+  env ->
+  rshared:int array ->
+  shared:int array ->
+  locals:int array ->
+  pid:int ->
+  Ast.action ->
+  unit
+(** Like {!apply}, but reads shared cells from [rshared] while writing
+    into [shared].  Used by the weak-register engine: [rshared] is a
+    flickered view of the pre-state, so the action computes with the
+    values its overlapping reads returned while its writes land in the
+    real successor.  [apply] is [apply_split] with [rshared == shared]. *)

@@ -24,3 +24,10 @@ val of_action :
     and destination indices) in evaluation order, deduplicated by
     (variable, cell) keeping the first occurrence.  The action must be
     executable in the given state (same precondition as {!Eval.apply}). *)
+
+val static_cells : Eval.env -> pid:int -> Ast.action -> int array
+(** Sorted flat shared offsets the action may read in ANY state: both
+    [Ite] branches, all quantifier instantiations, and dynamic array
+    indices widened to the whole array.  A superset of [of_action]'s
+    cells in every state, which is what the weak-register flicker
+    enumerator needs (a candidate view may flip the control flow). *)

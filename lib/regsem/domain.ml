@@ -1,0 +1,83 @@
+module Ast = Mxlang.Ast
+
+(* Saturation bound for the interval arithmetic.  1e9 is far above any
+   register value the checker can reach and small enough that corner
+   products ([top * top] = 1e18) stay inside 63-bit ints. *)
+let top = 1_000_000_000
+let bottom = -top
+let sat x = if x > top then top else if x < bottom then bottom else x
+
+let ceilings (p : Ast.program) ~nprocs ~bound =
+  (* One interval per shared variable (whole-array) and per local. *)
+  let vlo = Array.copy p.init_shared and vhi = Array.copy p.init_shared in
+  let llo = Array.copy p.init_locals and lhi = Array.copy p.init_locals in
+  (* Guard conditions never change stored values, so only effect
+     right-hand sides feed the intervals; [Ite] conditions are skipped. *)
+  let rec e_iv (e : Ast.expr) =
+    match e with
+    | Ast.Int k -> (k, k)
+    | N -> (nprocs, nprocs)
+    | M -> (bound, bound)
+    | Pid | Qidx -> (0, nprocs - 1)
+    | Local l -> (llo.(l), lhi.(l))
+    | Rd (v, _) -> (vlo.(v), vhi.(v))
+    | Add (a, b) ->
+        let al, ah = e_iv a and bl, bh = e_iv b in
+        (sat (al + bl), sat (ah + bh))
+    | Sub (a, b) ->
+        let al, ah = e_iv a and bl, bh = e_iv b in
+        (sat (al - bh), sat (ah - bl))
+    | Mul (a, b) ->
+        let al, ah = e_iv a and bl, bh = e_iv b in
+        let p1 = al * bl and p2 = al * bh and p3 = ah * bl and p4 = ah * bh in
+        (sat (min (min p1 p2) (min p3 p4)), sat (max (max p1 p2) (max p3 p4)))
+    | Mod (a, b) ->
+        (* Euclidean remainder lands in [0, |divisor| - 1]. *)
+        let _ = e_iv a in
+        let bl, bh = e_iv b in
+        (0, max 0 (max (abs bl) (abs bh) - 1))
+    | Max_arr v -> (vlo.(v), vhi.(v))
+    | Ite (_, a, b) ->
+        let al, ah = e_iv a and bl, bh = e_iv b in
+        (min al bl, max ah bh)
+  in
+  let changed = ref false in
+  let pass ~widen =
+    let join_lo cur lo = if lo < cur then (changed := true; if widen then bottom else lo) else cur
+    and join_hi cur hi = if hi > cur then (changed := true; if widen then top else hi) else cur in
+    Array.iter
+      (fun (s : Ast.step) ->
+        List.iter
+          (fun (a : Ast.action) ->
+            List.iter
+              (fun (l, e) ->
+                let lo, hi = e_iv e in
+                match l with
+                | Ast.Sh (v, _) ->
+                    vlo.(v) <- join_lo vlo.(v) lo;
+                    vhi.(v) <- join_hi vhi.(v) hi
+                | Ast.Lo l ->
+                    llo.(l) <- join_lo llo.(l) lo;
+                    lhi.(l) <- join_hi lhi.(l) hi)
+              a.effects)
+          s.actions)
+      p.steps
+  in
+  (* A few plain join passes catch the common finite fixpoints (flag
+     bits, colors); widening then forces convergence for anything still
+     growing (ticket counters). *)
+  let continue_ = ref true and rounds = ref 0 in
+  while !continue_ && !rounds < 8 do
+    changed := false;
+    pass ~widen:false;
+    incr rounds;
+    continue_ := !changed
+  done;
+  while !continue_ do
+    changed := false;
+    pass ~widen:true;
+    continue_ := !changed
+  done;
+  Array.init p.nvars (fun v ->
+      let c = if vhi.(v) >= top then bound else max 0 vhi.(v) in
+      if p.bounded.(v) then min c bound else c)

@@ -1,0 +1,26 @@
+(** Per-variable value ceilings for [Safe]-register flicker.
+
+    A safe register returns an arbitrary value {e in its range} when a
+    read overlaps a write, so the checker needs a finite range per
+    shared variable.  [ceilings] derives one by interval abstract
+    interpretation over the program's assignments (seeded from the
+    initial values, with widening so divergent counters terminate):
+
+    - a variable whose writes provably stay within [0..k] gets ceiling
+      [k] (e.g. Bakery's [choosing] flag gets 1, Black-White's color
+      bits get 1);
+    - a variable whose interval diverges (e.g. an unbounded ticket
+      counter) falls back to the register-capacity bound [M] — the
+      physical register holds [0..M], which is also what the paper's
+      bounded variants guarantee;
+    - [bounded] variables are additionally clamped to [M], their
+      declared register capacity.
+
+    The result over-approximates reachable values, which is the sound
+    direction for flicker candidates (extra candidate values add
+    behaviours, they never hide one). *)
+
+val ceilings : Mxlang.Ast.program -> nprocs:int -> bound:int -> int array
+(** [ceilings p ~nprocs ~bound] returns one inclusive upper bound per
+    shared variable ([Array.length] = [p.nvars]); lower bounds are
+    clamped at 0 because registers hold naturals. *)

@@ -1,0 +1,150 @@
+type ctx = {
+  fl_model : Model.t;
+  fl_nprocs : int;
+  fl_nvars : int;
+  fl_locals_off : int;
+  fl_locals_per : int;
+  fl_var_off : int array;
+  fl_cell_ceil : int array;
+  fl_pend : (int * int) array array;
+}
+
+let max_total = 1 lsl 26
+
+let make ~model ~nprocs ~locals_off ~locals_per ~var_off ~cell_ceil ~pend =
+  {
+    fl_model = model;
+    fl_nprocs = nprocs;
+    fl_nvars = Array.length var_off;
+    fl_locals_off = locals_off;
+    fl_locals_per = locals_per;
+    fl_var_off = var_off;
+    fl_cell_ceil = cell_ceil;
+    fl_pend = pend;
+  }
+
+let model ctx = ctx.fl_model
+
+let mem_sorted (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let v = Array.unsafe_get a mid in
+    if v = x then found := true else if v < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+(* Overlapped cells for action reads [cells] of process [pid] in state
+   [s], with their candidate values.  Deterministic: discovery order is
+   (writer asc, var asc, slot asc), grouping is by ascending cell, and
+   candidate 0 is always the unperturbed value — this function is the
+   single decode path shared by enumeration and replay. *)
+let collect ctx ~s ~pid ~cells =
+  let dirty = ref [] in
+  for q = ctx.fl_nprocs - 1 downto 0 do
+    if q <> pid then begin
+      let base = ctx.fl_locals_off + (q * ctx.fl_locals_per) in
+      for v = ctx.fl_nvars - 1 downto 0 do
+        let slots = ctx.fl_pend.(v) in
+        for j = Array.length slots - 1 downto 0 do
+          let il, vl = slots.(j) in
+          let idx = s.(base + il) in
+          if idx >= 0 then begin
+            let cell = ctx.fl_var_off.(v) + idx in
+            if mem_sorted cells cell then dirty := (cell, s.(base + vl)) :: !dirty
+          end
+        done
+      done
+    end
+  done;
+  (* [!dirty] is now in (q asc, v asc, slot asc) discovery order. *)
+  let sorted = List.stable_sort (fun (c1, _) (c2, _) -> compare c1 c2) !dirty in
+  let groups = ref [] in
+  List.iter
+    (fun (cell, pv) ->
+      match !groups with
+      | (c, pvs) :: tl when c = cell -> groups := (c, pv :: pvs) :: tl
+      | _ -> groups := (cell, [ pv ]) :: !groups)
+    sorted;
+  let groups =
+    List.rev_map (fun (cell, pvs_rev) -> (cell, List.rev pvs_rev)) !groups
+  in
+  (* [groups] is in descending cell order; build ascending arrays. *)
+  let candidates cell pvs =
+    let cur = s.(cell) in
+    match ctx.fl_model with
+    | Model.Atomic -> [| cur |]
+    | Model.Regular ->
+        let seen = ref [ cur ] in
+        List.iter (fun v -> if not (List.mem v !seen) then seen := v :: !seen) pvs;
+        Array.of_list (List.rev !seen)
+    | Model.Safe ->
+        let ceil = ctx.fl_cell_ceil.(cell) in
+        let extra = ref [] in
+        for v = ceil downto 0 do
+          if v <> cur then extra := v :: !extra
+        done;
+        Array.of_list (cur :: !extra)
+  in
+  let kept =
+    List.filter_map
+      (fun (cell, pvs) ->
+        let c = candidates cell pvs in
+        if Array.length c >= 2 then Some (cell, c) else None)
+      (List.rev groups)
+  in
+  (Array.of_list (List.map fst kept), Array.of_list (List.map snd kept))
+
+let total_views kcands =
+  let total = ref 1 in
+  Array.iter
+    (fun c ->
+      let n = Array.length c in
+      if !total > max_total / n then
+        raise
+          (Mxlang.Eval.Error
+             (Printf.sprintf
+                "flicker: more than %d candidate views for one action (raise \
+                 the model or shrink the ranges)"
+                max_total));
+      total := !total * n)
+    kcands;
+  !total
+
+let iter_views ctx ~s ~view ~pid ~cells f =
+  match ctx.fl_model with
+  | Model.Atomic -> f ~flick:0
+  | Model.Regular | Model.Safe ->
+      let kcells, kcands = collect ctx ~s ~pid ~cells in
+      let k = Array.length kcells in
+      if k = 0 then f ~flick:0
+      else begin
+        let total = total_views kcands in
+        for flick = 0 to total - 1 do
+          let r = ref flick in
+          for i = 0 to k - 1 do
+            let c = kcands.(i) in
+            let n = Array.length c in
+            view.(kcells.(i)) <- c.(!r mod n);
+            r := !r / n
+          done;
+          f ~flick
+        done;
+        for i = 0 to k - 1 do
+          view.(kcells.(i)) <- s.(kcells.(i))
+        done
+      end
+
+let assignment ctx ~s ~pid ~cells ~flick =
+  match ctx.fl_model with
+  | Model.Atomic -> []
+  | Model.Regular | Model.Safe ->
+      let kcells, kcands = collect ctx ~s ~pid ~cells in
+      let out = ref [] and r = ref flick in
+      Array.iteri
+        (fun i c ->
+          let n = Array.length c in
+          out := (kcells.(i), c.(!r mod n)) :: !out;
+          r := !r / n)
+        kcands;
+      List.rev !out

@@ -1,0 +1,76 @@
+(** Candidate-value enumeration for reads overlapping in-flight writes.
+
+    Given a packed checker state whose program went through
+    {!Two_phase.transform}, a cell is {e dirty} for a reader [pid] when
+    some {e other} process has a live pending write to it (its pending
+    index local is >= 0).  For an action whose static read set
+    intersects the dirty cells, [iter_views] enumerates every
+    assignment of candidate values to the overlapped cells — the
+    {e flicker views} — and invokes the continuation once per view with
+    a dense rank [flick] identifying it:
+
+    - [Regular]: each overlapped cell reads its current value or one of
+      the pending values latched for it (several, if distinct writers
+      overlap a multi-writer register);
+    - [Safe]: each overlapped cell reads any value in its register's
+      range, [0 .. ceiling] (from {!Domain.ceilings}), plus the current
+      value if that lies outside;
+    - [Atomic]: no enumeration; the single rank-0 view is the state
+      itself.
+
+    Rank 0 is always the unperturbed view.  Ranks are a mixed-radix
+    encoding over the overlapped cells in ascending cell order, so a
+    rank recorded in a counterexample trace decodes deterministically
+    back to the values each read saw ([assignment]) — replay and
+    forensics share this decode path.
+
+    A read is modelled as returning one consistent candidate per cell
+    for the whole action (all reads of a cell within one action see the
+    same value); reads spanning several successive writes are covered
+    by the union over interleavings of the commit steps. *)
+
+type ctx
+
+val max_total : int
+(** Hard cap on views per (state, action): 2^26.  [iter_views] raises
+    [Mxlang.Eval.Error] beyond it — reachable only with degenerate
+    ranges, not with the zoo algorithms at checkable sizes. *)
+
+val make :
+  model:Model.t ->
+  nprocs:int ->
+  locals_off:int ->
+  locals_per:int ->
+  var_off:int array ->
+  cell_ceil:int array ->
+  pend:(int * int) array array ->
+  ctx
+(** [locals_off]/[locals_per] describe where per-process locals live in
+    the packed state; [var_off.(v)] is variable [v]'s first flat shared
+    cell; [cell_ceil] maps every flat shared cell to its [Safe] ceiling;
+    [pend] is {!Two_phase.meta.tp_pend}. *)
+
+val model : ctx -> Model.t
+
+val iter_views :
+  ctx ->
+  s:int array ->
+  view:int array ->
+  pid:int ->
+  cells:int array ->
+  (flick:int -> unit) ->
+  unit
+(** [iter_views ctx ~s ~view ~pid ~cells f] calls [f ~flick] once per
+    candidate view.  [view] must be a copy of the packed state [s]; the
+    overlapped cells are mutated in place before each call and restored
+    to [s]'s values before returning.  [cells] is the action's static
+    read set as sorted flat shared offsets ({!Mxlang.Reads.static_cells});
+    dirty cells outside it are ignored. *)
+
+val assignment :
+  ctx -> s:int array -> pid:int -> cells:int array -> flick:int -> (int * int) list
+(** Decode a rank produced by [iter_views] over the same [(s, pid,
+    cells)] into [(flat_cell, seen_value)] pairs for every overlapped
+    cell, in ascending cell order (including cells whose digit decodes
+    to the unperturbed value — compare against [s] to isolate actual
+    flickers). *)

@@ -1,0 +1,16 @@
+type t = Atomic | Regular | Safe
+
+let all = [ Atomic; Regular; Safe ]
+
+let to_string = function
+  | Atomic -> "atomic"
+  | Regular -> "regular"
+  | Safe -> "safe"
+
+let names = "atomic|regular|safe"
+
+let of_string = function
+  | "atomic" -> Ok Atomic
+  | "regular" -> Ok Regular
+  | "safe" -> Ok Safe
+  | s -> Error (Printf.sprintf "unknown register model %S (expected %s)" s names)

@@ -1,0 +1,33 @@
+(** The register models the checking stack can run under.
+
+    Following van Glabbeek/Luttik/Spronck ("Just Verification of Mutual
+    Exclusion Algorithms with (Non-)Blocking and (Non-)Atomic
+    Registers") and Spronck/Luttik ("Process-Algebraic Models of MWMR
+    Non-Atomic Registers"), a register is weakened by what a read
+    overlapping a write may return:
+
+    - [Atomic]: reads and writes are linearizable points — today's
+      semantics, bit-identical to the engine without this layer;
+    - [Regular]: a read overlapping a write returns the old or the new
+      value (and one of the overlapping writes' values when several
+      overlap);
+    - [Safe]: a read overlapping a write returns {e any} value in the
+      register's range.
+
+    Overlap is made a real interleaving notion by the two-phase write
+    encoding ({!Two_phase}); the candidate values a flickering read may
+    return come from {!Flicker}, with [Safe] ranges from {!Domain}. *)
+
+type t = Atomic | Regular | Safe
+
+val all : t list
+(** In declaration order: [Atomic; Regular; Safe]. *)
+
+val to_string : t -> string
+(** ["atomic"], ["regular"], ["safe"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; the error message lists the valid names. *)
+
+val names : string
+(** ["atomic|regular|safe"], for CLI usage lines. *)

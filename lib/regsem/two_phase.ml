@@ -1,0 +1,145 @@
+module Ast = Mxlang.Ast
+
+type meta = {
+  tp_orig_steps : int;
+  tp_orig_locals : int;
+  tp_pend : (int * int) array array;
+}
+
+let transform (p : Ast.program) : Ast.program * meta =
+  (* Slot demand per variable: the max number of shared writes to it in
+     any single action. *)
+  let slots = Array.make p.nvars 0 in
+  Array.iter
+    (fun (s : Ast.step) ->
+      List.iter
+        (fun (a : Ast.action) ->
+          let per = Array.make p.nvars 0 in
+          List.iter
+            (fun (l, _) ->
+              match l with
+              | Ast.Sh (v, _) -> per.(v) <- per.(v) + 1
+              | Ast.Lo _ -> ())
+            a.effects;
+          Array.iteri (fun v k -> if k > slots.(v) then slots.(v) <- k) per)
+        s.actions)
+    p.steps;
+  let total_slots = Array.fold_left ( + ) 0 slots in
+  let nlocals' = p.nlocals + (2 * total_slots) in
+  let local_names = Array.make (max nlocals' 1) "" in
+  Array.blit p.local_names 0 local_names 0 p.nlocals;
+  let local_names = Array.sub local_names 0 nlocals' in
+  let init_locals = Array.make (max nlocals' 1) 0 in
+  Array.blit p.init_locals 0 init_locals 0 p.nlocals;
+  let init_locals = Array.sub init_locals 0 nlocals' in
+  let next = ref p.nlocals in
+  let tp_pend =
+    Array.init p.nvars (fun v ->
+        Array.init slots.(v) (fun j ->
+            let il = !next and vl = !next + 1 in
+            next := !next + 2;
+            local_names.(il) <- Printf.sprintf "pend.%s.%d.ix" p.var_names.(v) j;
+            local_names.(vl) <- Printf.sprintf "pend.%s.%d.val" p.var_names.(v) j;
+            init_locals.(il) <- -1;
+            (il, vl)))
+  in
+  let meta = { tp_orig_steps = Array.length p.steps; tp_orig_locals = p.nlocals; tp_pend } in
+  if total_slots = 0 then (p, meta)
+  else begin
+    let nsteps = Array.length p.steps in
+    let commits = ref [] (* reversed *) and ncommits = ref 0 in
+    let rewrite_action (s : Ast.step) ~alt (a : Ast.action) =
+      let shw =
+        List.filter_map
+          (fun (l, _) -> match l with Ast.Sh (v, _) -> Some v | Ast.Lo _ -> None)
+          a.effects
+      in
+      match shw with
+      | [] -> a
+      | _ ->
+          let nw = List.length shw in
+          let first_commit = nsteps + !ncommits in
+          (* Assign each shared write its variable's next free slot, in
+             declaration order (matching the commit order below, which
+             preserves the atomic last-write-wins outcome). *)
+          let used = Array.make p.nvars 0 in
+          let wslots =
+            Array.of_list
+              (List.map
+                 (fun v ->
+                   let j = used.(v) in
+                   used.(v) <- j + 1;
+                   (v, j))
+                 shw)
+          in
+          let wi = ref 0 in
+          let start_effects =
+            List.concat_map
+              (fun ((l, e) as eff) ->
+                match l with
+                | Ast.Lo _ -> [ eff ]
+                | Ast.Sh (_, ix) ->
+                    let v, j = wslots.(!wi) in
+                    incr wi;
+                    let il, vl = tp_pend.(v).(j) in
+                    [ (Ast.Lo il, ix); (Ast.Lo vl, e) ])
+              a.effects
+          in
+          Array.iteri
+            (fun k (v, j) ->
+              let il, vl = tp_pend.(v).(j) in
+              let target = if k = nw - 1 then a.target else first_commit + k + 1 in
+              let step_name =
+                if nw = 1 && List.length s.actions = 1 then s.step_name ^ "#commit"
+                else Printf.sprintf "%s#commit.%d.%d" s.step_name alt k
+              in
+              commits :=
+                {
+                  Ast.step_name;
+                  kind = s.kind;
+                  actions =
+                    [
+                      {
+                        Ast.guard = Ast.True;
+                        (* The value slot is reset with the index so
+                           quiescent states are canonical: a state with
+                           no write in flight always has pend = (-1, 0),
+                           which keeps the weak state space from
+                           splitting on dead pending values and lets an
+                           atomic state embed into the weak layout by
+                           blitting over the initial locals. *)
+                        effects =
+                          [
+                            (Ast.Sh (v, Ast.Local il), Ast.Local vl);
+                            (Ast.Lo il, Ast.Int (-1));
+                            (Ast.Lo vl, Ast.Int 0);
+                          ];
+                        target;
+                      };
+                    ];
+                }
+                :: !commits)
+            wslots;
+          ncommits := !ncommits + nw;
+          { a with effects = start_effects; target = first_commit }
+    in
+    (* Commit pcs are assigned as actions are visited, so force explicit
+       ascending (pc, alt) order rather than relying on [List.mapi] /
+       [Array.map] evaluation order. *)
+    let rewritten =
+      Array.make nsteps p.steps.(0) |> fun out ->
+      for pc = 0 to nsteps - 1 do
+        let s = p.steps.(pc) in
+        let acc = ref [] and alt = ref 0 in
+        List.iter
+          (fun a ->
+            acc := rewrite_action s ~alt:!alt a :: !acc;
+            incr alt)
+          s.actions;
+        out.(pc) <- { s with actions = List.rev !acc }
+      done;
+      out
+    in
+    let steps = Array.append rewritten (Array.of_list (List.rev !commits)) in
+    ({ p with nlocals = nlocals'; local_names; steps; init_locals }, meta)
+  end

@@ -1,0 +1,46 @@
+(** Two-phase write encoding: make write/read overlap an interleaving.
+
+    Under atomic semantics an mxlang action's shared writes land in the
+    same indivisible step as its guard and local updates, so no read can
+    ever overlap a write.  [transform] splits every action that writes
+    shared cells into a {e write-start} (the original guard plus local
+    effects, with each shared write's destination index and value
+    latched into fresh pending locals — all still evaluated in the
+    pre-state, preserving the simultaneous-assignment semantics) and a
+    chain of single-write {e commit} steps (guard [True], store the
+    latched value, reset the pending slot to its idle [(-1, 0)] form —
+    so quiescent states are canonical and atomic states embed into the
+    weak layout without tracking stale pending values).  Between start and commit
+    the write is {e in flight}: any other process scheduled in that
+    window reads-overlapping-a-write in exactly the sense of the
+    process-algebraic register models, and {!Flicker} enumerates what
+    such a read may return.
+
+    Numbering is stable by construction — original steps keep their pc
+    indices (commit steps are appended), original locals keep their
+    indices (pending slots are appended), and the shared layout is
+    untouched — so an atomic-run state embeds into the transformed
+    layout by copying shared cells, pcs, and the original locals.  Each
+    commit step inherits its source step's {!Mxlang.Ast.kind}: a
+    process occupies its section until the section's writes have
+    landed.
+
+    Pending slots are allocated per variable, [max] shared writes to
+    that variable in any single action (so an action writing two cells
+    of one array, or cells of two arrays, gets distinct slots); an idle
+    slot holds index -1.  A process therefore has a live pending slot
+    iff it sits at a commit pc, and commit actions read no shared
+    cells, so a process never observes its own in-flight writes. *)
+
+type meta = {
+  tp_orig_steps : int;  (** steps in the source program; commits follow *)
+  tp_orig_locals : int;  (** locals in the source program; slots follow *)
+  tp_pend : (int * int) array array;
+      (** [tp_pend.(v)] = pending slots for variable [v], each
+          [(index_local, value_local)]; index -1 means idle *)
+}
+
+val transform : Mxlang.Ast.program -> Mxlang.Ast.program * meta
+(** [transform p] returns the two-phase program and the slot map.
+    Programs with no shared writes are returned unchanged (modulo
+    physical equality of the record). *)

@@ -4,7 +4,11 @@ type crash_config = {
   only_outside_cs : bool;
 }
 
-type flicker_config = { flicker_prob : float; max_value : int }
+type flicker_config = {
+  flicker_prob : float;
+  flicker_model : Regsem.Model.t;
+  flicker_slack : int;
+}
 
 type overflow_policy = Detect | Stop | Wrap
 
@@ -65,6 +69,8 @@ type sim = {
   cfg : config;
   env : Mxlang.Eval.env;
   program : Mxlang.Ast.program;
+  ceilings : int array;
+      (* per-variable value ceilings for Safe flicker; [||] otherwise *)
   shared : int array;
   locals : int array array;
   pcs : int array;
@@ -98,10 +104,17 @@ let kind_of sim pc = sim.program.steps.(pc).kind
 
 let make_sim program cfg =
   let env = Mxlang.Eval.make_env program ~nprocs:cfg.nprocs ~bound:cfg.bound in
+  let ceilings =
+    match cfg.flicker with
+    | Some { flicker_model = Regsem.Model.Safe; _ } ->
+        Regsem.Domain.ceilings program ~nprocs:cfg.nprocs ~bound:cfg.bound
+    | _ -> [||]
+  in
   {
     cfg;
     env;
     program;
+    ceilings;
     shared = Mxlang.Eval.init_shared env;
     locals = Array.init cfg.nprocs (fun _ -> Mxlang.Eval.init_locals env);
     pcs = Array.make cfg.nprocs program.init_pc;
@@ -136,9 +149,12 @@ let runnable_vector sim buffer =
          <> []
   done
 
-(* Safe-register anomaly: build a read view of shared memory in which each
-   cell that another live process's current step could write has, with
-   probability [flicker_prob], an arbitrary value in [0, max_value]. *)
+(* Weak-register anomaly: build a read view of shared memory in which
+   each cell that another live process's current step could write has,
+   with probability [flicker_prob], a perturbed value drawn from the
+   register model's candidate set — the value the in-flight write will
+   store for a regular register, anything in the variable's range
+   ({!Regsem.Domain.ceilings}) for a safe one. *)
 let perturbed_view sim fc ~reader =
   let view = Array.copy sim.shared in
   for other = 0 to sim.cfg.nprocs - 1 do
@@ -146,7 +162,7 @@ let perturbed_view sim fc ~reader =
       List.iter
         (fun (a : Mxlang.Ast.action) ->
           List.iter
-            (fun (l, _) ->
+            (fun (l, e) ->
               match l with
               | Mxlang.Ast.Lo _ -> ()
               | Mxlang.Ast.Sh (v, ix) -> (
@@ -154,19 +170,33 @@ let perturbed_view sim fc ~reader =
                     Mxlang.Eval.eval sim.env ~shared:sim.shared
                       ~locals:sim.locals.(other) ~pid:other ix
                   with
-                  | idx ->
+                  | idx -> (
                       let cell = Mxlang.Eval.offset sim.env v + idx in
                       if
                         cell >= 0
                         && cell < Array.length view
                         && Prng.Rng.float sim.rng 1.0 < fc.flicker_prob
-                      then begin
-                        let value = Prng.Rng.int sim.rng (fc.max_value + 1) in
-                        view.(cell) <- value;
-                        sim.flickers <- sim.flickers + 1;
-                        emit sim
-                          (Event.Flicker { time = sim.time; pid = reader; cell; value })
-                      end
+                      then
+                        match
+                          match fc.flicker_model with
+                          | Regsem.Model.Atomic -> view.(cell)
+                          | Regsem.Model.Regular ->
+                              (* the overlapped read may see the value
+                                 the write is about to store *)
+                              Mxlang.Eval.eval sim.env ~shared:sim.shared
+                                ~locals:sim.locals.(other) ~pid:other e
+                          | Regsem.Model.Safe ->
+                              Prng.Rng.int sim.rng
+                                (sim.ceilings.(v) + fc.flicker_slack + 1)
+                        with
+                        | value when fc.flicker_model <> Regsem.Model.Atomic ->
+                            view.(cell) <- value;
+                            sim.flickers <- sim.flickers + 1;
+                            emit sim
+                              (Event.Flicker
+                                 { time = sim.time; pid = reader; cell; value })
+                        | _ -> ()
+                        | exception Mxlang.Eval.Error _ -> ())
                   | exception Mxlang.Eval.Error _ -> ()))
             a.effects)
         sim.program.steps.(sim.pcs.(other)).actions
@@ -442,7 +472,8 @@ let run program cfg =
     | Some pid ->
         let read_shared =
           match cfg.flicker with
-          | None -> sim.shared
+          | None | Some { flicker_model = Regsem.Model.Atomic; _ } ->
+              sim.shared
           | Some fc -> perturbed_view sim fc ~reader:pid
         in
         let actions =

@@ -6,9 +6,11 @@
     crash at any instant, a crashed process resets its own single-writer
     shared cells and its locals to their initial values, and restarts in
     its noncritical section after a delay (§1.2, condition 4).  It can
-    also inject safe-register read anomalies ("flicker"): a read of a cell
-    that another process is about to write may return an arbitrary value,
-    the paper's "a read that overlaps a write may return any value". *)
+    also inject weak-register read anomalies ("flicker"): a read of a
+    cell that another process is about to write may return a perturbed
+    value, with the candidate set picked by a {!Regsem.Model} — the
+    paper's "a read that overlaps a write may return any value" is the
+    [Safe] case. *)
 
 type crash_config = {
   crash_prob : float;  (** per-step probability that some process crashes *)
@@ -21,7 +23,17 @@ type crash_config = {
 
 type flicker_config = {
   flicker_prob : float;  (** probability a concurrently-written cell flickers *)
-  max_value : int;  (** flickered reads are uniform in [0, max_value] *)
+  flicker_model : Regsem.Model.t;
+      (** value domain of a flickered read, shared with the exhaustive
+          checker ({!Regsem}): [Regular] returns the value the
+          overlapping write is about to store, [Safe] draws uniformly
+          from the variable's range ({!Regsem.Domain.ceilings}), and
+          [Atomic] disables perturbation entirely *)
+  flicker_slack : int;
+      (** extra headroom above each variable's ceiling for [Safe]
+          flicker — the paper's "arbitrary natural value" reads return
+          up to [ceiling + slack]; 0 keeps reads in range.  Ignored by
+          [Regular] and [Atomic]. *)
 }
 
 type overflow_policy =

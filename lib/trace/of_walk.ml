@@ -26,6 +26,21 @@ let trace ?model ?violation (w : Modelcheck.Rewalk.t) =
     (fun i (s : Modelcheck.Rewalk.step) ->
       let step = i + 1 in
       last := (s.rw_pid, step);
+      (* Flickered reads first: an anomaly names the perturbed register
+         before the Read events report the values the step computed
+         with, so the story reads "the read flickered, then...". *)
+      List.iter
+        (fun (fl : Modelcheck.Rewalk.flick) ->
+          Causal.push b ~step ~pid:s.rw_pid
+            (Event.Anomaly
+               {
+                 what =
+                   Printf.sprintf "flickered read of %s[%d] (register held %d)"
+                     program.var_names.(fl.fl_var) fl.fl_cell fl.fl_actual;
+                 cell = fl.fl_cell;
+                 value = fl.fl_seen;
+               }))
+        s.rw_flicks;
       List.iter
         (fun (r : Mxlang.Reads.read) ->
           Causal.push b ~step ~pid:s.rw_pid

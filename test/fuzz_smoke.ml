@@ -2,7 +2,7 @@
    tier-1 suite runs.
 
    Phase 1 fuzzes the safe models (bakery_pp, peterson2) across all
-   three differential oracles under a wall-clock budget — any failure is
+   five differential oracles under a wall-clock budget — any failure is
    a real bug in one of the engines and fails the alias.  Phase 2 runs a
    fixed batch against bakery_mod_naive and demands the fuzzer still
    catches the naive-modulo mutual-exclusion bug, so the alias also
@@ -33,11 +33,9 @@ let () =
       Fuzz.Driver.oracles = [ Fuzz.Oracle.Replay ];
       params =
         {
+          Fuzz.Driver_params.default with
           Fuzz.Driver_params.models = [ "bakery_mod_naive" ];
-          nprocs = 2;
           bound = 3;
-          max_states = 20_000;
-          sched_len = 120;
         };
     }
   in

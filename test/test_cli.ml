@@ -134,7 +134,8 @@ let fuzz_run_and_metrics () =
   check int_t "fuzz exits 0 when nothing fails" 0 code;
   check bool_t "summary header" true (contains ~affix:"fuzz: seed=3" out);
   check bool_t "per-oracle lines" true (contains ~affix:"compile" out);
-  check bool_t "total line" true (contains ~affix:"total: 20 cases" out);
+  check bool_t "total line" true (contains ~affix:"total: 25 cases" out);
+  check bool_t "regsem oracle in rotation" true (contains ~affix:"regsem" out);
   (* metrics snapshot parses and records the case counters *)
   let ic = open_in metrics in
   let lines = ref [] in
@@ -245,6 +246,38 @@ let explain_usage_errors () =
   in
   check int_t "both inputs is a usage error" 2 code
 
+(* ------------------------------------------------- weak register flag *)
+
+let register_model_flag () =
+  (* an unknown model is a usage error that names the flag and lists
+     the valid values (Harness.Argscan.parse_enum's contract) *)
+  let code, _, err =
+    run_capture
+      [ "check"; "bakery_pp"; "-n"; "2"; "-m"; "3"; "--register-model"; "x" ]
+  in
+  check int_t "unknown model is a usage error" 2 code;
+  check bool_t "error names the flag" true
+    (contains ~affix:"--register-model" err);
+  check bool_t "error lists the valid models" true
+    (contains ~affix:"atomic" err && contains ~affix:"regular" err
+   && contains ~affix:"safe" err);
+  (* the flag is documented on every subcommand that takes it *)
+  List.iter
+    (fun sub ->
+      let _, out, _ = run_capture [ sub; "--help" ] in
+      check bool_t (sub ^ " --help documents --register-model") true
+        (contains ~affix:"--register-model" out))
+    [ "check"; "explain"; "fuzz"; "sim" ];
+  (* and a weak-model check actually runs: TLC-equivalent exploration
+     of bakery_pp survives safe registers at this size *)
+  let code, out, _ =
+    run_capture
+      [ "check"; "bakery_pp"; "-n"; "2"; "-m"; "3"; "--register-model"; "safe" ]
+  in
+  check int_t "safe check exits 0" 0 code;
+  check bool_t "safe check reports a pass" true
+    (contains ~affix:"Invariants hold" out)
+
 (* ------------------------------------------------------- bench locks *)
 
 (* The acceptance contract: two `bench locks` runs with the same seed
@@ -331,5 +364,10 @@ let () =
             explain_chrome_out;
           Alcotest.test_case "--model counterexample" `Quick explain_model;
           Alcotest.test_case "usage errors" `Quick explain_usage_errors;
+        ] );
+      ( "regsem",
+        [
+          Alcotest.test_case "--register-model flag" `Quick
+            register_model_flag;
         ] );
     ]

@@ -154,11 +154,9 @@ let test_program_shrink () =
 
 let naive_params =
   {
+    Fuzz.Driver_params.default with
     Fuzz.Driver_params.models = [ "bakery_mod_naive" ];
-    nprocs = 2;
     bound = 3;
-    max_states = 20_000;
-    sched_len = 120;
   }
 
 let test_e2e_pipeline () =

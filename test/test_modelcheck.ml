@@ -434,6 +434,95 @@ let par_deadlock () =
   | MC.Explore.Deadlock _ -> ()
   | _ -> Alcotest.fail "parallel engine must detect the deadlock"
 
+(* --------------------------------------------------------- weak registers *)
+
+(* Test-and-set in one atomic action: mutex-safe over atomic registers,
+   impossible over weak ones — the guard's read of [lock] can overlap
+   the other process's in-flight write and return a stale 0, letting
+   both processes through.  The classic atomic/non-atomic separation
+   the regsem layer must reproduce. *)
+let tas_program () =
+  let b = Mxlang.Builder.create ~title:"tas_toy" in
+  let lock = Mxlang.Builder.shared b "lock" ~size:1 ~bounded:true () in
+  let try_ = Mxlang.Builder.fresh_label b "try" in
+  let cs = Mxlang.Builder.fresh_label b "cs" in
+  let rd0 = Mxlang.Ast.Rd (lock, Mxlang.Ast.Int 0) in
+  Mxlang.Builder.define b try_ ~kind:Mxlang.Ast.Entry
+    [
+      Mxlang.Builder.action
+        ~guard:(Mxlang.Ast.Cmp (Mxlang.Ast.Ceq, rd0, Mxlang.Ast.Int 0))
+        ~effects:[ (Mxlang.Ast.Sh (lock, Mxlang.Ast.Int 0), Mxlang.Ast.Int 1) ]
+        cs;
+    ];
+  Mxlang.Builder.define b cs ~kind:Mxlang.Ast.Critical
+    [
+      Mxlang.Builder.action
+        ~effects:[ (Mxlang.Ast.Sh (lock, Mxlang.Ast.Int 0), Mxlang.Ast.Int 0) ]
+        try_;
+    ];
+  Mxlang.Builder.build b
+
+let weak_model_separates_tas () =
+  let prog = tas_program () in
+  let atomic =
+    MC.System.make ~register_model:Regsem.Model.Atomic prog ~nprocs:2 ~bound:2
+  in
+  (match (MC.Explore.run ~invariants:[ MC.Invariant.mutex ] atomic).outcome with
+  | MC.Explore.Pass -> ()
+  | o ->
+      Alcotest.failf "TAS must be mutex-safe atomically, got %s"
+        (MC.Explore.outcome_tag o));
+  List.iter
+    (fun model ->
+      let sys = MC.System.make ~register_model:model prog ~nprocs:2 ~bound:2 in
+      match (MC.Explore.run ~invariants:[ MC.Invariant.mutex ] sys).outcome with
+      | MC.Explore.Violation { invariant; trace } ->
+          check Alcotest.string "mutex broken" "mutual-exclusion" invariant;
+          (* shortest interleaving: both write-starts (each reading the
+             stale 0), then both commits — BFS must find exactly it *)
+          check int_t
+            (Regsem.Model.to_string model ^ " counterexample is shortest")
+            5 (MC.Trace.length trace)
+      | o ->
+          Alcotest.failf "TAS must break under %s registers, got %s"
+            (Regsem.Model.to_string model)
+            (MC.Explore.outcome_tag o))
+    [ Regsem.Model.Regular; Regsem.Model.Safe ]
+
+let weak_counterexample_replays () =
+  let prog = tas_program () in
+  let run () =
+    let sys =
+      MC.System.make ~register_model:Regsem.Model.Safe prog ~nprocs:2 ~bound:2
+    in
+    (sys, MC.Explore.run ~invariants:[ MC.Invariant.mutex ] sys)
+  in
+  let sys, r1 = run () in
+  let _, r2 = run () in
+  match (r1.outcome, r2.outcome) with
+  | ( MC.Explore.Violation { trace = t1; _ },
+      MC.Explore.Violation { trace = t2; _ } ) ->
+      (* bit-identical across runs... *)
+      check int_t "same length" (MC.Trace.length t1) (MC.Trace.length t2);
+      List.iter2
+        (fun (a : MC.Trace.entry) (b : MC.Trace.entry) ->
+          check int_t "same pid" a.pid b.pid;
+          check bool_t "same state" true (MC.State.equal a.state b.state))
+        t1 t2;
+      (* ...and every step replays as a real move of the weak system *)
+      let rec walk = function
+        | (a : MC.Trace.entry) :: b :: rest ->
+            check bool_t "connected under the weak semantics" true
+              (List.exists
+                 (fun (mv : MC.System.move) ->
+                   MC.State.equal mv.dest b.MC.Trace.state)
+                 (MC.System.successors sys a.state));
+            walk (b :: rest)
+        | _ -> ()
+      in
+      walk t1
+  | _ -> Alcotest.fail "expected a Safe-register counterexample twice"
+
 (* ------------------------------------------------------------- coverage *)
 
 let coverage_counts () =
@@ -552,6 +641,13 @@ let () =
           Alcotest.test_case "collision injection" `Quick collision_injection;
           Alcotest.test_case "fp-only agrees via replayed traces" `Quick
             sharded_fp_only_agrees;
+        ] );
+      ( "regsem",
+        [
+          Alcotest.test_case "TAS separates atomic from weak models" `Quick
+            weak_model_separates_tas;
+          Alcotest.test_case "weak counterexample replays deterministically"
+            `Quick weak_counterexample_replays;
         ] );
       ( "coverage",
         [

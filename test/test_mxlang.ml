@@ -398,6 +398,112 @@ let prop_pipeline_total =
       let (_ : Schedsim.Runner.result) = Schedsim.Runner.run prog cfg in
       true)
 
+(* ------------------------------------------- weak-register candidates *)
+
+module MC = Modelcheck
+
+(* Writer/reader toy: pid 0 writes x[0] := 2 while pid 1 copies x[0]
+   into a local.  Driving pid 0 through its first move only (under a
+   weak model, the write-start — the write is then in flight) and
+   collecting pid 1's successor states pins exactly which values an
+   overlapped read may return under each register model. *)
+let wr_toy () =
+  let open Dsl in
+  let b = Builder.create ~title:"wr_toy" in
+  let x = Builder.shared b "x" ~size:1 ~bounded:true () in
+  let seen = Builder.local b "seen" in
+  let start = Builder.fresh_label b "start" in
+  let stop = Builder.fresh_label b "stop" in
+  Builder.define b start ~kind:Ast.Plain
+    [
+      Builder.action ~guard:(self =: zero) ~effects:[ set x zero (int 2) ] stop;
+      Builder.action ~guard:(self =: one)
+        ~effects:[ set_local seen (rd x zero) ]
+        stop;
+    ];
+  Builder.define b stop ~kind:Ast.Plain [ Builder.action ~guard:ff stop ];
+  Builder.build b
+
+let wr_sys model =
+  MC.System.make ~register_model:model (wr_toy ()) ~nprocs:2 ~bound:3
+
+(* pid 1's reachable values of [seen] from state [s], deduplicated *)
+let reader_sees sys s =
+  let lay = MC.System.layout sys in
+  MC.System.successors_of_pid sys s 1
+  |> List.map (fun (mv : MC.System.move) ->
+         (MC.State.locals_part lay mv.dest 1).(0))
+  |> List.sort_uniq compare
+
+(* drive pid 0 one move (under a weak model: the write-start) *)
+let after_p0 sys =
+  match MC.System.successors_of_pid sys (MC.System.initial sys) 0 with
+  | [ mv ] -> mv.MC.System.dest
+  | ms -> Alcotest.failf "expected 1 move for pid 0, got %d" (List.length ms)
+
+let regsem_no_overlap_singleton () =
+  (* no in-flight write anywhere: the read is a singleton under every
+     model — weakening only bites on overlap *)
+  List.iter
+    (fun model ->
+      let sys = wr_sys model in
+      check
+        (Alcotest.list int_t)
+        (Regsem.Model.to_string model ^ ": quiescent read is a singleton")
+        [ 0 ]
+        (reader_sees sys (MC.System.initial sys)))
+    Regsem.Model.all
+
+let regsem_regular_old_or_new () =
+  let sys = wr_sys Regsem.Model.Regular in
+  check
+    (Alcotest.list int_t)
+    "overlapped regular read sees exactly {old, new}" [ 0; 2 ]
+    (reader_sees sys (after_p0 sys))
+
+let regsem_safe_full_range () =
+  let sys = wr_sys Regsem.Model.Safe in
+  let ceil = (Regsem.Domain.ceilings (wr_toy ()) ~nprocs:2 ~bound:3).(0) in
+  check bool_t "interval analysis covers the written value" true (ceil >= 2);
+  let vals = reader_sees sys (after_p0 sys) in
+  check
+    (Alcotest.list int_t)
+    "overlapped safe read sees the full register range"
+    (List.init (ceil + 1) Fun.id)
+    vals;
+  (* the range includes 1, a value no process ever writes *)
+  check bool_t "safe candidates include a never-written value" true
+    (List.mem 1 vals)
+
+let regsem_atomic_never_overlaps () =
+  let sys = wr_sys Regsem.Model.Atomic in
+  (* atomic writes land in one step: after pid 0 moves, only the new
+     value is observable, and every move carries the trivial rank *)
+  check (Alcotest.list int_t) "atomic read after the write" [ 2 ]
+    (reader_sees sys (after_p0 sys));
+  List.iter
+    (fun (mv : MC.System.move) ->
+      check int_t "atomic flick rank" 0 mv.MC.System.flick)
+    (MC.System.successors sys (MC.System.initial sys))
+
+let regsem_rank0_unperturbed () =
+  let sys = wr_sys Regsem.Model.Safe in
+  let s = after_p0 sys in
+  let lay = MC.System.layout sys in
+  let moves = MC.System.successors_of_pid sys s 1 in
+  match
+    List.filter (fun (mv : MC.System.move) -> mv.MC.System.flick = 0) moves
+  with
+  | [ mv ] ->
+      check int_t "rank 0 reads the register's current value" 0
+        (MC.State.locals_part lay mv.dest 1).(0);
+      check
+        (Alcotest.list (Alcotest.pair int_t int_t))
+        "rank 0 decodes to no flickered cells" []
+        (MC.System.flick_assignment sys s ~pid:1 ~pc:mv.from_pc ~alt:mv.alt
+           ~flick:0)
+  | _ -> Alcotest.fail "expected exactly one rank-0 move"
+
 let () =
   Alcotest.run "mxlang"
     [
@@ -434,6 +540,19 @@ let () =
           Alcotest.test_case "bakery_pp module exports" `Quick tla_export;
           Alcotest.test_case "UNCHANGED clause present" `Quick
             tla_unchanged_clause;
+        ] );
+      ( "regsem",
+        [
+          Alcotest.test_case "no overlapping write => singleton" `Quick
+            regsem_no_overlap_singleton;
+          Alcotest.test_case "regular read sees {old, new}" `Quick
+            regsem_regular_old_or_new;
+          Alcotest.test_case "safe read sees the full range" `Quick
+            regsem_safe_full_range;
+          Alcotest.test_case "atomic never overlaps" `Quick
+            regsem_atomic_never_overlaps;
+          Alcotest.test_case "rank 0 is the unperturbed view" `Quick
+            regsem_rank0_unperturbed;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

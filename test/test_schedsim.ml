@@ -237,21 +237,55 @@ let crash_only_outside_cs () =
 
 (* -------------------------------------------------------------- flicker *)
 
+let flicker_cfg ~nprocs ~bound ~model =
+  {
+    (default ~nprocs ~bound) with
+    strategy = Schedsim.Scheduler.Uniform 21;
+    max_steps = 100_000;
+    flicker =
+      Some
+        {
+          Schedsim.Runner.flicker_prob = 0.1;
+          flicker_model = model;
+          flicker_slack = 0;
+        };
+  }
+
 let flicker_counts_and_safety () =
   let prog = Core.Bakery_pp_model.program () in
-  let bound = 6 in
-  let cfg =
-    {
-      (default ~nprocs:3 ~bound) with
-      strategy = Schedsim.Scheduler.Uniform 21;
-      max_steps = 100_000;
-      flicker = Some { flicker_prob = 0.1; max_value = bound };
-    }
-  in
+  let cfg = flicker_cfg ~nprocs:3 ~bound:6 ~model:Regsem.Model.Safe in
   let r = Schedsim.Runner.run prog cfg in
   check bool_t "flickers injected" true (r.flickers > 0);
   check int_t "mutex holds under safe-register anomalies" 0 r.mutex_violations;
   check int_t "no overflow under in-range flicker" 0 r.overflow_events
+
+let flicker_atomic_model_is_inert () =
+  let prog = Core.Bakery_pp_model.program () in
+  let r =
+    Schedsim.Runner.run prog
+      (flicker_cfg ~nprocs:3 ~bound:6 ~model:Regsem.Model.Atomic)
+  in
+  let clean =
+    Schedsim.Runner.run prog
+      { (flicker_cfg ~nprocs:3 ~bound:6 ~model:Regsem.Model.Atomic) with flicker = None }
+  in
+  check int_t "atomic flicker model injects nothing" 0 r.flickers;
+  check bool_t "atomic flicker run equals a flicker-free run" true
+    (r.cs_entries = clean.cs_entries && r.final_shared = clean.final_shared)
+
+let flicker_regular_stays_in_written_range () =
+  (* Under a regular register a flickered read returns the value the
+     in-flight write is about to store, so Bakery++'s bounded tickets
+     can never be observed above M + 1 (the pre-reset overflow value). *)
+  let prog = Core.Bakery_pp_model.program () in
+  let bound = 6 in
+  let r =
+    Schedsim.Runner.run prog
+      (flicker_cfg ~nprocs:3 ~bound ~model:Regsem.Model.Regular)
+  in
+  check bool_t "regular flickers injected" true (r.flickers > 0);
+  check int_t "mutex holds under regular-register anomalies" 0
+    r.mutex_violations
 
 (* -------------------------------------------------------------- metrics *)
 
@@ -430,6 +464,10 @@ let () =
         [
           Alcotest.test_case "safe-register anomalies" `Quick
             flicker_counts_and_safety;
+          Alcotest.test_case "atomic model is inert" `Quick
+            flicker_atomic_model_is_inert;
+          Alcotest.test_case "regular-register anomalies" `Quick
+            flicker_regular_stays_in_written_range;
         ] );
       ( "metrics",
         [
