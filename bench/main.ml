@@ -12,7 +12,7 @@
      dune exec bench/main.exe -- --check-regress e11
                                            # perf gate against prior datapoints
 
-   Experiments that record datapoints (currently E11/E12/E14) also leave
+   Experiments that record datapoints (currently E11/E12/E14/E15) also leave
    BENCH_modelcheck.json in the working directory, so perf trajectories
    can be tracked across PRs.  [--check-regress] compares every fresh
    states/sec datapoint against the best prior one for the same metric
@@ -243,7 +243,7 @@ let () =
     List.filter
       (fun v ->
         match Telemetry.Json.member "experiment" v with
-        | Some (Telemetry.Json.Str ("e11" | "e12" | "e14")) -> true
+        | Some (Telemetry.Json.Str ("e11" | "e12" | "e14" | "e15")) -> true
         | _ -> false)
       metrics
   in
@@ -271,15 +271,16 @@ let () =
     let fresh =
       List.filter
         (fun (dp : Harness.Experiments.datapoint) ->
-          (dp.dp_exp = "e11" || dp.dp_exp = "e12" || dp.dp_exp = "e14")
+          (dp.dp_exp = "e11" || dp.dp_exp = "e12" || dp.dp_exp = "e14"
+           || dp.dp_exp = "e15")
           && String.ends_with ~suffix:"/states_per_sec" dp.dp_metric)
         raw_dps
     in
     if fresh = [] && cards = [] then begin
       prerr_endline
-        "--check-regress: the run recorded no e11/e12/e14 states/sec \
-         datapoints and no lock scorecards (include e11, e12, e13 or e14 in \
-         the experiment list)";
+        "--check-regress: the run recorded no e11/e12/e14/e15 states/sec \
+         datapoints and no lock scorecards (include e11, e12, e13, e14 or e15 \
+         in the experiment list)";
       exit 2
     end;
     (* A prior row participates in the baseline only if it carries a

@@ -113,6 +113,54 @@ let () =
       "bench-smoke: an explicitly-atomic system diverged from the default \
        build (distinct %d vs %d)"
       ar.stats.distinct seq.stats.distinct;
+  (* ---------------------------------------------- reduction leg (~1s) *)
+  (* Reduced-vs-full verdict agreement on two registry models — one
+     passing (ticket_mod: quotient must match the full Pass exactly,
+     with a minimum reduction ratio so a silently-identity canonizer
+     fails the gate) and one violating (ticket: both reduced modes must
+     still find the no-overflow bug).  Mirrors the fuzz `reduced`
+     oracle as a deterministic @ci gate. *)
+  let check_reduced name ~nprocs ~bound ~min_sym_ratio =
+    let sys =
+      Modelcheck.System.make (Harness.Registry.find_model name) ~nprocs ~bound
+    in
+    let run reduce = Modelcheck.Explore.run ~reduce sys in
+    let full = run Modelcheck.Reduce.Off in
+    List.iter
+      (fun mode ->
+        let r = run mode in
+        let ms = Modelcheck.Reduce.mode_to_string mode in
+        Printf.printf
+          "bench-smoke reduce %s %-7s distinct=%d (full %d) %s\n" name ms
+          r.stats.distinct full.stats.distinct
+          (Modelcheck.Explore.outcome_tag r.outcome);
+        (match (full.outcome, r.outcome) with
+        | Modelcheck.Explore.Pass, Modelcheck.Explore.Pass -> ()
+        | ( ( Modelcheck.Explore.Violation _ | Modelcheck.Explore.Deadlock _ ),
+            ( Modelcheck.Explore.Violation _ | Modelcheck.Explore.Deadlock _ )
+          ) ->
+            ()
+        | _ ->
+            fail
+              "bench-smoke: %s under --reduce %s reports %s but the full \
+               search reports %s"
+              name ms
+              (Modelcheck.Explore.outcome_tag r.outcome)
+              (Modelcheck.Explore.outcome_tag full.outcome));
+        if full.outcome = Modelcheck.Explore.Pass then begin
+          let ratio =
+            float_of_int full.stats.distinct /. float_of_int r.stats.distinct
+          in
+          if ratio < min_sym_ratio then
+            fail
+              "bench-smoke: %s quotient under %s is only %.1fx smaller than \
+               the full search (gate: >= %.1fx) — reduction inactive?"
+              name ms ratio min_sym_ratio
+        end)
+      [ Modelcheck.Reduce.Sym; Modelcheck.Reduce.Sym_por ]
+  in
+  check_reduced "ticket_mod" ~nprocs:3 ~bound:3 ~min_sym_ratio:3.0;
+  check_reduced "ticket" ~nprocs:3 ~bound:3 ~min_sym_ratio:1.0;
   (* ------------------------------------------------- locks smoke (~2s) *)
   (* One tiny open-loop cell against Bakery++: the scorecard JSON must
      round-trip through the persisted-row codec with the SLO verdict

@@ -69,6 +69,32 @@ let register_model_arg =
        the register's range).  Weak models two-phase the writes and branch \
        every overlapped read over its candidate values."
 
+(* --reduce takes the same raw-string-through-Argscan route, so a bad
+   spelling exits 2 with the shared usage-error shape. *)
+let parse_reduce raw =
+  match
+    Harness.Argscan.parse_enum ~docv:"MODE" ~flag:"--reduce"
+      ~values:Modelcheck.Reduce.mode_values raw
+  with
+  | Ok m -> m
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+
+let reduce_doc =
+  "State-space reduction: $(b,none) (default), $(b,sym) (canonicalize \
+   states under process-id permutation when the model passes the static \
+   pid-symmetry certificate — asymmetric models, e.g. every bakery \
+   variant's id tie-break, run unreduced with the reason reported), or \
+   $(b,sym+por) (additionally expand only an ample process where one \
+   exists).  Verdicts match the unreduced search; state counts are of \
+   the quotient; counterexamples are reported in original process ids."
+
+let reduce_arg =
+  Term.(
+    const parse_reduce
+    $ Arg.(value & opt string "none" & info [ "reduce" ] ~docv:"MODE" ~doc:reduce_doc))
+
 (* -------------------------------------------------- telemetry options *)
 
 let progress_arg =
@@ -262,7 +288,7 @@ let check_cmd =
     in
     Arg.(value & opt (some string) None & info [ "dot-out" ] ~docv:"FILE" ~doc)
   in
-  let run model nprocs bound register_model cap max_states with_overflow
+  let run model nprocs bound register_model reduce cap max_states with_overflow
       coverage parallel fp_only chrome_out dot_out progress metrics_out
       trace_out =
     let p = find_model model in
@@ -271,6 +297,9 @@ let check_cmd =
       Modelcheck.Invariant.mutex
       :: (if with_overflow then [ Modelcheck.Invariant.no_overflow ] else [])
     in
+    (if reduce <> Modelcheck.Reduce.Off then
+       let red = Modelcheck.Reduce.make reduce sys in
+       Printf.printf "reduction: %s\n" (Modelcheck.Reduce.describe red));
     let constraint_ =
       if cap > 0 then Some (Core.Verify.ticket_cap_constraint ~cap) else None
     in
@@ -283,10 +312,10 @@ let check_cmd =
       if parallel > 0 then
         Modelcheck.Par_explore.run ?progress:tl.tl_progress
           ?metrics:tl.tl_metrics ~invariants ?constraint_ ~max_states
-          ~domains:parallel ~fingerprint_only:fp_only sys
+          ~domains:parallel ~fingerprint_only:fp_only ~reduce sys
       else
         Modelcheck.Explore.run ?progress:tl.tl_progress ?metrics:tl.tl_metrics
-          ~invariants ?constraint_ ~max_states sys
+          ~invariants ?constraint_ ~max_states ~reduce sys
     in
     tl.tl_finish ();
     print_endline (Modelcheck.Report.result_string sys r);
@@ -330,7 +359,7 @@ let check_cmd =
        ~doc:"Model-check a model for mutual exclusion (and overflow-freedom)")
     Term.(
       const run $ model_arg $ nprocs_arg $ bound_arg $ register_model_arg
-      $ cap_arg $ max_states_arg $ no_overflow_arg $ coverage_arg
+      $ reduce_arg $ cap_arg $ max_states_arg $ no_overflow_arg $ coverage_arg
       $ parallel_arg $ fp_only_arg $ chrome_out_arg $ dot_out_arg
       $ progress_arg $ metrics_out_arg $ trace_out_arg)
 
@@ -498,7 +527,7 @@ let explain_cmd =
     in
     Arg.(value & opt (some string) None & info [ "dot-out" ] ~docv:"FILE" ~doc)
   in
-  let run model repro nprocs bound register_model max_states max_steps
+  let run model repro nprocs bound register_model reduce max_states max_steps
       chrome_out trace_out dot_out =
     let finish tr =
       print_string (Trace.Explain.render ~max_steps tr);
@@ -517,7 +546,7 @@ let explain_cmd =
       let invariants =
         [ Modelcheck.Invariant.mutex; Modelcheck.Invariant.no_overflow ]
       in
-      let r = Modelcheck.Explore.run ~invariants ~max_states sys in
+      let r = Modelcheck.Explore.run ~invariants ~max_states ~reduce sys in
       match r.outcome with
       | Modelcheck.Explore.Violation { trace = ctrex; _ }
       | Modelcheck.Explore.Deadlock { trace = ctrex } ->
@@ -592,8 +621,8 @@ let explain_cmd =
           step-by-step story with causal analysis")
     Term.(
       const run $ model_opt_arg $ repro_arg $ nprocs_arg $ bound_arg
-      $ register_model_arg $ max_states_arg $ max_steps_arg $ chrome_out_arg
-      $ trace_out_arg $ dot_out_arg)
+      $ register_model_arg $ reduce_arg $ max_states_arg $ max_steps_arg
+      $ chrome_out_arg $ trace_out_arg $ dot_out_arg)
 
 (* -------------------------------------------------------------- lasso *)
 
@@ -729,9 +758,19 @@ let fuzz_cmd =
        $(b,parallel) (sequential vs parallel BFS), $(b,sharded) \
        (fingerprint-only sharded BFS), $(b,regsem) (weak-register engine \
        vs atomic baseline + safe-superset), $(b,replay) (simulator \
-       replay vs checker walk + mutex).  Repeatable; default all five."
+       replay vs checker walk + mutex), $(b,reduced) (symmetry/POR \
+       quotient search vs full search).  Repeatable; default all six."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let fuzz_reduce_arg =
+    let doc =
+      "Restrict the $(b,reduced) oracle to one reduction leg ($(b,sym) or \
+       $(b,sym+por); $(b,none) disables it).  Default: both legs per case. \
+       Rejected with --replay — corpus verdicts are recorded against the \
+       default legs."
+    in
+    Arg.(value & opt (some string) None & info [ "reduce" ] ~docv:"MODE" ~doc)
   in
   let fuzz_model_arg =
     let doc =
@@ -774,8 +813,22 @@ let fuzz_cmd =
           & opt (some string) None
           & info [ "register-model" ] ~docv:"MODEL" ~doc))
   in
-  let run seed count oracles models nprocs bound register_model max_steps
-      max_states out replay progress metrics_out trace_out =
+  let run seed count oracles models nprocs bound register_model reduce
+      max_steps max_states out replay progress metrics_out trace_out =
+    (* Narrow the Reduced oracle's legs for this process only when the
+       flag is given; replay keeps the default so .repro verdicts are
+       self-contained. *)
+    (match (replay, reduce) with
+    | None, Some raw ->
+        Fuzz.Oracle.reduced_modes :=
+          (match parse_reduce raw with
+          | Modelcheck.Reduce.Off -> []
+          | Modelcheck.Reduce.Sym -> [ Modelcheck.Reduce.Sym ]
+          | Modelcheck.Reduce.Sym_por -> [ Modelcheck.Reduce.Sym_por ])
+    | Some _, Some _ ->
+        prerr_endline "--reduce is ignored with --replay";
+        exit 2
+    | _, None -> ());
     match replay with
     | Some file -> (
         match Fuzz.Repro.load file with
@@ -853,8 +906,8 @@ let fuzz_cmd =
           with shrinking and .repro reproducers")
     Term.(
       const run $ seed_arg $ count_arg $ oracle_arg $ fuzz_model_arg
-      $ nprocs_arg $ bound_arg $ fuzz_register_model_arg $ max_steps_arg
-      $ max_states_arg $ out_arg $ replay_arg $ progress_arg
+      $ nprocs_arg $ bound_arg $ fuzz_register_model_arg $ fuzz_reduce_arg
+      $ max_steps_arg $ max_states_arg $ out_arg $ replay_arg $ progress_arg
       $ metrics_out_arg $ trace_out_arg)
 
 (* -------------------------------------------------------------- bench *)
@@ -1050,9 +1103,24 @@ let bench_cmd =
       ids;
     tl.tl_finish ()
   in
+  let bench_reduce_arg =
+    let doc =
+      "Narrow E15's reduction sweep to $(b,none), $(b,sym) or \
+       $(b,sym+por); the unreduced baseline always runs as the ratio \
+       denominator.  Other experiments ignore the flag."
+    in
+    Arg.(value & opt (some string) None & info [ "reduce" ] ~docv:"MODE" ~doc)
+  in
   let run ids quick seed rate_raw ops duration_raw algos domains vbound out
-      progress metrics_out trace_out =
+      reduce progress metrics_out trace_out =
     let ids = if ids = [] then List.map (fun (e : Harness.Experiments.experiment) -> e.id) Harness.Experiments.all else ids in
+    Option.iter
+      (fun raw ->
+        Harness.Experiments.e15_modes :=
+          match parse_reduce raw with
+          | Modelcheck.Reduce.Off -> [ Modelcheck.Reduce.Off ]
+          | m -> [ Modelcheck.Reduce.Off; m ])
+      reduce;
     let tl = telemetry_setup ~name:"bench" progress metrics_out trace_out in
     if List.mem "locks" ids then begin
       if List.length ids > 1 then begin
@@ -1072,7 +1140,7 @@ let bench_cmd =
     Term.(
       const run $ ids_arg $ quick_arg $ seed_arg $ rate_arg $ ops_arg
       $ duration_arg $ algo_arg $ domains_arg $ vbound_arg $ out_arg
-      $ progress_arg $ metrics_out_arg $ trace_out_arg)
+      $ bench_reduce_arg $ progress_arg $ metrics_out_arg $ trace_out_arg)
 
 let () =
   let info =

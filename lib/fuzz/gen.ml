@@ -24,28 +24,32 @@ let pick rng weights =
 
 (* Index expression for a shared read/write of [v], always in range for
    the fixed [nprocs] of the case.  [in_q] allows [Qidx] (bound by the
-   innermost quantifier, which ranges over pids). *)
-let gen_index rng ~nprocs ~in_q v =
+   innermost quantifier, which ranges over pids).  [sym] restricts the
+   grammar to the pid-symmetric fragment {!Reduce.certify} accepts: the
+   per-process array is indexed only by the symbolic [Pid]/[Qidx]
+   (never a numeric constant, which would pin a concrete process). *)
+let gen_index rng ~nprocs ~in_q ~sym v =
   if v = var_g then A.Int 0
   else
     pick rng
-      ([ (4, `Pid); (1, `Const) ] @ if in_q then [ (3, `Qidx) ] else [])
+      ((if sym then [ (4, `Pid) ] else [ (4, `Pid); (1, `Const) ])
+      @ if in_q then [ (3, `Qidx) ] else [])
     |> function
     | `Pid -> A.Pid
     | `Qidx -> A.Qidx
     | `Const -> A.Int (R.int rng nprocs)
 
-let rec gen_expr rng ~nprocs ~bound ~in_q depth =
+let rec gen_expr rng ~nprocs ~bound ~in_q ~sym depth =
   let leaf () =
     pick rng
       ([
          (4, `Int);
          (1, `N);
          (1, `M);
-         (2, `Pid);
          (2, `Local);
        ]
-      @ if in_q then [ (2, `Qidx) ] else [])
+      @ (if sym then [] else [ (2, `Pid) ])
+      @ if in_q && not sym then [ (2, `Qidx) ] else [])
     |> function
     | `Int -> A.Int (R.int rng (bound + 2))
     | `N -> A.N
@@ -71,32 +75,32 @@ let rec gen_expr rng ~nprocs ~bound ~in_q depth =
     | `Leaf -> leaf ()
     | `Rd ->
         let v = if R.bool rng then var_a else var_g in
-        A.Rd (v, gen_index rng ~nprocs ~in_q v)
+        A.Rd (v, gen_index rng ~nprocs ~in_q ~sym v)
     | `Max -> A.Max_arr var_a
     | `Add ->
         A.Add
-          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
-            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+          ( gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1) )
     | `Sub ->
         A.Sub
-          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
-            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+          ( gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1) )
     | `Mul ->
         A.Mul
-          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
-            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+          ( gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1) )
     | `Mod ->
         (* positive constant divisor: no division-by-zero at runtime *)
         A.Mod
-          ( gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
+          ( gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
             A.Int (1 + R.int rng (bound + 2)) )
     | `Ite ->
         A.Ite
-          ( gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1),
-            gen_expr rng ~nprocs ~bound ~in_q (depth - 1),
-            gen_expr rng ~nprocs ~bound ~in_q (depth - 1) )
+          ( gen_bexpr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
+            gen_expr rng ~nprocs ~bound ~in_q ~sym (depth - 1) )
 
-and gen_bexpr rng ~nprocs ~bound ~in_q depth =
+and gen_bexpr rng ~nprocs ~bound ~in_q ~sym depth =
   let cmp () =
     pick rng
       [ (1, A.Clt); (1, A.Cle); (1, A.Ceq); (1, A.Cne); (1, A.Cgt); (1, A.Cge) ]
@@ -107,8 +111,8 @@ and gen_bexpr rng ~nprocs ~bound ~in_q depth =
     | `Cmp ->
         A.Cmp
           ( cmp (),
-            gen_expr rng ~nprocs ~bound ~in_q 1,
-            gen_expr rng ~nprocs ~bound ~in_q 1 )
+            gen_expr rng ~nprocs ~bound ~in_q ~sym 1,
+            gen_expr rng ~nprocs ~bound ~in_q ~sym 1 )
   in
   if depth <= 0 then atom ()
   else
@@ -117,45 +121,61 @@ and gen_bexpr rng ~nprocs ~bound ~in_q depth =
       @ if in_q then [] else [ (2, `Exists); (2, `Forall) ])
     |> function
     | `Atom -> atom ()
-    | `Not -> A.Not (gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1))
+    | `Not -> A.Not (gen_bexpr rng ~nprocs ~bound ~in_q ~sym (depth - 1))
     | `And ->
         A.And
-          ( gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1),
-            gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1) )
+          ( gen_bexpr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
+            gen_bexpr rng ~nprocs ~bound ~in_q ~sym (depth - 1) )
     | `Or ->
         A.Or
-          ( gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1),
-            gen_bexpr rng ~nprocs ~bound ~in_q (depth - 1) )
+          ( gen_bexpr rng ~nprocs ~bound ~in_q ~sym (depth - 1),
+            gen_bexpr rng ~nprocs ~bound ~in_q ~sym (depth - 1) )
     | `Lex ->
+        (* In sym mode every component is data (no Pid/Qidx leaves), so
+           the lexicographic order never breaks pid-symmetry. *)
         A.Lex_lt
-          ( ( gen_expr rng ~nprocs ~bound ~in_q 1,
-              gen_expr rng ~nprocs ~bound ~in_q 1 ),
-            ( gen_expr rng ~nprocs ~bound ~in_q 1,
-              gen_expr rng ~nprocs ~bound ~in_q 1 ) )
+          ( ( gen_expr rng ~nprocs ~bound ~in_q ~sym 1,
+              gen_expr rng ~nprocs ~bound ~in_q ~sym 1 ),
+            ( gen_expr rng ~nprocs ~bound ~in_q ~sym 1,
+              gen_expr rng ~nprocs ~bound ~in_q ~sym 1 ) )
     | `Exists ->
-        let r = pick rng [ (2, A.Rall); (2, A.Rothers); (1, A.Rbelow); (1, A.Rabove) ] in
-        A.Qexists (r, gen_bexpr rng ~nprocs ~bound ~in_q:true (depth - 1))
+        let r =
+          if sym then pick rng [ (2, A.Rall); (2, A.Rothers) ]
+          else
+            pick rng
+              [ (2, A.Rall); (2, A.Rothers); (1, A.Rbelow); (1, A.Rabove) ]
+        in
+        A.Qexists (r, gen_bexpr rng ~nprocs ~bound ~in_q:true ~sym (depth - 1))
     | `Forall ->
-        let r = pick rng [ (2, A.Rall); (2, A.Rothers); (1, A.Rbelow); (1, A.Rabove) ] in
-        A.Qall (r, gen_bexpr rng ~nprocs ~bound ~in_q:true (depth - 1))
+        let r =
+          if sym then pick rng [ (2, A.Rall); (2, A.Rothers) ]
+          else
+            pick rng
+              [ (2, A.Rall); (2, A.Rothers); (1, A.Rbelow); (1, A.Rabove) ]
+        in
+        A.Qall (r, gen_bexpr rng ~nprocs ~bound ~in_q:true ~sym (depth - 1))
 
 (* Every write is wrapped mod (M + 2): cells stay in a finite range but
    can still reach M + 1 and violate the no-overflow invariant. *)
-let gen_effect rng ~nprocs ~bound =
-  let value = A.Mod (gen_expr rng ~nprocs ~bound ~in_q:false 2, A.Int (bound + 2)) in
+let gen_effect rng ~nprocs ~bound ~sym =
+  let value =
+    A.Mod (gen_expr rng ~nprocs ~bound ~in_q:false ~sym 2, A.Int (bound + 2))
+  in
   pick rng [ (3, `Sh_a); (2, `Sh_g); (2, `Lo) ] |> function
-  | `Sh_a -> (A.Sh (var_a, gen_index rng ~nprocs ~in_q:false var_a), value)
+  | `Sh_a -> (A.Sh (var_a, gen_index rng ~nprocs ~in_q:false ~sym var_a), value)
   | `Sh_g -> (A.Sh (var_g, A.Int 0), value)
   | `Lo -> (A.Lo local_t, value)
 
-let gen_action rng ~nprocs ~bound ~nsteps =
+let gen_action rng ~nprocs ~bound ~nsteps ~sym =
   let guard =
     pick rng [ (1, `True); (3, `Cond) ] |> function
     | `True -> A.True
-    | `Cond -> gen_bexpr rng ~nprocs ~bound ~in_q:false 2
+    | `Cond -> gen_bexpr rng ~nprocs ~bound ~in_q:false ~sym 2
   in
   let neffects = R.int rng 3 in
-  let effects = List.init neffects (fun _ -> gen_effect rng ~nprocs ~bound) in
+  let effects =
+    List.init neffects (fun _ -> gen_effect rng ~nprocs ~bound ~sym)
+  in
   { A.guard; effects; target = R.int rng nsteps }
 
 let kinds =
@@ -163,7 +183,7 @@ let kinds =
     A.Noncritical; A.Entry; A.Doorway; A.Waiting; A.Critical; A.Exit; A.Plain;
   |]
 
-let program rng (p : prog_params) =
+let program_gen rng (p : prog_params) ~sym =
   let nprocs = p.g_nprocs and bound = p.g_bound in
   let nsteps = 2 + R.int rng (max 1 (p.g_max_steps - 1)) in
   let steps =
@@ -173,7 +193,8 @@ let program rng (p : prog_params) =
           A.step_name = Printf.sprintf "S%d" i;
           kind = kinds.(R.int rng (Array.length kinds));
           actions =
-            List.init nacts (fun _ -> gen_action rng ~nprocs ~bound ~nsteps);
+            List.init nacts (fun _ ->
+                gen_action rng ~nprocs ~bound ~nsteps ~sym);
         })
   in
   (* Guarantee a Critical step so the mutex invariant is never vacuous. *)
@@ -182,7 +203,7 @@ let program rng (p : prog_params) =
     steps.(i) <- { (steps.(i)) with kind = A.Critical }
   end;
   {
-    A.title = "fuzz";
+    A.title = (if sym then "fuzz-sym" else "fuzz");
     nvars = 2;
     var_names = [| "a"; "g" |];
     var_sizes = [| -1; 1 |];
@@ -195,6 +216,9 @@ let program rng (p : prog_params) =
     init_locals = [| 0 |];
     init_pc = 0;
   }
+
+let program rng p = program_gen rng p ~sym:false
+let program_symmetric rng p = program_gen rng p ~sym:true
 
 (* ----------------------------------------------------------- schedules *)
 

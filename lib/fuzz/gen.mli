@@ -28,6 +28,15 @@ val program : Prng.Rng.t -> prog_params -> Mxlang.Ast.program
     scalar, one local, 2..[g_max_steps] steps with 1-2 guarded actions
     each, and at least one [Critical]-kind step. *)
 
+val program_symmetric : Prng.Rng.t -> prog_params -> Mxlang.Ast.program
+(** Like {!program}, but drawn from the pid-symmetric fragment: no
+    [Pid]/[Qidx] value leaves, the per-process array indexed only by
+    the symbolic [Pid] (or [Qidx] under a quantifier), and quantifier
+    ranges restricted to [Rall]/[Rothers] — every output passes
+    {!Modelcheck.Reduce.certify}, so the reduced-search oracle's
+    symmetry legs actually engage (asymmetric programs silently run
+    unreduced, which would test nothing). *)
+
 val schedule : Prng.Rng.t -> nprocs:int -> len:int -> int array
 (** A random pid sequence with bursts (runs of 1-8 repeats of one pid),
     the shape most likely to drive ticket counters up and expose

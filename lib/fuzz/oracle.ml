@@ -12,9 +12,9 @@ type case =
     }
   | Sched_case of Gen.plan
 
-type t = Compile | Parallel | Sharded | Regsem | Replay
+type t = Compile | Parallel | Sharded | Regsem | Replay | Reduced
 
-let all = [ Compile; Parallel; Sharded; Regsem; Replay ]
+let all = [ Compile; Parallel; Sharded; Regsem; Replay; Reduced ]
 
 let name = function
   | Compile -> "compile"
@@ -22,6 +22,7 @@ let name = function
   | Sharded -> "sharded"
   | Regsem -> "regsem"
   | Replay -> "replay"
+  | Reduced -> "reduced"
 
 let of_name = function
   | "compile" -> Ok Compile
@@ -29,10 +30,12 @@ let of_name = function
   | "sharded" -> Ok Sharded
   | "regsem" -> Ok Regsem
   | "replay" -> Ok Replay
+  | "reduced" -> Ok Reduced
   | s ->
       Error
         (Printf.sprintf
-           "unknown oracle %S (expected compile|parallel|sharded|regsem|replay)"
+           "unknown oracle %S (expected \
+            compile|parallel|sharded|regsem|replay|reduced)"
            s)
 
 let fail tag fmt = Printf.ksprintf (fun detail -> Fail { tag; detail }) fmt
@@ -235,6 +238,127 @@ let regsem_oracle ~program ~nprocs ~bound ~max_states =
             !verdict
           end)
 
+(* ------------------------------------------------------- reduced oracle *)
+
+(* Which reduction legs the [Reduced] oracle runs.  Both by default, so
+   a corpus .repro stays self-contained; the CLI's [fuzz --reduce]
+   narrows it for targeted sessions. *)
+let reduced_modes = ref [ MC.Reduce.Sym; MC.Reduce.Sym_por ]
+
+module State_tbl = Hashtbl.Make (struct
+  type t = MC.State.packed
+
+  let equal = MC.State.equal
+  let hash = MC.State.hash
+end)
+
+(* A counterexample is genuine iff it starts at the initial state and
+   every later entry is an actual move of the named process with the
+   named label.  Reduced searches reconstruct traces by de-canonicalizing
+   a quotient path, so this is exactly the claim that could break. *)
+let trace_genuine sys (tr : MC.Trace.t) =
+  match tr with
+  | [] -> false
+  | first :: rest ->
+      let steps = (MC.System.program sys).A.steps in
+      MC.State.equal first.MC.Trace.state (MC.System.initial sys)
+      && fst
+           (List.fold_left
+              (fun (ok, cur) (e : MC.Trace.entry) ->
+                if not ok then (false, cur)
+                else
+                  let hit =
+                    List.exists
+                      (fun (m : MC.System.move) ->
+                        steps.(m.MC.System.from_pc).A.step_name = e.step_name
+                        && MC.State.equal m.MC.System.dest e.state)
+                      (MC.System.successors_of_pid sys cur e.pid)
+                  in
+                  (hit, e.state))
+              (true, first.MC.Trace.state)
+              rest)
+
+let ctrex_of = function
+  | MC.Explore.Violation { trace; _ } | MC.Explore.Deadlock { trace } ->
+      Some trace
+  | MC.Explore.Pass | MC.Explore.Capacity -> None
+
+(* Exhaustive orbit count of the full reachable set, for the exactness
+   leg: the quotient search must store one representative per orbit —
+   no more (canonization is a true normal form) and no fewer (no orbit
+   is lost to the ample filter or a canonization bug). *)
+let orbit_count red (g : MC.Explore.graph) =
+  let orbits = State_tbl.create 1024 in
+  MC.Vec.iter
+    (fun s ->
+      let c, _ = MC.Reduce.canon red s in
+      if not (State_tbl.mem orbits c) then State_tbl.add orbits c ())
+    g.states;
+  State_tbl.length orbits
+
+(* Reduced-vs-full claims, per enabled mode:
+   1. verdict classes agree (Pass vs Pass, bug vs bug); a state-budget
+      [Capacity] on either side decides nothing and passes;
+   2. on a bug, the reduced counterexample replays as a genuine run of
+      the full system in original pids;
+   3. on a Pass, the quotient stores at most as many states as the full
+      search — and for [Sym] on a certified program (within an orbit
+      enumeration budget) {e exactly} one state per orbit of the full
+      reachable set. *)
+let reduced_oracle ~program ~nprocs ~bound ~max_states =
+  let sys = MC.System.make program ~nprocs ~bound in
+  let full = MC.Explore.run ~invariants ~max_states sys in
+  let certified = Result.is_ok (MC.Reduce.certify program) in
+  let orbit_budget = 50_000 in
+  let check_mode acc mode =
+    match acc with
+    | Fail _ -> acc
+    | Pass -> (
+        let mname = MC.Reduce.mode_to_string mode in
+        let red = MC.Explore.run ~invariants ~max_states ~reduce:mode sys in
+        match (full.outcome, red.outcome) with
+        | MC.Explore.Capacity, _ | _, MC.Explore.Capacity -> Pass
+        | MC.Explore.Pass, MC.Explore.Pass ->
+            if red.stats.distinct > full.stats.distinct then
+              fail "reduced_inflation"
+                "%s: quotient stored %d distinct states, full search %d" mname
+                red.stats.distinct full.stats.distinct
+            else if
+              mode = MC.Reduce.Sym && certified
+              && full.stats.distinct <= orbit_budget
+            then begin
+              let g, _ = MC.Explore.run_graph ~max_states sys in
+              let n = orbit_count (MC.Reduce.make MC.Reduce.Sym sys) g in
+              if n <> red.stats.distinct then
+                fail "reduced_orbit_count"
+                  "sym: quotient stored %d states but the full reachable set \
+                   has %d orbits"
+                  red.stats.distinct n
+              else Pass
+            end
+            else Pass
+        | ( (MC.Explore.Violation _ | MC.Explore.Deadlock _),
+            (MC.Explore.Violation _ | MC.Explore.Deadlock _) ) -> (
+            (* Both searches report a bug.  Which bug (and at what depth)
+               is mode-specific: the quotient explores a different but
+               bug-preserving state graph.  The sound claim is bug/bug
+               agreement plus a genuine reduced counterexample. *)
+            match ctrex_of red.outcome with
+            | Some tr when not (trace_genuine sys tr) ->
+                fail "reduced_bogus_trace"
+                  "%s: de-canonicalized counterexample (%d entries) does not \
+                   replay on the full system"
+                  mname (List.length tr)
+            | _ -> Pass)
+        | _ ->
+            fail
+              ("reduced_mismatch:" ^ mname)
+              "full=[%s] reduced=[%s]"
+              (fp_to_string (fingerprint full))
+              (fp_to_string (fingerprint red)))
+  in
+  List.fold_left check_mode Pass !reduced_modes
+
 (* -------------------------------------------------------- replay oracle *)
 
 let sim_config (pl : Gen.plan) =
@@ -378,14 +502,18 @@ let replay_oracle (pl : Gen.plan) =
 
 let generate oracle rng (dp : Driver_params.t) =
   match oracle with
-  | Compile | Parallel | Sharded | Regsem ->
+  | Compile | Parallel | Sharded | Regsem | Reduced ->
+      let params =
+        { Gen.g_nprocs = dp.nprocs; g_bound = dp.bound; g_max_steps = 5 }
+      in
       let program =
-        Gen.program rng
-          {
-            Gen.g_nprocs = dp.nprocs;
-            g_bound = dp.bound;
-            g_max_steps = 5;
-          }
+        (* The reduced oracle splits its cases: half from the certified
+           pid-symmetric fragment (the symmetry legs engage), half
+           unrestricted (exercising the certificate-rejection fallback
+           and POR on asymmetric programs). *)
+        if oracle = Reduced && Prng.Rng.bool rng then
+          Gen.program_symmetric rng params
+        else Gen.program rng params
       in
       Prog_case
         {
@@ -409,8 +537,10 @@ let run oracle case =
       sharded_oracle ~program ~nprocs ~bound ~max_states
   | Regsem, Prog_case { program; nprocs; bound; max_states } ->
       regsem_oracle ~program ~nprocs ~bound ~max_states
+  | Reduced, Prog_case { program; nprocs; bound; max_states } ->
+      reduced_oracle ~program ~nprocs ~bound ~max_states
   | Replay, Sched_case pl -> replay_oracle pl
-  | (Compile | Parallel | Sharded | Regsem), Sched_case _ ->
+  | (Compile | Parallel | Sharded | Regsem | Reduced), Sched_case _ ->
       fail "bad_case" "%s oracle expects a program case" (name oracle)
   | Replay, Prog_case _ -> fail "bad_case" "replay oracle expects a schedule case"
 

@@ -37,7 +37,17 @@
       transition system walked along the same pid sequence, and (c) on
       clean plans (no crash/flicker injection) never violate mutual
       exclusion — the property that catches the naive-modulo exemplar
-      and wrapped-register Bakery (claims C2/C4). *)
+      and wrapped-register Bakery (claims C2/C4).
+    - [Reduced]: the reduced search ({!Modelcheck.Reduce}) against the
+      full search, per mode in {!reduced_modes}.  Verdict classes must
+      agree (a state-budget [Capacity] on either side decides nothing);
+      on a bug the de-canonicalized counterexample must replay as a
+      genuine run of the full system; on a Pass the quotient must store
+      at most as many states as the full search, and — for [Sym] on a
+      program the static certificate accepts, within an enumeration
+      budget — exactly one representative per orbit of the full
+      reachable set.  Half the generated cases come from
+      {!Gen.program_symmetric} so the symmetry legs actually engage. *)
 
 type verdict = Pass | Fail of { tag : string; detail : string }
 
@@ -50,11 +60,18 @@ type case =
     }
   | Sched_case of Gen.plan
 
-type t = Compile | Parallel | Sharded | Regsem | Replay
+type t = Compile | Parallel | Sharded | Regsem | Replay | Reduced
 
 val all : t list
 val name : t -> string
 val of_name : string -> (t, string) result
+
+val reduced_modes : Modelcheck.Reduce.mode list ref
+(** Reduction legs the [Reduced] oracle runs, [[Sym; Sym_por]] by
+    default so corpus repros are self-contained.  The CLI's
+    [fuzz --reduce] narrows it ([none] empties it, turning the oracle
+    into a no-op) for targeted sessions; replaying a corpus entry
+    should leave the default in place. *)
 
 val generate : t -> Prng.Rng.t -> Driver_params.t -> case
 (** Draw a case of the shape this oracle consumes. *)

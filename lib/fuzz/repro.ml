@@ -178,7 +178,12 @@ let load path =
 
 type replay_outcome = Reproduced | Changed of string | Vanished
 
+let pass_tag = "pass"
+
 let replay r =
-  match Oracle.run r.oracle r.case with
-  | Oracle.Pass -> Vanished
-  | Oracle.Fail { tag; _ } -> if tag = r.tag then Reproduced else Changed tag
+  match (Oracle.run r.oracle r.case, r.tag = pass_tag) with
+  | Oracle.Pass, true -> Reproduced
+  | Oracle.Fail { tag; _ }, true -> Changed tag
+  | Oracle.Pass, false -> Vanished
+  | Oracle.Fail { tag; _ }, false ->
+      if tag = r.tag then Reproduced else Changed tag

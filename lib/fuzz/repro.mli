@@ -35,4 +35,13 @@ type replay_outcome =
   | Changed of string  (** it failed with a different tag *)
   | Vanished  (** the oracle now passes *)
 
+val pass_tag : string
+(** The reserved tag ["pass"]: a corpus entry recorded with it asserts
+    the oracle {e passes} on its case — [replay] returns [Reproduced]
+    on [Pass] and [Changed tag] if the oracle now fails.  Used for
+    regression cases whose interesting behaviour is equivalence itself
+    (e.g. reduced-vs-full agreement on a hand-built tie-break program)
+    rather than a failure.  The shrinker never emits it: shrunk files
+    always record a genuine failure tag. *)
+
 val replay : t -> replay_outcome

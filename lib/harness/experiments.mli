@@ -63,6 +63,20 @@ val e13 : quick:bool -> Table.t list
     Records flat datapoints via {!record_metric} and whole scorecards
     via {!record_scorecard}. *)
 
+val e15 : quick:bool -> Table.t list
+(** Symmetry + ample-set POR reduction sweep ({!Modelcheck.Reduce}) over
+    the pid-symmetric zoo models: quotient state counts and reduction
+    ratios per mode, plus the C8 (N > M) configurations at sizes where
+    the unreduced search exhausts its state budget.  Records
+    (experiment, metric, value) datapoints with the reduce mode embedded
+    in the metric name, so regression gating never compares across
+    modes. *)
+
+val e15_modes : Modelcheck.Reduce.mode list ref
+(** Reduction modes {!e15} sweeps, [[Off; Sym; Sym_por]] by default.
+    The bench CLI's [--reduce] flag narrows it to [Off] plus the chosen
+    mode — the unreduced baseline stays in as the ratio denominator. *)
+
 type datapoint = {
   dp_exp : string;
   dp_metric : string;

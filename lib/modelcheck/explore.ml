@@ -104,10 +104,19 @@ let record_finish ?progress ?metrics ~prefix outcome (stats : stats) =
          else 0.0)
 
 let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = true)
-    ?(interpreted = false) ?progress ?metrics sys =
+    ?(interpreted = false) ?(reduce = Reduce.Off) ?progress ?metrics sys =
   let invariants =
     match invariants with Some l -> l | None -> Lazy.force default_invariants
   in
+  (* Both reductions are only sound when every checked invariant reads
+     nothing but pcs and shared cells; a pid- or local-sensitive custom
+     invariant silently turns the whole reduction off. *)
+  let red =
+    if reduce = Reduce.Off || Reduce.invariants_reducible invariants then
+      Reduce.make reduce sys
+    else Reduce.make Reduce.Off sys
+  in
+  let canon = Reduce.canonizer red in
   let t0 = now () in
   let parent = Vec.create () in
   let via_pid = Vec.create () in
@@ -151,7 +160,8 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     let idx = Store.create () in
     let finish outcome = finish ~distinct:(Store.length idx) outcome in
     let trace id =
-      trace_of sys ~state_of:(Store.get idx) ~parent ~via_pid ~via_pc id
+      Reduce.decanonicalize red
+        (trace_of sys ~state_of:(Store.get idx) ~parent ~via_pid ~via_pc id)
     in
     let lay = System.layout sys in
     let scratch = Array.make lay.State.words 0 in
@@ -232,6 +242,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
       | None -> if expand buf then Wave.push wave id'
     in
     let init = System.initial sys in
+    canon init;
     incr generated;
     (match Store.add idx init with
     | Some id ->
@@ -243,16 +254,20 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     Wave.drive ~on_wave wave (fun id ->
         tick ();
         Store.read_into idx id current;
+        let only = Reduce.ample red current in
         let any = ref false in
-        System.iter_successors_scratch sys current ~scratch
+        System.iter_successors_scratch ~only sys current ~scratch
           (fun ~pid ~from_pc ~alt:_ ~flick:_ ->
             any := true;
             incr generated;
+            canon scratch;
             if Store.probe idx scratch = -1 then begin
               let id' = Store.add_probed idx scratch in
               push_meta ~parent:id ~pid ~pc:from_pc;
               vet id' scratch
             end);
+        (* An ample process is enabled by construction, so [only >= 0]
+           never masks a deadlock. *)
         if check_deadlock && not !any then
           raise (Stop (finish (Deadlock { trace = trace id }))));
     finish Pass
@@ -264,7 +279,8 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
     let states = Vec.create () in
     let finish outcome = finish ~distinct:(Vec.length states) outcome in
     let trace id =
-      trace_of sys ~state_of:(Vec.get states) ~parent ~via_pid ~via_pc id
+      Reduce.decanonicalize red
+        (trace_of sys ~state_of:(Vec.get states) ~parent ~via_pid ~via_pc id)
     in
     let wave = Wave.create () in
     let tick =
@@ -303,6 +319,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
       | None -> None
     in
     let init = System.initial sys in
+    canon init;
     incr generated;
     (match add ~parent:(-1) ~pid:(-1) ~pc:(-1) init with
     | Some id -> (
@@ -319,9 +336,15 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
         let moves = System.successors_interpreted sys s in
         if check_deadlock && moves = [] then
           raise (Stop (finish (Deadlock { trace = trace id })));
+        let only = Reduce.ample red s in
+        let moves =
+          if only < 0 then moves
+          else List.filter (fun (m : System.move) -> m.pid = only) moves
+        in
         List.iter
           (fun (m : System.move) ->
             incr generated;
+            canon m.dest;
             match add ~parent:id ~pid:m.pid ~pc:m.from_pc m.dest with
             | None -> ()
             | Some id' -> (

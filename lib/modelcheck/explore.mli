@@ -37,6 +37,7 @@ val run :
   ?max_states:int ->
   ?check_deadlock:bool ->
   ?interpreted:bool ->
+  ?reduce:Reduce.mode ->
   ?progress:Telemetry.Progress.t ->
   ?metrics:Telemetry.Metrics.t ->
   System.t ->
@@ -52,6 +53,17 @@ val run :
     interpreter instead of the compiled closures — the reference engine
     for differential tests and the throughput experiment's baseline;
     outcome, traces, and state counts are identical either way.
+
+    [reduce] (default [Off]) enables state-space reduction ({!Reduce}):
+    [Sym] canonicalizes states under pid permutation when the program
+    passes the static symmetry certificate (silently runs unreduced —
+    with the reason available via {!Reduce.asymmetry_reason} — when it
+    does not), [Sym_por] additionally expands only an ample process
+    where one exists.  Verdicts agree with the unreduced search;
+    [generated]/[distinct] counts are of the quotient.  Counterexample
+    traces are always returned in original process coordinates.  If any
+    invariant is not one of the built-in pc/shared-cell family, the
+    reduction disables itself entirely.
 
     [progress] enables TLC-style rate-limited reporting (wave depth,
     states generated/distinct, queue length, kstates/s, store load

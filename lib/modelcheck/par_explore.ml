@@ -101,15 +101,25 @@ type dstate = {
   d_steal_states : State.packed array;
   d_out : batch array;  (* outgoing batch per destination shard *)
   d_staged : (string * (State.packed -> bool)) array;
+  d_canon : State.packed -> unit;  (* per-domain canonicalizer *)
 }
 
 let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
-    ?(fingerprint_only = false) ?hash ?progress ?metrics sys =
+    ?(fingerprint_only = false) ?hash ?(reduce = Reduce.Off) ?progress ?metrics
+    sys =
   let invariants =
     match invariants with
     | Some l -> l
     | None -> [ Invariant.mutex; Invariant.no_overflow ]
   in
+  (* Same gate as the sequential engine: a custom invariant the
+     reduction cannot certify as pc/shared-only turns it off wholesale. *)
+  let red =
+    if reduce = Reduce.Off || Reduce.invariants_reducible invariants then
+      Reduce.make reduce sys
+    else Reduce.make Reduce.Off sys
+  in
+  let sym_on = Reduce.symmetry_active red in
   let ndomains =
     match (pool, domains) with
     | Some p, _ -> Pool.size p
@@ -151,6 +161,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
           d_steal_gids = Array.make steal_max 0;
           d_steal_states = Array.make steal_max [||];
           d_out = Array.init ndomains (fun _ -> fresh_batch words);
+          d_canon = Reduce.canonizer red;
           d_staged =
             Array.of_list
               (List.map
@@ -176,15 +187,22 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
     let p = System.program sys in
     let init = System.initial sys in
     let s = ref init in
+    (* Recorded (pid, pc, alt, flick) tuples are relative to the
+       *canonical* parent states the search expanded, so the replay must
+       re-canonicalize after every move; the resulting canonical-
+       coordinates trace is mapped back to a genuine original-pid run at
+       the end. *)
     let rest =
       List.map
         (fun via ->
           let pid = via_pid via and pc = via_pc via and alt = via_alt via in
           s := System.apply_move sys !s ~pid ~pc ~alt ~flick:(via_flick via);
+          if sym_on then s := fst (Reduce.canon red !s);
           { Trace.pid; step_name = p.steps.(pc).step_name; state = !s })
         (chain gid [])
     in
-    { Trace.pid = -1; step_name = "<init>"; state = init } :: rest
+    Reduce.decanonicalize red
+      ({ Trace.pid = -1; step_name = "<init>"; state = init } :: rest)
   in
   let total_generated () =
     Array.fold_left (fun acc d -> acc + d.d_generated) 1 dstates
@@ -297,10 +315,12 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
      retired. *)
   let expand w (d : dstate) gid (s : State.packed) =
     let any = ref false in
-    System.iter_successors_scratch sys s ~scratch:d.d_scratch
+    let only = Reduce.ample red s in
+    System.iter_successors_scratch ~only sys s ~scratch:d.d_scratch
       (fun ~pid ~from_pc ~alt ~flick ->
         any := true;
         d.d_generated <- d.d_generated + 1;
+        d.d_canon d.d_scratch;
         let fp = Shard_table.fingerprint tbl d.d_scratch in
         let o = Shard_table.owner tbl fp in
         let via = pack_via ~pid ~pc:from_pc ~alt ~flick in
@@ -395,10 +415,12 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
         while Deque.pop dq d.d_slot do
           let gid = d.d_slot.s_gid and s = d.d_slot.s_state in
           let any = ref false in
-          System.iter_successors_scratch sys s ~scratch:d.d_scratch
+          let only = Reduce.ample red s in
+          System.iter_successors_scratch ~only sys s ~scratch:d.d_scratch
             (fun ~pid ~from_pc ~alt ~flick ->
               any := true;
               d.d_generated <- d.d_generated + 1;
+              d.d_canon d.d_scratch;
               let fp = Shard_table.fingerprint tbl d.d_scratch in
               let o = Shard_table.owner tbl fp in
               insert_candidate o d ~fp ~parent:gid
@@ -519,6 +541,7 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
       | Some pl -> Some (pl, ref (Pool.busy_ns pl), ref (now ()))
     in
     let init = System.initial sys in
+    dstates.(0).d_canon init;
     dstates.(0).d_generated <- 0;
     (* [total_generated] seeds the sum with 1 for the initial state. *)
     let fp = Shard_table.fingerprint tbl init in

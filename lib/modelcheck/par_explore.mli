@@ -32,6 +32,7 @@ val run :
   ?pool:Pool.t ->
   ?fingerprint_only:bool ->
   ?hash:(State.packed -> int) ->
+  ?reduce:Reduce.mode ->
   ?progress:Telemetry.Progress.t ->
   ?metrics:Telemetry.Metrics.t ->
   System.t ->
@@ -49,6 +50,13 @@ val run :
     traces rebuilt by replaying recorded (pid, pc, alt) moves from the
     initial state.  [hash] overrides the fingerprint function (tests
     inject colliding hashes with it).
+
+    [reduce] composes with the sharding exactly as in {!Explore.run}:
+    successors are canonicalized ({!Reduce}) before fingerprinting, so
+    shard ownership, deduplication, and fingerprint-only storage all
+    operate on orbit representatives; the ample filter runs in each
+    domain against read-only precomputed tables.  Traces are replayed
+    in canonical coordinates and mapped back to original pids.
 
     [progress] reports once per BFS wave (rate-limited): depth, states
     generated/distinct, frontier size, kstates/s, shard occupancy

@@ -1,0 +1,424 @@
+(* Pid-symmetry canonicalization and a conservative ample-set filter.
+   See reduce.mli for the soundness argument; the short version:
+
+   - Canonicalization only runs on programs that pass a static
+     pid-symmetry certificate ([certify]).  The bakery id tie-break
+     (Lex_lt over (ticket, pid)) fails it, by design: quotienting an
+     asymmetric program can lose counterexamples.
+   - The ample filter expands a single process exactly when every
+     alternative of its current step reads no shared cell, writes no
+     shared cell or pending slot, stays clear of Critical-kind steps,
+     and strictly increases the pc (so ample-only paths cannot cycle:
+     the pc sum strictly grows along every reduced-only edge). *)
+
+type mode = Off | Sym | Sym_por
+
+let mode_of_string = function
+  | "none" -> Some Off
+  | "sym" -> Some Sym
+  | "sym+por" -> Some Sym_por
+  | _ -> None
+
+let mode_to_string = function
+  | Off -> "none"
+  | Sym -> "sym"
+  | Sym_por -> "sym+por"
+
+let mode_values = [ ("none", Off); ("sym", Sym); ("sym+por", Sym_por) ]
+
+(* ------------------------------------------------------------------ *)
+(* Static pid-symmetry certificate.                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Asym of string
+
+(* Every expression is sorted as pid-valued or data-valued.  A program
+   is certified symmetric when pids are never ordered, stored, mixed
+   into arithmetic, or compared with data; per-process arrays are
+   indexed only by the symmetric process designators Pid/Qidx (and only
+   by Pid in effects, preserving the single-writer discipline the
+   pending-slot rename relies on); quantifier ranges never order pids.
+   Initial states are uniform across processes by construction
+   (State.initial fills every block identically), so no separate check
+   is needed there. *)
+let certify (p : Mxlang.Ast.program) =
+  let open Mxlang.Ast in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Asym m)) fmt in
+  let vname v = p.var_names.(v) in
+  let rec esort ~in_q (e : expr) =
+    match e with
+    | Int _ | N | M -> `Data
+    | Pid | Qidx -> `Pid
+    | Local _ -> `Data (* effects may only store data into locals *)
+    | Rd (v, ix) ->
+        index_ok ~in_q v ix;
+        `Data
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Mod (a, b) ->
+        data ~in_q "arithmetic" a;
+        data ~in_q "arithmetic" b;
+        `Data
+    | Max_arr _ -> `Data
+    | Ite (c, a, b) ->
+        bcheck ~in_q c;
+        data ~in_q "a conditional branch" a;
+        data ~in_q "a conditional branch" b;
+        `Data
+  and data ~in_q what e =
+    match esort ~in_q e with
+    | `Data -> ()
+    | `Pid -> bad "a process id flows into %s" what
+  and index_ok ~in_q v ix =
+    if p.var_sizes.(v) = -1 then
+      match ix with
+      | Pid -> ()
+      | Qidx when in_q -> ()
+      | _ ->
+          bad "per-process array %s indexed by a computed expression"
+            (vname v)
+    else data ~in_q (Printf.sprintf "an index into %s" (vname v)) ix
+  and bcheck ~in_q (b : bexpr) =
+    match b with
+    | True | False -> ()
+    | Not x -> bcheck ~in_q x
+    | And (x, y) | Or (x, y) ->
+        bcheck ~in_q x;
+        bcheck ~in_q y
+    | Cmp (c, x, y) -> (
+        match (esort ~in_q x, esort ~in_q y) with
+        | `Data, `Data -> ()
+        | `Pid, `Pid -> (
+            match c with
+            | Ceq | Cne -> ()
+            | _ -> bad "process ids are ordered (pid-order comparison)")
+        | _ -> bad "a process id is compared with data")
+    | Lex_lt ((a, b1), (c, d)) ->
+        if List.exists (fun e -> esort ~in_q e = `Pid) [ a; b1; c; d ] then
+          bad "id tie-break: Lex_lt orders process ids"
+    | Qexists (r, q) | Qall (r, q) ->
+        (match r with
+        | Rall | Rothers -> ()
+        | Rbelow | Rabove ->
+            bad "pid-ordered quantifier range (below/above self)");
+        bcheck ~in_q:true q
+  in
+  try
+    Array.iter
+      (fun (st : step) ->
+        List.iter
+          (fun (a : action) ->
+            bcheck ~in_q:false a.guard;
+            List.iter
+              (fun (l, e) ->
+                data ~in_q:false "a stored value" e;
+                match l with
+                | Lo _ -> ()
+                | Sh (v, ix) -> index_ok ~in_q:false v ix)
+              a.effects)
+          st.actions)
+      p.steps;
+    Ok ()
+  with Asym m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-system geometry for the orbit-representative function: where the
+   per-process array columns live, and which local slots are two-phase
+   pending write indices into per-process arrays.  A live pending index
+   on such an array equals the owning process's pid (certified programs
+   write per-process arrays only at [Pid]), so it must be normalized out
+   of the sort key and renamed to the block's new slot afterwards. *)
+type sym = {
+  s_lay : State.layout;
+  s_pp : int array; (* flat offset of cell 0 of each per-process var *)
+  s_pend : int array; (* block-relative pending-idx locals to rename *)
+}
+
+let make_sym sys =
+  let lay = System.layout sys in
+  let env = lay.State.env in
+  let p = env.Mxlang.Eval.program in
+  let pp = ref [] in
+  for v = p.nvars - 1 downto 0 do
+    if p.var_sizes.(v) = -1 then pp := env.Mxlang.Eval.offsets.(v) :: !pp
+  done;
+  let pend =
+    match System.two_phase_meta sys with
+    | None -> [||]
+    | Some meta ->
+        let acc = ref [] in
+        Array.iteri
+          (fun v slots ->
+            if p.var_sizes.(v) = -1 then
+              Array.iter (fun (il, _vl) -> acc := il :: !acc) slots)
+          meta.Regsem.Two_phase.tp_pend;
+        Array.of_list (List.sort compare !acc)
+  in
+  { s_lay = lay; s_pp = Array.of_list !pp; s_pend = pend }
+
+let key_width sym = 1 + Array.length sym.s_pp + sym.s_lay.State.locals_per
+
+(* Result block [j] := source block [perm.(j)]: pc, per-process array
+   cells, locals — live pending indices renamed to the new slot. *)
+let apply_perm sym ~perm (s : State.packed) (out : State.packed) =
+  let lay = sym.s_lay in
+  let n = lay.State.nprocs in
+  let npp = Array.length sym.s_pp in
+  let lp = lay.State.locals_per in
+  Array.blit s 0 out 0 lay.State.shared_len;
+  for j = 0 to n - 1 do
+    let i = perm.(j) in
+    out.(lay.State.pcs_off + j) <- s.(lay.State.pcs_off + i);
+    for v = 0 to npp - 1 do
+      out.(sym.s_pp.(v) + j) <- s.(sym.s_pp.(v) + i)
+    done;
+    let src = lay.State.locals_off + (i * lp)
+    and dst = lay.State.locals_off + (j * lp) in
+    for l = 0 to lp - 1 do
+      out.(dst + l) <- s.(src + l)
+    done;
+    Array.iter
+      (fun il -> if out.(dst + il) >= 0 then out.(dst + il) <- j)
+      sym.s_pend
+  done
+
+(* Orbit representative: sort the per-process blocks by a signature that
+   cannot see pids (pc, per-process cells, pid-normalized locals).  The
+   insertion sort is stable and over at most a dozen blocks, so the
+   representative — and the slot map [perm] — is deterministic. *)
+let canon_into sym ~keys ~ord ~out ~perm (s : State.packed) =
+  let lay = sym.s_lay in
+  let n = lay.State.nprocs in
+  let npp = Array.length sym.s_pp in
+  let lp = lay.State.locals_per in
+  for i = 0 to n - 1 do
+    let k = keys.(i) in
+    k.(0) <- s.(lay.State.pcs_off + i);
+    for v = 0 to npp - 1 do
+      k.(1 + v) <- s.(sym.s_pp.(v) + i)
+    done;
+    let base = lay.State.locals_off + (i * lp) in
+    for l = 0 to lp - 1 do
+      k.(1 + npp + l) <- s.(base + l)
+    done;
+    Array.iter
+      (fun il -> if k.(1 + npp + il) >= 0 then k.(1 + npp + il) <- 0)
+      sym.s_pend;
+    ord.(i) <- i
+  done;
+  let lt a b =
+    let ka = keys.(a) and kb = keys.(b) in
+    let len = Array.length ka in
+    let rec go j =
+      j < len && (ka.(j) < kb.(j) || (ka.(j) = kb.(j) && go (j + 1)))
+    in
+    go 0
+  in
+  for i = 1 to n - 1 do
+    let x = ord.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && lt x ord.(!j) do
+      ord.(!j + 1) <- ord.(!j);
+      decr j
+    done;
+    ord.(!j + 1) <- x
+  done;
+  Array.blit ord 0 perm 0 n;
+  apply_perm sym ~perm s out
+
+(* ------------------------------------------------------------------ *)
+(* Ample-set tables.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* amp.(pc).(pid): may pid alone be expanded when it stands at pc?
+   Static per (pc, pid) because read sets are pid-dependent.  Under a
+   weak model, writes to pending slots (locals >= tp_orig_locals) feed
+   other processes' flicker views, so they disqualify too. *)
+let make_amp sys =
+  let lay = System.layout sys in
+  let env = lay.State.env in
+  let p = env.Mxlang.Eval.program in
+  let n = lay.State.nprocs in
+  let orig_locals =
+    match System.two_phase_meta sys with
+    | None -> p.Mxlang.Ast.nlocals
+    | Some m -> m.Regsem.Two_phase.tp_orig_locals
+  in
+  Array.mapi
+    (fun pc (step : Mxlang.Ast.step) ->
+      Array.init n (fun pid ->
+          step.actions <> []
+          && step.kind <> Mxlang.Ast.Critical
+          && List.for_all
+               (fun (a : Mxlang.Ast.action) ->
+                 a.target > pc
+                 && p.steps.(a.target).kind <> Mxlang.Ast.Critical
+                 && Array.length (Mxlang.Reads.static_cells env ~pid a) = 0
+                 && List.for_all
+                      (fun (l, _) ->
+                        match l with
+                        | Mxlang.Ast.Sh _ -> false
+                        | Mxlang.Ast.Lo l -> l < orig_locals)
+                      a.effects)
+               step.actions))
+    p.Mxlang.Ast.steps
+
+(* ------------------------------------------------------------------ *)
+(* The reduction context.                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  rmode : mode;
+  reason : string option; (* why canonicalization is off under Sym* *)
+  active : bool; (* mode wants symmetry and the program certified *)
+  sym : sym;
+  amp : bool array array option; (* Some iff rmode = Sym_por *)
+  sys : System.t;
+}
+
+let make rmode sys =
+  let reason =
+    match rmode with
+    | Off -> None
+    | Sym | Sym_por -> (
+        match certify (System.source_program sys) with
+        | Ok () -> None
+        | Error r -> Some r)
+  in
+  let active = rmode <> Off && reason = None in
+  {
+    rmode;
+    reason;
+    active;
+    sym = make_sym sys;
+    amp = (if rmode = Sym_por then Some (make_amp sys) else None);
+    sys;
+  }
+
+let mode t = t.rmode
+let symmetry_active t = t.active
+let asymmetry_reason t = t.reason
+
+let describe t =
+  match t.rmode with
+  | Off -> "none"
+  | m ->
+      let por = if m = Sym_por then "; ample-set POR on" else "" in
+      let sym_part =
+        match t.reason with
+        | None -> "pid-symmetry certified, canonicalizing"
+        | Some r -> Printf.sprintf "canonicalization off — %s" r
+      in
+      Printf.sprintf "%s: %s%s" (mode_to_string m) sym_part por
+
+let canonizer t =
+  if not t.active then fun _ -> ()
+  else
+    let sym = t.sym in
+    let lay = sym.s_lay in
+    let n = lay.State.nprocs in
+    let w = key_width sym in
+    let keys = Array.init n (fun _ -> Array.make w 0) in
+    let ord = Array.make n 0 in
+    let perm = Array.make n 0 in
+    let out = Array.make lay.State.words 0 in
+    fun s ->
+      canon_into sym ~keys ~ord ~out ~perm s;
+      Array.blit out 0 s 0 lay.State.words
+
+let canon t s =
+  let n = t.sym.s_lay.State.nprocs in
+  if not t.active then (Array.copy s, Array.init n (fun i -> i))
+  else begin
+    let sym = t.sym in
+    let w = key_width sym in
+    let keys = Array.init n (fun _ -> Array.make w 0) in
+    let ord = Array.make n 0 in
+    let perm = Array.make n 0 in
+    let out = Array.make sym.s_lay.State.words 0 in
+    canon_into sym ~keys ~ord ~out ~perm s;
+    (out, perm)
+  end
+
+let permute t ~perm s =
+  let out = Array.make t.sym.s_lay.State.words 0 in
+  apply_perm t.sym ~perm s out;
+  out
+
+let invert p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun j i -> inv.(i) <- j) p;
+  inv
+
+let invariants_reducible invs =
+  let ok (c : Invariant.t) =
+    c.Invariant.name = "mutual-exclusion"
+    || c.Invariant.name = "no-overflow"
+    || String.starts_with ~prefix:"bounded(" c.Invariant.name
+  in
+  List.for_all (fun i -> List.for_all ok (Invariant.conjuncts i)) invs
+
+let ample t s =
+  match t.amp with
+  | None -> -1
+  | Some amp ->
+      let lay = t.sym.s_lay in
+      let n = lay.State.nprocs in
+      let rec go pid =
+        if pid >= n then -1
+        else
+          let pc = s.(lay.State.pcs_off + pid) in
+          if amp.(pc).(pid) && System.enabled t.sys s pid then pid
+          else go (pid + 1)
+      in
+      go 0
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample coordinates.                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward replay: walk the canonical trace alongside a genuine run,
+   maintaining ren : canonical slot -> real pid.  At each canonical edge
+   (slot p, step, canonical dest) the real move is whichever move of
+   process ren.(p) canonicalizes to that dest (equivariance guarantees
+   one exists); the next renaming is exactly the slot map its dest
+   canonicalizes with. *)
+let decanonicalize t (tr : Trace.t) =
+  if not t.active then tr
+  else
+    match tr with
+    | [] -> []
+    | first :: rest ->
+        let sys = t.sys in
+        let steps = (System.program sys).Mxlang.Ast.steps in
+        let cur = ref (System.initial sys) in
+        let ren = ref (Array.init (System.nprocs sys) (fun i -> i)) in
+        let out = ref [ { first with Trace.state = !cur } ] in
+        List.iter
+          (fun (e : Trace.entry) ->
+            let real = !ren.(e.Trace.pid) in
+            let moves = System.successors_of_pid sys !cur real in
+            let matches (m : System.move) =
+              steps.(m.System.from_pc).Mxlang.Ast.step_name
+              = e.Trace.step_name
+              && State.equal (fst (canon t m.System.dest)) e.Trace.state
+            in
+            match List.find_opt matches moves with
+            | None ->
+                invalid_arg
+                  "Reduce.decanonicalize: canonical trace does not replay \
+                   (quotient search reached a state the full system cannot)"
+            | Some m ->
+                let _, perm = canon t m.System.dest in
+                ren := perm;
+                cur := m.System.dest;
+                out :=
+                  {
+                    Trace.pid = real;
+                    step_name = e.Trace.step_name;
+                    state = m.System.dest;
+                  }
+                  :: !out)
+          rest;
+        List.rev !out

@@ -6,6 +6,7 @@
 type weak = {
   wk_model : Regsem.Model.t;
   wk_flick : Regsem.Flicker.ctx;
+  wk_meta : Regsem.Two_phase.meta;
   wk_reads : int array array array array;
       (* wk_reads.(pc).(pid).(alt) = sorted static read cells *)
 }
@@ -14,6 +15,8 @@ type t = {
   env : Mxlang.Eval.env;
   lay : State.layout;
   comp : Mxlang.Compile.t;
+  source : Mxlang.Ast.program;
+      (* the program as given, before any two-phase transform *)
   weak : weak option;
 }
 
@@ -21,6 +24,7 @@ type move = { pid : int; from_pc : int; alt : int; flick : int; dest : State.pac
 
 let make ?(register_model = Regsem.Model.Atomic) program ~nprocs ~bound =
   Mxlang.Validate.assert_valid program;
+  let source = program in
   let build program weak_of =
     let env = Mxlang.Eval.make_env program ~nprocs ~bound in
     let lay = State.layout env in
@@ -28,7 +32,7 @@ let make ?(register_model = Regsem.Model.Atomic) program ~nprocs ~bound =
       Mxlang.Compile.compile env ~local_base:(fun pid ->
           lay.locals_off + (pid * lay.locals_per))
     in
-    { env; lay; comp; weak = weak_of env lay }
+    { env; lay; comp; source; weak = weak_of env lay }
   in
   match register_model with
   | Regsem.Model.Atomic -> build program (fun _ _ -> None)
@@ -59,10 +63,14 @@ let make ?(register_model = Regsem.Model.Atomic) program ~nprocs ~bound =
                          step.actions)))
               tp.steps
           in
-          Some { wk_model = model; wk_flick; wk_reads })
+          Some { wk_model = model; wk_flick; wk_meta = meta; wk_reads })
 
 let layout t = t.lay
 let program t = t.env.program
+let source_program t = t.source
+
+let two_phase_meta t =
+  match t.weak with None -> None | Some wk -> Some wk.wk_meta
 let nprocs t = t.env.nprocs
 let bound t = t.env.bound
 let initial t = State.initial t.lay
@@ -114,12 +122,16 @@ let successors_into t (s : State.packed) out =
    effects), and [f] decides whether it is worth an allocation.  Over a
    big search most generated states are duplicates, so skipping the copy
    for them is the single largest allocation saving in the checker. *)
-let iter_successors_scratch t (s : State.packed) ~scratch f =
+let iter_successors_scratch ?(only = -1) t (s : State.packed) ~scratch f =
   let lay = t.lay in
   let actions = t.comp.actions in
+  (* [only >= 0] restricts expansion to that process — the ample-set
+     reduction's single-process wave ({!Reduce.ample}). *)
+  let pid_lo = if only >= 0 then only else 0
+  and pid_hi = if only >= 0 then only else t.env.nprocs - 1 in
   match t.weak with
   | None ->
-      for pid = 0 to t.env.nprocs - 1 do
+      for pid = pid_lo to pid_hi do
         let pc = s.(lay.pcs_off + pid) in
         let alts = actions.(pc).(pid) in
         for alt = 0 to Array.length alts - 1 do
@@ -138,7 +150,7 @@ let iter_successors_scratch t (s : State.packed) ~scratch f =
       done
   | Some wk ->
       let view = Array.copy s in
-      for pid = 0 to t.env.nprocs - 1 do
+      for pid = pid_lo to pid_hi do
         let pc = s.(lay.pcs_off + pid) in
         let alts = actions.(pc).(pid) in
         for alt = 0 to Array.length alts - 1 do

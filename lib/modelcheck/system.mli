@@ -39,6 +39,18 @@ val make :
 
 val layout : t -> State.layout
 val program : t -> Mxlang.Ast.program
+
+val source_program : t -> Mxlang.Ast.program
+(** The program as handed to {!make}, before any two-phase transform —
+    equal to {!program} under [Atomic].  The symmetry classifier
+    ({!Reduce}) runs on this, because pid-(a)symmetry is a property of
+    the source algorithm, not of the register encoding. *)
+
+val two_phase_meta : t -> Regsem.Two_phase.meta option
+(** The two-phase transform's bookkeeping (original step/local counts,
+    pending-slot map) when a weak register model is in force; [None]
+    under [Atomic]. *)
+
 val nprocs : t -> int
 val bound : t -> int
 
@@ -57,6 +69,7 @@ val successors_into : t -> State.packed -> move Vec.t -> unit
     allocates only the destination states themselves. *)
 
 val iter_successors_scratch :
+  ?only:int ->
   t ->
   State.packed ->
   scratch:State.packed ->
@@ -67,7 +80,9 @@ val iter_successors_scratch :
     is valid — the buffer is overwritten by the next move, so [f] must
     copy it to keep it.  Same deterministic order as {!successors}; lets
     the explorer dedup first and allocate only genuinely new states.
-    (Weak models allocate one view buffer per call, atomic none.) *)
+    (Weak models allocate one view buffer per call, atomic none.)
+    [only] restricts expansion to that single process — the ample-set
+    reduction; default [-1] expands all processes. *)
 
 val successors_interpreted : t -> State.packed -> move list
 (** The same moves computed by the AST interpreter ({!Mxlang.Eval})

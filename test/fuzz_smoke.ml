@@ -2,7 +2,7 @@
    tier-1 suite runs.
 
    Phase 1 fuzzes the safe models (bakery_pp, peterson2) across all
-   five differential oracles under a wall-clock budget — any failure is
+   six differential oracles under a wall-clock budget — any failure is
    a real bug in one of the engines and fails the alias.  Phase 2 runs a
    fixed batch against bakery_mod_naive and demands the fuzzer still
    catches the naive-modulo mutual-exclusion bug, so the alias also

@@ -134,8 +134,9 @@ let fuzz_run_and_metrics () =
   check int_t "fuzz exits 0 when nothing fails" 0 code;
   check bool_t "summary header" true (contains ~affix:"fuzz: seed=3" out);
   check bool_t "per-oracle lines" true (contains ~affix:"compile" out);
-  check bool_t "total line" true (contains ~affix:"total: 25 cases" out);
+  check bool_t "total line" true (contains ~affix:"total: 30 cases" out);
   check bool_t "regsem oracle in rotation" true (contains ~affix:"regsem" out);
+  check bool_t "reduced oracle in rotation" true (contains ~affix:"reduced" out);
   (* metrics snapshot parses and records the case counters *)
   let ic = open_in metrics in
   let lines = ref [] in
@@ -278,6 +279,99 @@ let register_model_flag () =
   check bool_t "safe check reports a pass" true
     (contains ~affix:"Invariants hold" out)
 
+(* ----------------------------------------------------------- --reduce *)
+
+let reduce_usage_errors () =
+  (* an unknown mode is a usage error naming the flag and the values,
+     uniformly across the subcommands that take it *)
+  List.iter
+    (fun args ->
+      let code, _, err = run_capture (args @ [ "--reduce"; "bogus" ]) in
+      check int_t
+        (String.concat " " args ^ " --reduce bogus exits 2")
+        2 code;
+      check bool_t "error names the flag" true (contains ~affix:"--reduce" err);
+      check bool_t "error lists the modes" true
+        (contains ~affix:"none" err && contains ~affix:"sym" err
+       && contains ~affix:"sym+por" err))
+    [
+      [ "check"; "ticket_mod"; "-n"; "2"; "-m"; "2" ];
+      [ "explain"; "--model"; "ticket"; "-n"; "2"; "-m"; "2" ];
+      [ "fuzz"; "--seed"; "1"; "--count"; "1" ];
+      [ "bench"; "e15" ];
+    ];
+  (* replaying a corpus file pins the oracle, so --reduce is rejected *)
+  let file = Filename.concat "corpus" "mod_naive_wrap_41.repro" in
+  let code, _, err =
+    run_capture [ "fuzz"; "--replay"; file; "--reduce"; "sym" ]
+  in
+  check int_t "--replay with --reduce exits 2" 2 code;
+  check bool_t "error explains the clash" true (contains ~affix:"--replay" err);
+  (* the flag is documented wherever it is accepted *)
+  List.iter
+    (fun sub ->
+      let _, out, _ = run_capture [ sub; "--help" ] in
+      check bool_t (sub ^ " --help documents --reduce") true
+        (contains ~affix:"--reduce" out))
+    [ "check"; "explain"; "fuzz"; "bench" ]
+
+(* the report's one non-deterministic token is the elapsed wall-clock
+   ("..., 0.002s"); blank its digits so the rest must match exactly *)
+let mask_timing s =
+  String.mapi
+    (fun i c ->
+      if
+        (c >= '0' && c <= '9')
+        && (let j = ref i in
+            while
+              !j < String.length s
+              && ((s.[!j] >= '0' && s.[!j] <= '9') || s.[!j] = '.')
+            do
+              incr j
+            done;
+            !j < String.length s && s.[!j] = 's')
+      then '#'
+      else c)
+    s
+
+let reduce_check_deterministic () =
+  let args =
+    [ "check"; "ticket_mod"; "-n"; "3"; "-m"; "3"; "--reduce"; "sym+por" ]
+  in
+  let code1, out1, _ = run_capture args in
+  let code2, out2, _ = run_capture args in
+  check int_t "reduced check exits 0" 0 code1;
+  check int_t "same exit" code1 code2;
+  check Alcotest.string "reports identical modulo timing" (mask_timing out1)
+    (mask_timing out2);
+  check bool_t "report names the reduction" true
+    (contains ~affix:"reduction: sym+por" out1);
+  check bool_t "still a pass" true (contains ~affix:"Invariants hold" out1);
+  (* an uncertified model must say so rather than silently claim
+     canonicalization *)
+  let _, out, _ =
+    run_capture [ "check"; "bakery_pp"; "-n"; "2"; "-m"; "3"; "--reduce"; "sym" ]
+  in
+  check bool_t "fallback reason surfaces" true
+    (contains ~affix:"canonicalization off" out)
+
+let reduce_explain_original_pids () =
+  (* a counterexample found in the quotient must be told in original
+     process coordinates: ticket n2 m2 overflows, and the story needs
+     both processes' steps to reach a ticket above M *)
+  let args =
+    [ "explain"; "--model"; "ticket"; "-n"; "2"; "-m"; "2"; "--reduce"; "sym" ]
+  in
+  let code, out, _ = run_capture args in
+  check int_t "reduced explain exits 0" 0 code;
+  check bool_t "finds the overflow" true
+    (contains ~affix:"VIOLATION: no-overflow" out);
+  check bool_t "p0 acts in the story" true (contains ~affix:"p0" out);
+  check bool_t "p1 acts in the story" true (contains ~affix:"p1" out);
+  let code2, out2, _ = run_capture args in
+  check int_t "same exit" code code2;
+  check Alcotest.string "byte-identical stories" out out2
+
 (* ------------------------------------------------------- bench locks *)
 
 (* The acceptance contract: two `bench locks` runs with the same seed
@@ -369,5 +463,13 @@ let () =
         [
           Alcotest.test_case "--register-model flag" `Quick
             register_model_flag;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "usage errors" `Quick reduce_usage_errors;
+          Alcotest.test_case "reduced check is deterministic" `Quick
+            reduce_check_deterministic;
+          Alcotest.test_case "explain renders original pids" `Quick
+            reduce_explain_original_pids;
         ] );
     ]

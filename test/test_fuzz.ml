@@ -16,7 +16,7 @@ let corpus_files () =
 
 let test_corpus_replays () =
   let files = corpus_files () in
-  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 5);
+  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 7);
   List.iter
     (fun file ->
       match Fuzz.Repro.load file with

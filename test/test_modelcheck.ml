@@ -577,6 +577,191 @@ let dot_trace () =
       check bool_t "trace path rendered" true (contains dot "t0 -> t1")
   | _ -> Alcotest.fail "expected violation"
 
+(* --------------------------------------------------------------- reduce *)
+
+module State_tbl = Hashtbl.Make (struct
+  type t = MC.State.packed
+
+  let equal = MC.State.equal
+  let hash = MC.State.hash
+end)
+
+let orbit_count red (g : MC.Explore.graph) =
+  let orbits = State_tbl.create 256 in
+  MC.Vec.iter
+    (fun s ->
+      let c, _ = MC.Reduce.canon red s in
+      if not (State_tbl.mem orbits c) then State_tbl.add orbits c ())
+    g.states;
+  State_tbl.length orbits
+
+(* Every later trace entry must be an actual move of the named process
+   with the named label — the claim de-canonicalization could break. *)
+let trace_genuine sys (tr : MC.Trace.t) =
+  match tr with
+  | [] -> false
+  | first :: rest ->
+      let steps = (MC.System.program sys).Mxlang.Ast.steps in
+      MC.State.equal first.MC.Trace.state (MC.System.initial sys)
+      && fst
+           (List.fold_left
+              (fun (ok, cur) (e : MC.Trace.entry) ->
+                if not ok then (false, cur)
+                else
+                  ( List.exists
+                      (fun (m : MC.System.move) ->
+                        steps.(m.MC.System.from_pc).Mxlang.Ast.step_name
+                        = e.step_name
+                        && MC.State.equal m.MC.System.dest e.state)
+                      (MC.System.successors_of_pid sys cur e.pid),
+                    e.state ))
+              (true, first.MC.Trace.state)
+              rest)
+
+let reduce_certifier_classifications () =
+  let expect_sym = [ "ticket"; "ticket_mod"; "tas"; "no_lock" ] in
+  let expect_asym =
+    [ "bakery"; "bakery_pp"; "bakery_mod_naive"; "peterson2"; "szymanski" ]
+  in
+  List.iter
+    (fun name ->
+      match MC.Reduce.certify (Harness.Registry.find_model name) with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "%s should certify symmetric, got: %s" name r)
+    expect_sym;
+  List.iter
+    (fun name ->
+      match MC.Reduce.certify (Harness.Registry.find_model name) with
+      | Ok () -> Alcotest.failf "%s should fail the symmetry certificate" name
+      | Error r ->
+          check bool_t (name ^ " has a reason") true (String.length r > 0))
+    expect_asym
+
+let reduce_equivalence_ticket_mod () =
+  let sys = sys_of ~nprocs:3 ~bound:3 (Harness.Registry.find_model "ticket_mod") in
+  let full = MC.Explore.run sys in
+  let sym = MC.Explore.run ~reduce:MC.Reduce.Sym sys in
+  let por = MC.Explore.run ~reduce:MC.Reduce.Sym_por sys in
+  (match (full.outcome, sym.outcome, por.outcome) with
+  | MC.Explore.Pass, MC.Explore.Pass, MC.Explore.Pass -> ()
+  | _ -> Alcotest.fail "ticket_mod n3 m3 must Pass under all three searches");
+  check bool_t "sym quotient is smaller" true
+    (sym.stats.distinct < full.stats.distinct);
+  check bool_t "por cuts further" true (por.stats.distinct <= sym.stats.distinct);
+  (* exactness: one stored representative per orbit of the full set *)
+  let g, _ = MC.Explore.run_graph sys in
+  let red = MC.Reduce.make MC.Reduce.Sym sys in
+  check bool_t "certificate accepted" true (MC.Reduce.symmetry_active red);
+  check int_t "orbit count equals sym distinct" (orbit_count red g)
+    sym.stats.distinct
+
+let reduce_fallback_identity () =
+  (* bakery_pp's id tie-break fails the certificate: sym must silently
+     run the identity search, bit-identical counts included. *)
+  let sys = sys_of ~nprocs:2 ~bound:2 (Core.Bakery_pp_model.program ()) in
+  let red = MC.Reduce.make MC.Reduce.Sym sys in
+  check bool_t "symmetry inactive" false (MC.Reduce.symmetry_active red);
+  check bool_t "reason reported" true
+    (MC.Reduce.asymmetry_reason red <> None);
+  let full = MC.Explore.run sys in
+  let sym = MC.Explore.run ~reduce:MC.Reduce.Sym sys in
+  check int_t "distinct identical" full.stats.distinct sym.stats.distinct;
+  check int_t "generated identical" full.stats.generated sym.stats.generated;
+  check int_t "depth identical" full.stats.depth sym.stats.depth
+
+let reduce_trace_genuine () =
+  (* ticket n2 m2 overflows; the de-canonicalized counterexample must
+     replay as a genuine run in original pids, under both modes. *)
+  let sys = sys_of ~nprocs:2 ~bound:2 (Harness.Registry.find_model "ticket") in
+  List.iter
+    (fun mode ->
+      let r = MC.Explore.run ~reduce:mode sys in
+      match r.outcome with
+      | MC.Explore.Violation { trace; _ } ->
+          check bool_t
+            (MC.Reduce.mode_to_string mode ^ " trace is genuine")
+            true (trace_genuine sys trace)
+      | _ -> Alcotest.fail "expected a no-overflow violation")
+    [ MC.Reduce.Sym; MC.Reduce.Sym_por ]
+
+let reduce_weak_registers () =
+  (* Safe registers: canon composes with the two-phase layout (pending
+     slots included); quotient verdict and orbit count must match. *)
+  let prog = Harness.Registry.find_model "ticket_mod" in
+  let sys =
+    MC.System.make ~register_model:Regsem.Model.Safe prog ~nprocs:2 ~bound:2
+  in
+  let full = MC.Explore.run sys in
+  let sym = MC.Explore.run ~reduce:MC.Reduce.Sym sys in
+  check bool_t "verdicts agree under safe registers" true
+    (MC.Explore.outcome_tag full.outcome = MC.Explore.outcome_tag sym.outcome);
+  match full.outcome with
+  | MC.Explore.Pass ->
+      let g, _ = MC.Explore.run_graph sys in
+      let red = MC.Reduce.make MC.Reduce.Sym sys in
+      check bool_t "certificate accepted under weak model" true
+        (MC.Reduce.symmetry_active red);
+      check int_t "weak orbit count equals sym distinct" (orbit_count red g)
+        sym.stats.distinct
+  | _ -> ()
+
+(* Group-action laws, property-tested over the certified symmetric
+   fragment the fuzzer draws from.  n = 3 keeps all 6 permutations
+   checkable explicitly. *)
+let perms3 =
+  [
+    [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |];
+    [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |];
+  ]
+
+let prop_reduce_group_action =
+  QCheck.Test.make ~name:"canon is an orbit normal form (symmetric programs)"
+    ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let prog =
+        Fuzz.Gen.program_symmetric rng
+          { Fuzz.Gen.g_nprocs = 3; g_bound = 2; g_max_steps = 4 }
+      in
+      (match MC.Reduce.certify prog with
+      | Ok () -> ()
+      | Error r ->
+          QCheck.Test.fail_reportf "program_symmetric not certified: %s" r);
+      let sys = MC.System.make prog ~nprocs:3 ~bound:2 in
+      let red = MC.Reduce.make MC.Reduce.Sym sys in
+      if not (MC.Reduce.symmetry_active red) then
+        QCheck.Test.fail_report "reduction inactive on a certified program";
+      let g, _ = MC.Explore.run_graph ~max_states:2_000 sys in
+      let mutex = MC.Invariant.mutex and no_ovf = MC.Invariant.no_overflow in
+      let n = min 60 (MC.Vec.length g.states) in
+      for i = 0 to n - 1 do
+        let s = MC.Vec.get g.states i in
+        let c, perm = MC.Reduce.canon red s in
+        (* idempotence *)
+        let c2, _ = MC.Reduce.canon red c in
+        if not (MC.State.equal c2 c) then
+          QCheck.Test.fail_report "canon not idempotent";
+        (* the stored permutation de-canonicalizes: applying its inverse
+           to the representative recovers the original state *)
+        let back = MC.Reduce.permute red ~perm:(MC.Reduce.invert perm) c in
+        if not (MC.State.equal back s) then
+          QCheck.Test.fail_report "stored permutation does not round-trip";
+        (* invariant truth is a property of the orbit *)
+        if
+          mutex.holds sys s <> mutex.holds sys c
+          || no_ovf.holds sys s <> no_ovf.holds sys c
+        then QCheck.Test.fail_report "canon changed an invariant's truth";
+        (* orbit invariance: every permuted copy canonicalizes equally *)
+        List.iter
+          (fun p ->
+            let cp, _ = MC.Reduce.canon red (MC.Reduce.permute red ~perm:p s) in
+            if not (MC.State.equal cp c) then
+              QCheck.Test.fail_report "canon not constant on an orbit")
+          perms3
+      done;
+      true)
+
 (* --------------------------------------------------------------- report *)
 
 let report_strings () =
@@ -660,6 +845,20 @@ let () =
           Alcotest.test_case "system export" `Quick dot_export;
           Alcotest.test_case "truncation marker" `Quick dot_truncation;
           Alcotest.test_case "trace export" `Quick dot_trace;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "certifier classifications" `Quick
+            reduce_certifier_classifications;
+          Alcotest.test_case "ticket_mod quotient equivalence + orbit count"
+            `Quick reduce_equivalence_ticket_mod;
+          Alcotest.test_case "bakery_pp sym falls back identically" `Quick
+            reduce_fallback_identity;
+          Alcotest.test_case "de-canonicalized traces are genuine" `Quick
+            reduce_trace_genuine;
+          Alcotest.test_case "weak registers compose with canon" `Quick
+            reduce_weak_registers;
+          QCheck_alcotest.to_alcotest prop_reduce_group_action;
         ] );
       ("report", [ Alcotest.test_case "render" `Quick report_strings ]);
     ]

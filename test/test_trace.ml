@@ -23,11 +23,22 @@ let read_file path =
 
 (* ------------------------------------------------------------- corpus *)
 
+(* Only the schedule entries: the explainer tests below re-execute
+   each case through the simulator, which program-case repros (e.g.
+   the reduced_* tie-break entries) cannot do — test_fuzz.ml replays
+   those through their own oracle. *)
 let corpus_files () =
   Sys.readdir "corpus" |> Array.to_list
   |> List.filter (fun f -> Filename.check_suffix f ".repro")
   |> List.sort compare
   |> List.map (Filename.concat "corpus")
+  |> List.filter (fun file ->
+         match Fuzz.Repro.load file with
+         | Error e -> Alcotest.failf "%s: cannot load: %s" file e
+         | Ok r -> (
+             match r.Fuzz.Repro.case with
+             | Fuzz.Oracle.Sched_case _ -> true
+             | Fuzz.Oracle.Prog_case _ -> false))
 
 let plan_of_file file =
   match Fuzz.Repro.load file with
