@@ -43,14 +43,15 @@ let datapoint_json ~timestamp (dp : Harness.Experiments.datapoint) =
     @ Telemetry.Metrics.gc_fields ())
 
 (* One lock scorecard -> one BENCH_locks.json row: the full scorecard
-   object plus the same timestamp/runmeta/GC stamping the datapoints
-   get, so rows from different PRs and machines stay comparable. *)
-let card_json ~timestamp card =
+   object, any experiment-supplied extra fields (E16's drift verdicts),
+   plus the same timestamp/runmeta/GC stamping the datapoints get, so
+   rows from different PRs and machines stay comparable. *)
+let card_json ~timestamp (card, extra) =
   let open Telemetry.Json in
   match Workload.Scorecard.to_json card with
   | Obj fields ->
       Obj
-        (fields
+        (fields @ extra
         @ [ ("timestamp", Num timestamp) ]
         @ Telemetry.Runmeta.to_fields (Telemetry.Runmeta.capture ())
         @ Telemetry.Metrics.gc_fields ())
@@ -349,7 +350,7 @@ let () =
             (if g.g_fail then "  REGRESSION" else "");
           if g.g_fail then lock_failed := true
         end)
-      (Workload.Suite.regress ~prior:locks_prior cards);
+      (Workload.Suite.regress ~prior:locks_prior (List.map fst cards));
     if !lock_failed then
       prerr_endline
         "bench: lock goodput/p99 regressed >15% against the best prior \

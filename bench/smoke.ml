@@ -193,4 +193,36 @@ let () =
   if card.issued <> 400 || card.completed <> 400 then
     fail "bench-smoke: ops budget 400 not honoured (issued %d completed %d)"
       card.issued card.completed;
+  (* ------------------------------------------------ report leg (~1s) *)
+  (* A tiny push-mode flight record rendered twice through Obs.Report:
+     the render must be a pure function of its input (byte-identical
+     re-render) — the determinism contract `bakery_cli report` and the
+     golden tests rely on. *)
+  let recorder = Obs.Recorder.create () in
+  let flight_cell () =
+    Workload.Suite.run_cell resolve ~flight:recorder ~virtual_bound:32
+      ~algo:"bakery_pp" ~nprocs:2 ~rate:2_000.0
+      ~budget:(Workload.Openloop.Ops 200) ~seed:7 ()
+  in
+  ignore (flight_cell ());
+  Obs.Recorder.stop recorder;
+  let samples = Obs.Recorder.samples recorder in
+  if List.length samples < 2 then
+    fail "bench-smoke: flight recorder captured %d sample(s) from the cell"
+      (List.length samples);
+  let input =
+    {
+      Obs.Report.empty with
+      Obs.Report.flight = samples;
+      bench = [ Workload.Scorecard.to_json card ];
+    }
+  in
+  let r1 = Obs.Report.render input in
+  let r2 = Obs.Report.render input in
+  if r1 <> r2 then fail "bench-smoke: report re-render is not byte-identical";
+  if String.length r1 < 200 then
+    fail "bench-smoke: report suspiciously short (%d bytes)"
+      (String.length r1);
+  Printf.printf "bench-smoke report %d flight sample(s), %d bytes, re-render identical\n"
+    (List.length samples) (String.length r1);
   print_endline "bench-smoke: OK"

@@ -116,12 +116,27 @@ let trace_out_arg =
   let doc = "Append progress and span events to $(docv) as JSON lines." in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let flight_out_arg =
+  let doc =
+    "Record a flight record to $(docv): schema-versioned time-series \
+     snapshots (throughput, frontier, shard balance, latency \
+     percentiles, GC gauges) as JSON lines, one per sampler interval, \
+     flushed per line so a killed run still leaves a readable record.  \
+     Feed it to $(b,bakery_cli report)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE" ~doc)
+
+let flight_interval_arg =
+  let doc = "Flight-recorder sampling interval, seconds." in
+  Arg.(value & opt float 0.25 & info [ "flight-interval" ] ~docv:"SECONDS" ~doc)
+
 type telemetry = {
   tl_progress : Telemetry.Progress.t option;
   tl_metrics : Telemetry.Metrics.t option;
   tl_trace : Telemetry.Sink.t option;
+  tl_flight : Obs.Recorder.t option;
   tl_finish : unit -> unit;
-      (* write the metrics snapshot and close every sink *)
+      (* write the metrics snapshot and close every sink; idempotent *)
 }
 
 let write_metrics_snapshot path m =
@@ -147,9 +162,17 @@ let write_metrics_snapshot path m =
 
 (* Progress lines go to stderr when [--progress] is set and are mirrored
    into the trace file when [--trace-out] is set; either flag alone also
-   works.  The metrics registry exists only when [--metrics-out] asks
-   for it, so a bare run keeps every hot path on its no-op branch. *)
-let telemetry_setup ~name progress metrics_out trace_out =
+   works.  The metrics registry exists when [--metrics-out] or
+   [--flight-out] asks for it, so a bare run keeps every hot path on its
+   no-op branch.
+
+   [flight_pull] (default true) starts the background sampler domain
+   polling the registry; `bench locks` passes [false] because the lock
+   observatory pushes richer samples itself.  [tl_finish] is idempotent
+   and registered with [at_exit], so the violation and early-[exit]
+   paths flush the metrics snapshot and close every sink too. *)
+let telemetry_setup ~name ?flight_out ?(flight_interval = 0.25)
+    ?(flight_pull = true) progress metrics_out trace_out =
   let trace = Option.map Telemetry.Sink.jsonl trace_out in
   (* Every JSONL trace file opens with a self-describing header line
      (schema version + run metadata) so later builds can refuse files
@@ -171,14 +194,34 @@ let telemetry_setup ~name progress metrics_out trace_out =
   let tl_progress =
     Option.map (fun s -> Telemetry.Progress.create ~name s ()) progress_sink
   in
-  let tl_metrics = Option.map (fun _ -> Telemetry.Metrics.create ()) metrics_out in
-  let tl_finish () =
-    (match (metrics_out, tl_metrics) with
-    | Some path, Some m -> write_metrics_snapshot path m
-    | _ -> ());
-    Option.iter (fun (s : Telemetry.Sink.t) -> s.close ()) trace
+  let tl_metrics =
+    match (metrics_out, flight_out) with
+    | None, None -> None
+    | _ -> Some (Telemetry.Metrics.create ())
   in
-  { tl_progress; tl_metrics; tl_trace = trace; tl_finish }
+  let tl_flight =
+    Option.map (fun path -> Obs.Recorder.create ~path ()) flight_out
+  in
+  (match (tl_flight, tl_metrics) with
+  | Some recorder, Some m when flight_pull ->
+      Obs.Recorder.start_sampler ~interval_s:flight_interval recorder
+        ~poll:(fun () ->
+          Telemetry.Metrics.observe_gc m;
+          Obs.Recorder.of_metrics m)
+  | _ -> ());
+  let finished = ref false in
+  let tl_finish () =
+    if not !finished then begin
+      finished := true;
+      Option.iter Obs.Recorder.stop tl_flight;
+      (match (metrics_out, tl_metrics) with
+      | Some path, Some m -> write_metrics_snapshot path m
+      | _ -> ());
+      Option.iter (fun (s : Telemetry.Sink.t) -> s.close ()) trace
+    end
+  in
+  at_exit tl_finish;
+  { tl_progress; tl_metrics; tl_trace = trace; tl_flight; tl_finish }
 
 (* ----------------------------------------------- counterexample export *)
 
@@ -290,7 +333,7 @@ let check_cmd =
   in
   let run model nprocs bound register_model reduce cap max_states with_overflow
       coverage parallel fp_only chrome_out dot_out progress metrics_out
-      trace_out =
+      trace_out flight_out flight_interval =
     let p = find_model model in
     let sys = Modelcheck.System.make ~register_model p ~nprocs ~bound in
     let invariants =
@@ -306,7 +349,7 @@ let check_cmd =
     let tl =
       telemetry_setup
         ~name:(if parallel > 0 then "par_explore" else "explore")
-        progress metrics_out trace_out
+        ?flight_out ~flight_interval progress metrics_out trace_out
     in
     let r =
       if parallel > 0 then
@@ -361,7 +404,8 @@ let check_cmd =
       const run $ model_arg $ nprocs_arg $ bound_arg $ register_model_arg
       $ reduce_arg $ cap_arg $ max_states_arg $ no_overflow_arg $ coverage_arg
       $ parallel_arg $ fp_only_arg $ chrome_out_arg $ dot_out_arg
-      $ progress_arg $ metrics_out_arg $ trace_out_arg)
+      $ progress_arg $ metrics_out_arg $ trace_out_arg $ flight_out_arg
+      $ flight_interval_arg)
 
 (* ---------------------------------------------------------------- sim *)
 
@@ -814,7 +858,8 @@ let fuzz_cmd =
           & info [ "register-model" ] ~docv:"MODEL" ~doc))
   in
   let run seed count oracles models nprocs bound register_model reduce
-      max_steps max_states out replay progress metrics_out trace_out =
+      max_steps max_states out replay progress metrics_out trace_out
+      flight_out flight_interval =
     (* Narrow the Reduced oracle's legs for this process only when the
        flag is given; replay keeps the default so .repro verdicts are
        self-contained. *)
@@ -875,7 +920,10 @@ let fuzz_cmd =
                   (String.concat ", " Harness.Registry.model_names);
                 exit 2)
           models;
-        let tl = telemetry_setup ~name:"fuzz" progress metrics_out trace_out in
+        let tl =
+          telemetry_setup ~name:"fuzz" ?flight_out ~flight_interval progress
+            metrics_out trace_out
+        in
         let cfg =
           {
             (Fuzz.Driver.default_config ~seed ~count) with
@@ -908,7 +956,7 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ oracle_arg $ fuzz_model_arg
       $ nprocs_arg $ bound_arg $ fuzz_register_model_arg $ fuzz_reduce_arg
       $ max_steps_arg $ max_states_arg $ out_arg $ replay_arg $ progress_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ metrics_out_arg $ trace_out_arg $ flight_out_arg $ flight_interval_arg)
 
 (* -------------------------------------------------------------- bench *)
 
@@ -976,7 +1024,8 @@ let run_locks ~tl ~quick ~seed ~rate_raw ~ops ~duration_raw ~algos ~domains
       (fun algo ->
         let card =
           Workload.Suite.run_cell resolve ?progress:tl.tl_progress
-            ~virtual_bound:vbound ~algo ~nprocs:domains ~rate ~budget ~seed ()
+            ?flight:tl.tl_flight ~virtual_bound:vbound ~algo ~nprocs:domains
+            ~rate ~budget ~seed ()
         in
         let overflow_cell =
           match card.Workload.Scorecard.overflow with
@@ -1112,7 +1161,7 @@ let bench_cmd =
     Arg.(value & opt (some string) None & info [ "reduce" ] ~docv:"MODE" ~doc)
   in
   let run ids quick seed rate_raw ops duration_raw algos domains vbound out
-      reduce progress metrics_out trace_out =
+      reduce progress metrics_out trace_out flight_out flight_interval =
     let ids = if ids = [] then List.map (fun (e : Harness.Experiments.experiment) -> e.id) Harness.Experiments.all else ids in
     Option.iter
       (fun raw ->
@@ -1121,8 +1170,14 @@ let bench_cmd =
           | Modelcheck.Reduce.Off -> [ Modelcheck.Reduce.Off ]
           | m -> [ Modelcheck.Reduce.Off; m ])
       reduce;
-    let tl = telemetry_setup ~name:"bench" progress metrics_out trace_out in
-    if List.mem "locks" ids then begin
+    let locks = List.mem "locks" ids in
+    (* bench locks: the observatory pushes one flight sample per poll
+       itself — a second pull sampler would only interleave noise. *)
+    let tl =
+      telemetry_setup ~name:"bench" ?flight_out ~flight_interval
+        ~flight_pull:(not locks) progress metrics_out trace_out
+    in
+    if locks then begin
       if List.length ids > 1 then begin
         prerr_endline "bench locks does not combine with experiment ids";
         exit 2
@@ -1140,7 +1195,127 @@ let bench_cmd =
     Term.(
       const run $ ids_arg $ quick_arg $ seed_arg $ rate_arg $ ops_arg
       $ duration_arg $ algo_arg $ domains_arg $ vbound_arg $ out_arg
-      $ bench_reduce_arg $ progress_arg $ metrics_out_arg $ trace_out_arg)
+      $ bench_reduce_arg $ progress_arg $ metrics_out_arg $ trace_out_arg
+      $ flight_out_arg $ flight_interval_arg)
+
+(* ------------------------------------------------------------- report *)
+
+(* Everything a run leaves behind — flight record, metrics snapshot,
+   trace, scorecard history — rendered into one deterministic markdown
+   document.  Determinism is load-bearing: the same inputs must produce
+   byte-identical output on any machine (golden-tested), so the verdict
+   diff between two runs is exactly the run difference. *)
+let report_cmd =
+  let flight_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:"Flight-record JSONL written by --flight-out.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Metrics-snapshot JSONL written by --metrics-out.")
+  in
+  let report_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Trace JSONL written by --trace-out.")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:
+            "A BENCH_*.json history file (repeatable); scorecard rows \
+             are diffed against their best prior cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the report here instead of stdout.")
+  in
+  let run flight metrics trace bench out =
+    let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+    let flight_header, samples =
+      match flight with
+      | None -> (None, [])
+      | Some p -> (
+          match Obs.Flight.load p with
+          | Ok (h, s) -> (h, s)
+          | Error e -> fail "%s: %s" p e)
+    in
+    let jsonl_rows p =
+      match open_in p with
+      | exception Sys_error e -> fail "%s" e
+      | ic ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> List.rev acc
+            | "" -> go (lineno + 1) acc
+            | line -> (
+                match Telemetry.Json.parse line with
+                | Ok j -> go (lineno + 1) (j :: acc)
+                | Error e -> fail "%s:%d: %s" p lineno e)
+          in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> go 1 [])
+    in
+    let metrics_rows =
+      match metrics with None -> [] | Some p -> jsonl_rows p
+    in
+    let trace_rows =
+      match trace with
+      | None -> []
+      | Some p ->
+          List.filter
+            (fun j ->
+              match Telemetry.Json.member "kind" j with
+              | Some (Telemetry.Json.Str "header") -> false
+              | _ -> true)
+            (jsonl_rows p)
+    in
+    let bench_rows =
+      List.concat_map
+        (fun p ->
+          match Workload.Suite.load_rows p with
+          | Ok rows -> rows
+          | Error e -> fail "%s: %s" p e)
+        bench
+    in
+    let doc =
+      Obs.Report.render
+        {
+          Obs.Report.flight_header;
+          flight = samples;
+          metrics = metrics_rows;
+          trace = trace_rows;
+          bench = bench_rows;
+        }
+    in
+    match out with
+    | None -> print_string doc
+    | Some p ->
+        let oc = open_out p in
+        output_string oc doc;
+        close_out oc
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a deterministic markdown run report from flight \
+          records, metrics snapshots, traces and BENCH_*.json rows")
+    Term.(
+      const run $ flight_arg $ metrics_arg $ report_trace_arg $ bench_arg
+      $ out_arg)
 
 let () =
   let info =
@@ -1153,4 +1328,5 @@ let () =
           [
             list_cmd; show_cmd; check_cmd; sim_cmd; explain_cmd; lasso_cmd;
             refine_cmd; verify_cmd; tla_cmd; graph_cmd; fuzz_cmd; bench_cmd;
+            report_cmd;
           ]))

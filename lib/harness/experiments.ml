@@ -894,12 +894,16 @@ let e12 ~quick =
 
 (* ----------------------------------------------------------------- E13 *)
 
-(* E13's scorecards are buffered whole (alongside the flat metric
-   datapoints) so the bench driver can persist the full rows to
-   BENCH_locks.json with timestamp and run metadata. *)
-let scorecards : Workload.Scorecard.t list ref = ref []
+(* Scorecards are buffered whole (alongside the flat metric datapoints)
+   so the bench driver can persist the full rows to BENCH_locks.json
+   with timestamp and run metadata.  [extra] carries experiment-specific
+   row fields the scorecard schema has no slot for — E16's flight-drift
+   verdicts — which the driver appends verbatim to the JSON row. *)
+let scorecards :
+    (Workload.Scorecard.t * (string * Telemetry.Json.t) list) list ref =
+  ref []
 
-let record_scorecard c = scorecards := c :: !scorecards
+let record_scorecard ?(extra = []) c = scorecards := (c, extra) :: !scorecards
 
 let take_scorecards () =
   let c = List.rev !scorecards in
@@ -1026,6 +1030,93 @@ let e13 ~quick =
               (float_of_int o.resets))
     [ ("bakery", lock_resolver ()); ("bakery_pp", lock_resolver ~bound:m ()) ];
   [ t; t2 ]
+
+(* ----------------------------------------------------------------- E16 *)
+
+(* The soak experiment: where E13 asks "how does the lock score on a
+   short burst", E16 asks "does anything degrade while it keeps
+   running" — the flight recorder rides the observatory sampler and the
+   drift analyzers judge the recorded p99 and heap series.  The
+   verdicts travel with the scorecard row (record_scorecard ~extra), so
+   BENCH_locks.json carries the soak's health verdict next to its
+   goodput under the same regress gate. *)
+let e16 ~quick =
+  let t =
+    Table.make
+      ~title:
+        "E16 (flight-recorded soak): Seconds-budget open-loop run with \
+         drift verdicts over the recorded time series"
+      ~notes:
+        [
+          "the flight recorder samples lock stats, live acquire-latency \
+           percentiles and GC gauges once per observatory poll \
+           (Obs.Recorder riding Workload.Suite.run_cell ~flight)";
+          "drift = Obs.Analyze.drift over the recorded series: window \
+           means must be monotone and move >10% first-to-last window; \
+           'insufficient' means the run was too short to split into \
+           windows (expected in quick mode)";
+          "verdicts are persisted into the BENCH_locks.json row \
+           (drift_p99, drift_gc_heap) alongside the scorecard fields";
+        ]
+      [
+        "lock"; "domains"; "rate/s"; "soak(s)"; "goodput/s"; "p99";
+        "samples"; "p99 drift"; "heap drift"; "SLO";
+      ]
+  in
+  let dur = if quick then 1.0 else 60.0 in
+  let rate = 4_000.0 in
+  let nprocs = 2 in
+  let seed = 42 in
+  let resolve = lock_resolver () in
+  List.iter
+    (fun algo ->
+      let flight = Obs.Recorder.create () in
+      let card =
+        Workload.Suite.run_cell resolve
+          ~sample_interval_s:(if quick then 2e-3 else 5e-2)
+          ~flight ~algo ~nprocs ~rate
+          ~budget:(Workload.Openloop.Seconds dur) ~seed ()
+      in
+      Obs.Recorder.stop flight;
+      let samples = Obs.Recorder.samples flight in
+      let series_by_suffix suffix =
+        match
+          List.find_opt
+            (fun n -> String.ends_with ~suffix n)
+            (Obs.Flight.names samples)
+        with
+        | Some n -> Obs.Flight.series samples n
+        | None -> [||]
+      in
+      let p99_drift =
+        Obs.Analyze.drift ~metric:"p99" (series_by_suffix ".acquire_s.p99")
+      in
+      let heap_drift =
+        Obs.Analyze.drift ~metric:"gc.heap_mb"
+          (Obs.Flight.series samples "gc.heap_mb")
+      in
+      let v (d : Obs.Analyze.drift) = Obs.Analyze.verdict_to_string d.verdict in
+      record_scorecard card
+        ~extra:
+          [
+            ("drift_p99", Telemetry.Json.Str (v p99_drift));
+            ("drift_gc_heap", Telemetry.Json.Str (v heap_drift));
+            ( "flight_samples",
+              Telemetry.Json.Num (float_of_int (List.length samples)) );
+            ("soak_s", Telemetry.Json.Num dur);
+          ];
+      record_metric ~exp:"e16"
+        ~metric:(Printf.sprintf "%s/d%d/goodput" algo nprocs)
+        card.goodput;
+      record_metric ~exp:"e16"
+        ~metric:(Printf.sprintf "%s/d%d/p99_ns" algo nprocs)
+        (float_of_int card.p99_ns);
+      Table.add_rowf t "%s|%d|%.0f|%.0f|%.0f|%s|%d|%s|%s|%s" algo nprocs rate
+        dur card.goodput
+        (latency_cell [ ("v", card.p99_ns) ] "v")
+        (List.length samples) (v p99_drift) (v heap_drift) (slo_cell card))
+    [ "bakery_pp"; "ticket" ];
+  [ t ]
 
 (* ------------------------------------------------------- ablations *)
 
@@ -1412,6 +1503,7 @@ let all =
     { id = "e13"; summary = "SLO observatory: open-loop lock traffic, overflow telemetry, scorecards"; run = e13 };
     { id = "e14"; summary = "Weak registers: Bakery/Bakery++/Black-White under atomic, regular, safe (regsem)"; run = e14 };
     { id = "e15"; summary = "Symmetry + POR reduction: quotient sweep and N > M (C8) past the full-search budget"; run = e15 };
+    { id = "e16"; summary = "Flight-recorded soak: Seconds-budget open-loop run with drift verdicts"; run = e16 };
     { id = "a1"; summary = "Ablation: remove the L1 gate — safety survives, behaviour degrades"; run = a1 };
     { id = "a2"; summary = "Ablation: increment before checking — the theorem falls at N >= 3"; run = a2 };
     { id = "a3"; summary = "Ablation: '>=' vs '=' capacity tests under read anomalies (paper §5)"; run = a3 };

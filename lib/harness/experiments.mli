@@ -72,6 +72,13 @@ val e15 : quick:bool -> Table.t list
     in the metric name, so regression gating never compares across
     modes. *)
 
+val e16 : quick:bool -> Table.t list
+(** Flight-recorded soak: a Seconds-budget open-loop run (60 s full,
+    ~1 s quick) against Bakery++ with the flight recorder riding the
+    observatory sampler; the recorded p99 and heap series get
+    {!Obs.Analyze.drift} verdicts, which land both in the table and in
+    the BENCH_locks.json row via {!record_scorecard}'s [extra]. *)
+
 val e15_modes : Modelcheck.Reduce.mode list ref
 (** Reduction modes {!e15} sweeps, [[Off; Sym; Sym_por]] by default.
     The bench CLI's [--reduce] flag narrows it to [Off] plus the chosen
@@ -95,14 +102,18 @@ val take_metrics : unit -> datapoint list
 (** All datapoints recorded since the last call, oldest first; clears
     the buffer. *)
 
-val record_scorecard : Workload.Scorecard.t -> unit
-(** Buffer one whole lock scorecard (E13); drained separately from the
-    flat datapoints because the bench driver persists the full rows to
-    [BENCH_locks.json]. *)
+val record_scorecard :
+  ?extra:(string * Telemetry.Json.t) list -> Workload.Scorecard.t -> unit
+(** Buffer one whole lock scorecard (E13, E16); drained separately from
+    the flat datapoints because the bench driver persists the full rows
+    to [BENCH_locks.json].  [extra] (default none) carries fields the
+    scorecard schema has no slot for — E16's drift verdicts — appended
+    verbatim to the persisted JSON row. *)
 
-val take_scorecards : unit -> Workload.Scorecard.t list
-(** All scorecards recorded since the last call, oldest first; clears
-    the buffer. *)
+val take_scorecards :
+  unit -> (Workload.Scorecard.t * (string * Telemetry.Json.t) list) list
+(** All (scorecard, extra-fields) pairs recorded since the last call,
+    oldest first; clears the buffer. *)
 
 val lock_resolver : ?bound:int -> unit -> Workload.Suite.resolver
 (** The zoo resolver the observatory cells use: looks the family up in

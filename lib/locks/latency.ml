@@ -1,8 +1,4 @@
-let buckets_s =
-  [|
-    1e-7; 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4;
-    1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
-  |]
+let buckets_s = Telemetry.Quantile.latency_buckets_s
 
 let ns_of s = if Float.is_nan s then 0 else int_of_float (s *. 1e9)
 

@@ -10,9 +10,10 @@
     acquire; wrap only when the numbers are wanted. *)
 
 val buckets_s : float array
-(** The latency ladder: 100 ns to 5 s, 1–2–5 steps (seconds).  The top
-    extends past 1 s because open-loop backlogs (see {!Open_loop}) can
-    legitimately accumulate multi-second queueing delays. *)
+(** {!Telemetry.Quantile.latency_buckets_s}: 100 ns to 5 s, 1–2–5
+    steps (seconds).  The top extends past 1 s because open-loop
+    backlogs (see {!Open_loop}) can legitimately accumulate
+    multi-second queueing delays. *)
 
 type mode =
   | Closed_loop

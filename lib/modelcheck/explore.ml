@@ -202,14 +202,36 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?(check_deadlock = tr
           Some (Telemetry.Metrics.histogram m "explore.wave_s")
     in
     let wave_t0 = ref (now ()) in
-    let on_wave ~depth ~frontier =
-      max_depth := depth;
-      (match metrics with
-      | None -> ()
+    (* Live gauges feed the flight-recorder sampler: refreshed once per
+       wave (never per state), and registered only when a registry was
+       asked for, so an uninstrumented run stays bit-identical.  Named
+       live_* because record_finish registers the bare names as
+       counters. *)
+    let live =
+      match metrics with
+      | None -> None
       | Some m ->
           Telemetry.Metrics.set
-            (Telemetry.Metrics.gauge m "explore.frontier_depth")
-            (float_of_int frontier));
+            (Telemetry.Metrics.gauge m "explore.max_states")
+            (float_of_int max_states);
+          Some
+            ( Telemetry.Metrics.gauge m "explore.frontier_depth",
+              Telemetry.Metrics.gauge m "explore.live_generated",
+              Telemetry.Metrics.gauge m "explore.live_distinct",
+              Telemetry.Metrics.gauge m "explore.live_kstates_s" )
+    in
+    let on_wave ~depth ~frontier =
+      max_depth := depth;
+      (match live with
+      | None -> ()
+      | Some (g_frontier, g_gen, g_dist, g_rate) ->
+          Telemetry.Metrics.set g_frontier (float_of_int frontier);
+          Telemetry.Metrics.set g_gen (float_of_int !generated);
+          Telemetry.Metrics.set g_dist (float_of_int (Store.length idx));
+          let elapsed = now () -. t0 in
+          Telemetry.Metrics.set g_rate
+            (if elapsed > 0.0 then float_of_int !generated /. elapsed /. 1e3
+             else 0.0));
       match wave_hist with
       | None -> ()
       | Some h ->

@@ -439,9 +439,34 @@ let run ?invariants ?constraint_ ?(max_states = 5_000_000) ?domains ?pool
     (match metrics with
     | None -> ()
     | Some m ->
-        Telemetry.Metrics.set
-          (Telemetry.Metrics.gauge m "par_explore.frontier_depth")
-          (float_of_int frontier));
+        (* Live gauges for the flight-recorder sampler, refreshed once
+           per wave.  Steal/idle live values are gauges under live_*
+           names because record_finish owns the bare names as
+           counters. *)
+        let set name v =
+          Telemetry.Metrics.set (Telemetry.Metrics.gauge m name) v
+        in
+        set "par_explore.frontier_depth" (float_of_int frontier);
+        set "par_explore.max_states" (float_of_int max_states);
+        let elapsed = now () -. t0 in
+        let generated = total_generated () in
+        let mn, mx = Shard_table.occupancy tbl in
+        set "par_explore.live_generated" (float_of_int generated);
+        set "par_explore.live_distinct"
+          (float_of_int (Shard_table.total tbl));
+        set "par_explore.live_kstates_s"
+          (if elapsed > 0.0 then float_of_int generated /. elapsed /. 1e3
+           else 0.0);
+        set "par_explore.shard_occupancy_min" (float_of_int mn);
+        set "par_explore.shard_occupancy_max" (float_of_int mx);
+        set "par_explore.live_steals"
+          (float_of_int
+             (Array.fold_left (fun a d -> a + d.d_steals) 0 dstates));
+        set "par_explore.live_idle_epochs"
+          (float_of_int
+             (Array.fold_left (fun a d -> a + d.d_idle) 0 dstates));
+        set "par_explore.table_mb"
+          (float_of_int (Shard_table.memory_bytes tbl) /. 1048576.0));
     match progress with
     | None -> ()
     | Some p ->

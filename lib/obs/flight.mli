@@ -1,0 +1,49 @@
+(** Flight-record format: schema-versioned time-series snapshots.
+
+    A flight record is a JSONL file: one self-describing header line
+    followed by one line per sample.  Each sample is a numeric
+    key-value snapshot of whatever the producer chose to record —
+    explorer throughput, live lock percentiles, GC gauges — stamped
+    with a sequence number and seconds since the recorder started.
+    The format is append-only and every line is flushed as written, so
+    a run killed mid-flight leaves a well-formed prefix ready for
+    [bakery_cli report]. *)
+
+val schema_version : int
+(** Version of the sample line shape; {!load} refuses files whose
+    header declares a different version. *)
+
+type sample = {
+  seq : int;  (** 0-based, gap-free as written (gaps mean ring drops) *)
+  at_s : float;  (** seconds since the recorder was created *)
+  values : (string * float) list;  (** sorted by metric name *)
+}
+
+val sample : seq:int -> at_s:float -> (string * float) list -> sample
+(** Sorts [values] by name (deterministic JSON and lookups). *)
+
+val sample_to_json : sample -> Telemetry.Json.t
+val sample_of_json : Telemetry.Json.t -> (sample, string) result
+
+val header_json : unit -> Telemetry.Json.t
+(** [{"kind": "flight_header", "schema": v, <runmeta>}] — the first
+    line of every flight record. *)
+
+val load : string -> (Telemetry.Json.t option * sample list, string) result
+(** Parse a flight-record file: the header (if any) and all samples in
+    file order.  [Error] on unreadable files, malformed lines, or a
+    header with the wrong schema version.  An empty file is
+    [Ok (None, \[\])]. *)
+
+(** {1 Series extraction} *)
+
+val names : sample list -> string list
+(** Sorted union of metric names across all samples. *)
+
+val series : sample list -> string -> float array
+(** Values of one metric in sample order, skipping samples where it is
+    absent. *)
+
+val times : sample list -> string -> float array
+(** [at_s] of exactly the samples {!series} kept, so
+    [times s n] and [series s n] always zip. *)

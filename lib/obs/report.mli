@@ -1,0 +1,30 @@
+(** The run-report renderer behind [bakery_cli report]: flight
+    records, metric snapshots, trace events and bench rows in, one
+    deterministic markdown document out.
+
+    Determinism is the contract the golden tests enforce: the output
+    is a pure function of {!input} — no clocks, no hostnames, no git
+    revisions, keys always sorted, floats always formatted the same
+    way — so the same files render byte-identically on any machine,
+    and a report diff is a run diff. *)
+
+type input = {
+  flight_header : Telemetry.Json.t option;
+  flight : Flight.sample list;
+  metrics : Telemetry.Json.t list;
+      (** [--metrics-out] JSONL rows ([{"metric": ..., "value": ...}]);
+          when a name repeats across appended runs the last row wins *)
+  trace : Telemetry.Json.t list;  (** trace JSONL events, headers excluded *)
+  bench : Telemetry.Json.t list;  (** BENCH_*.json rows *)
+}
+
+val empty : input
+
+val render : input -> string
+(** Markdown: a summary with an overall verdict ([OK], or [ATTENTION]
+    with the findings that earned it), per-series tables with unicode
+    sparklines, drift verdicts on tail/heap series, a completion ETA
+    when the flight record carries explorer progress against a known
+    state-count target, shard-balance attribution, the metrics
+    snapshot, scorecard cells diffed against their best prior rows,
+    and trace-event counts.  Sections with no data are omitted. *)

@@ -1,0 +1,75 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then nan
+  else Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let ss = Array.fold_left (fun acc v -> acc +. ((v -. m) ** 2.)) 0. a in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+(* U+2581..U+2588, 3 bytes each in UTF-8. *)
+let levels = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline a =
+  if Array.length a = 0 then ""
+  else begin
+    let finite = Array.to_list a |> List.filter Float.is_finite in
+    match finite with
+    | [] -> String.concat "" (List.map (fun _ -> "·") (Array.to_list a))
+    | _ ->
+        let lo = List.fold_left Float.min infinity finite in
+        let hi = List.fold_left Float.max neg_infinity finite in
+        let span = hi -. lo in
+        let cell v =
+          if not (Float.is_finite v) then "·"
+          else if span <= 0. then levels.(3)
+          else
+            let i = int_of_float ((v -. lo) /. span *. 7.99) in
+            levels.(if i < 0 then 0 else if i > 7 then 7 else i)
+        in
+        String.concat "" (List.map cell (Array.to_list a))
+  end
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;
+  slope_stderr : float;
+  n : int;
+}
+
+let fit ~t ~y =
+  let n = min (Array.length t) (Array.length y) in
+  if n < 2 then None
+  else begin
+    let t = Array.sub t 0 n and y = Array.sub y 0 n in
+    let mt = mean t and my = mean y in
+    let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+    for i = 0 to n - 1 do
+      let dt = t.(i) -. mt and dy = y.(i) -. my in
+      sxx := !sxx +. (dt *. dt);
+      sxy := !sxy +. (dt *. dy);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx <= 0. then None
+    else begin
+      let slope = !sxy /. !sxx in
+      let intercept = my -. (slope *. mt) in
+      let ss_res = ref 0. in
+      for i = 0 to n - 1 do
+        let e = y.(i) -. (intercept +. (slope *. t.(i))) in
+        ss_res := !ss_res +. (e *. e)
+      done;
+      let r2 = if !syy <= 0. then 1. else 1. -. (!ss_res /. !syy) in
+      let slope_stderr =
+        if n <= 2 then 0.
+        else sqrt (!ss_res /. float_of_int (n - 2) /. !sxx)
+      in
+      Some { slope; intercept; r2; slope_stderr; n }
+    end
+  end

@@ -1,0 +1,28 @@
+(** Small numeric helpers over time series: summary statistics,
+    unicode sparklines and least-squares line fitting.  Everything here
+    is pure and deterministic — the report renderer leans on that for
+    byte-identical output. *)
+
+val mean : float array -> float
+(** [nan] when empty. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); [0.] when n < 2. *)
+
+val sparkline : float array -> string
+(** Eight-level unicode sparkline (▁ to █) scaled to the series'
+    min..max; a flat series renders as all ▄, non-finite values as ·,
+    an empty series as the empty string. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination; 1. for a perfect fit *)
+  slope_stderr : float;  (** standard error of the slope estimate *)
+  n : int;
+}
+
+val fit : t:float array -> y:float array -> fit option
+(** Ordinary least squares of [y] against [t] (paired up to the
+    shorter length).  [None] when fewer than two points remain or all
+    [t] are equal. *)

@@ -1,0 +1,29 @@
+(** The metric-name catalogue: every instrument name the stack may
+    register, as literal names or patterns with ['*'] wildcards.
+
+    Three producers now feed the same registries (the explorer engines,
+    the lock/workload observatory, and the flight recorder), so name
+    collisions and silent drift are real risks: a counter and a gauge
+    sharing a name raises at runtime ({!Metrics}), but a typo'd or
+    unregistered name would just mint a new series nobody reads.  The
+    tier-1 metric-name lint scans the sources for registration sites
+    and fails on any name this catalogue does not cover — adding a
+    metric means adding a row here, which is also where reviewers see
+    the namespace evolve. *)
+
+val all : string list
+(** Every allowed metric name; ['*'] matches any non-empty run of
+    characters (e.g. ["lock.*.acquire_s"]). *)
+
+val matches : string -> bool
+(** Whether a concrete metric name is covered by some catalogue
+    entry. *)
+
+val covers_prefix : string -> bool
+(** Whether some entry could produce a name starting with this literal
+    fragment — used by the lint for ["lock." ^ name ^ ...]-style
+    registration sites where only the prefix is a literal. *)
+
+val covers_suffix : string -> bool
+(** Dual of {!covers_prefix} for [prefix ^ ".generated"]-style
+    sites. *)

@@ -65,11 +65,7 @@ let gauge_value g = Atomic.get g
 
 (* ---------------------------------------------------------- histograms *)
 
-let default_buckets =
-  [|
-    1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
-    1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0; 10.0;
-  |]
+let default_buckets = Quantile.default_buckets
 
 let make_histogram bounds =
   let n = Array.length bounds in
@@ -117,23 +113,12 @@ let observe h v =
   fold_float h.h_min (fun a b -> if Float.is_nan a || b < a then b else a) v;
   fold_float h.h_max (fun a b -> if Float.is_nan a || b > a then b else a) v
 
+(* The estimator itself lives in {!Quantile}; this only snapshots the
+   atomic cells into the plain arrays it expects. *)
 let percentile h q =
-  let total = Atomic.get h.h_count in
-  if total = 0 then nan
-  else begin
-    let rank = int_of_float (ceil (q *. float_of_int total)) in
-    let rank = if rank < 1 then 1 else rank in
-    let n = Array.length h.bounds in
-    let rec walk i cum =
-      if i > n then Atomic.get h.h_max
-      else
-        let cum = cum + Atomic.get h.bucket_counts.(i) in
-        if cum >= rank then
-          if i < n then h.bounds.(i) else Atomic.get h.h_max
-        else walk (i + 1) cum
-    in
-    walk 0 0
-  end
+  Quantile.estimate ~bounds:h.bounds
+    ~counts:(Array.map Atomic.get h.bucket_counts)
+    ~max:(Atomic.get h.h_max) ~q
 
 (* ------------------------------------------------------------------ GC *)
 
@@ -168,6 +153,7 @@ type histogram_snapshot = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   buckets : (float * int) array;
 }
 
@@ -186,6 +172,7 @@ let snapshot_histogram h =
     p50 = percentile h 0.50;
     p95 = percentile h 0.95;
     p99 = percentile h 0.99;
+    p999 = percentile h 0.999;
     buckets =
       Array.init (n + 1) (fun i ->
           ( (if i < n then h.bounds.(i) else infinity),
@@ -222,6 +209,7 @@ let value_to_json = function
           ("p50", Json.Num s.p50);
           ("p95", Json.Num s.p95);
           ("p99", Json.Num s.p99);
+          ("p999", Json.Num s.p999);
           ( "buckets",
             Json.Arr
               (Array.to_list s.buckets

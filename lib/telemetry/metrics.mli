@@ -36,8 +36,9 @@ val gauge_value : gauge -> float
 type histogram
 
 val default_buckets : float array
-(** A 1–2–5 ladder from 1e-6 to 10.0 — microseconds to seconds when
-    observations are latencies in seconds. *)
+(** {!Quantile.default_buckets} — a 1–2–5 ladder from 1e-6 to 10.0,
+    microseconds to seconds when observations are latencies in
+    seconds. *)
 
 val histogram : t -> ?buckets:float array -> string -> histogram
 (** [buckets] are strictly increasing upper bounds (defaults to
@@ -47,11 +48,11 @@ val histogram : t -> ?buckets:float array -> string -> histogram
 val observe : histogram -> float -> unit
 
 val percentile : histogram -> float -> float
-(** [percentile h q] for [q] in [0, 1]: the smallest bucket upper bound
-    such that at least [q * count] observations are at or below it —
-    the overflow bucket reports the maximum observation.  [nan] when
-    empty.  The usual fixed-bucket estimator: exact rank, bucket-bound
-    resolution. *)
+(** [percentile h q] for [q] in [0, 1]: {!Quantile.estimate} over the
+    histogram's atomic buckets — the smallest bucket upper bound such
+    that at least [q * count] observations are at or below it; the
+    overflow bucket reports the maximum observation.  [nan] when
+    empty. *)
 
 (** {1 GC gauges} — allocation pathologies in long soak runs. *)
 
@@ -75,6 +76,7 @@ type histogram_snapshot = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   buckets : (float * int) array;  (** (upper bound, count); last is [infinity] *)
 }
 
@@ -88,4 +90,4 @@ val snapshot : t -> (string * value) list
 
 val value_to_json : value -> Json.t
 (** Counters/gauges as numbers; histograms as an object with count,
-    sum, min, max, p50/p95/p99 and non-empty buckets. *)
+    sum, min, max, p50/p95/p99/p999 and non-empty buckets. *)

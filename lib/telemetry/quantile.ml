@@ -1,0 +1,51 @@
+let default_buckets =
+  [|
+    1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+    1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0; 10.0;
+  |]
+
+let latency_buckets_s =
+  [|
+    1e-7; 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4;
+    1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
+  |]
+
+let rank ~q ~count =
+  let r = int_of_float (ceil (q *. float_of_int count)) in
+  if r < 1 then 1 else r
+
+let estimate ~bounds ~counts ~max ~q =
+  let n = Array.length bounds in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then nan
+  else begin
+    let r = rank ~q ~count:total in
+    let rec walk i cum =
+      if i > n then max
+      else
+        let cum = cum + counts.(i) in
+        if cum >= r then if i < n then bounds.(i) else max else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let bucket_of bounds v =
+  let n = Array.length bounds in
+  let rec find lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then find lo mid else find (mid + 1) hi
+  in
+  find 0 n
+
+let of_samples ~bounds samples ~q =
+  let counts = Array.make (Array.length bounds + 1) 0 in
+  let max_v = ref nan in
+  Array.iter
+    (fun v ->
+      let b = bucket_of bounds v in
+      counts.(b) <- counts.(b) + 1;
+      if Float.is_nan !max_v || v > !max_v then max_v := v)
+    samples;
+  estimate ~bounds ~counts ~max:!max_v ~q

@@ -1,0 +1,34 @@
+(** The one fixed-bucket quantile estimator, shared by every histogram
+    in the stack.
+
+    Before this module existed the rank-walk lived in {!Metrics} and the
+    latency ladder lived in [Locks.Latency]; both now live here so the
+    checker's wave histograms, the lock zoo's acquire histograms and the
+    flight recorder's series all agree on what "p99" means: the smallest
+    bucket upper bound covering at least [ceil (q * count)] observations,
+    with the overflow bucket reporting the maximum observation. *)
+
+val default_buckets : float array
+(** A 1–2–5 ladder from 1e-6 to 10.0 — microseconds to seconds when
+    observations are latencies in seconds. *)
+
+val latency_buckets_s : float array
+(** The lock-acquire ladder: 100 ns to 5 s, 1–2–5 steps (seconds).  The
+    top extends past 1 s because open-loop backlogs can legitimately
+    accumulate multi-second queueing delays. *)
+
+val rank : q:float -> count:int -> int
+(** [ceil (q * count)], clamped to at least 1 — the exact rank the
+    estimator resolves to bucket-bound resolution. *)
+
+val estimate :
+  bounds:float array -> counts:int array -> max:float -> q:float -> float
+(** [estimate ~bounds ~counts ~max ~q]: [counts] has one entry per bound
+    plus a final overflow bucket.  Returns the smallest bound whose
+    cumulative count reaches {!rank}; ranks landing in the overflow
+    bucket return [max].  [nan] when the total count is zero. *)
+
+val of_samples : bounds:float array -> float array -> q:float -> float
+(** Bucketize raw samples against [bounds] (first bound >= sample;
+    larger samples overflow) and {!estimate} — the reference the
+    differential tests pin the atomic histograms against. *)

@@ -60,7 +60,11 @@ let jsonl path =
     Mutex.lock mutex;
     if not !closed then begin
       output_string oc line;
-      output_char oc '\n'
+      output_char oc '\n';
+      (* One flush per event: telemetry cadence is coarse, and a run
+         killed mid-flight must leave only whole lines behind — the
+         flight recorder's crash-forensics contract. *)
+      flush oc
     end;
     Mutex.unlock mutex
   in

@@ -31,7 +31,9 @@ val stderr_human : unit -> t
 val jsonl : string -> t
 (** Appends one JSON object per event to the file (created if
     missing): [{"t": ..., "kind": ..., "name": ..., <fields>}].
-    Serialized by an internal mutex; [close] flushes and closes. *)
+    Serialized by an internal mutex and flushed after every line, so a
+    run killed mid-flight leaves a well-formed prefix; [close] flushes
+    and closes. *)
 
 val tee : t list -> t
 (** Fan out to several sinks; [close] closes them all. *)

@@ -33,8 +33,8 @@ let wait_until due =
   done
 
 let run ?(shape = Shape.contended) ?(seed = 1) ?(ring_capacity = 8192)
-    ?(grace_s = 2.0) ?on_op ~rate ~budget (inst : Locks.Lock_intf.instance)
-    ~nprocs =
+    ?(grace_s = 2.0) ?on_op ?registry ~rate ~budget
+    (inst : Locks.Lock_intf.instance) ~nprocs =
   if nprocs < 1 then invalid_arg "Workload.Openloop.run: nprocs must be >= 1";
   if rate <= 0.0 then invalid_arg "Workload.Openloop.run: rate must be > 0";
   let per_rate = rate /. float_of_int nprocs in
@@ -59,7 +59,11 @@ let run ?(shape = Shape.contended) ?(seed = 1) ?(ring_capacity = 8192)
      plain stores suffice. *)
   let intended = Array.make nprocs 0.0 in
   let ring = Locks.Ring.create ~capacity:ring_capacity ~nprocs () in
-  let registry = Telemetry.Metrics.create () in
+  (* A caller-supplied registry makes the acquire histogram visible to
+     concurrent samplers (the flight recorder) while the run is live. *)
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Metrics.create ()
+  in
   let timed =
     Locks.Latency.instrument ~registry
       ~mode:(Locks.Latency.Open_loop (fun pid -> intended.(pid)))

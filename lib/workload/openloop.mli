@@ -44,6 +44,7 @@ val run :
   ?ring_capacity:int ->
   ?grace_s:float ->
   ?on_op:(unit -> unit) ->
+  ?registry:Telemetry.Metrics.t ->
   rate:float ->
   budget:budget ->
   Locks.Lock_intf.instance ->
@@ -54,4 +55,7 @@ val run :
     spin (yielding) across the remainder.  [grace_s] (default 2)
     extends a [Seconds] budget before the tail is abandoned.  [on_op]
     (default none) runs after every completed operation on the worker
-    domain — the live counter hook for dashboards; keep it cheap. *)
+    domain — the live counter hook for dashboards; keep it cheap.
+    [registry] (default a fresh one) hosts the acquire histogram, so a
+    caller can watch [lock.<name>.acquire_s] percentiles evolve while
+    the run is still going (the flight-recorder hook). *)

@@ -4,12 +4,36 @@ let stat stats name = Option.value ~default:0 (List.assoc_opt name stats)
 
 let run_cell (resolve : resolver) ?(shape = Shape.contended)
     ?(slo = Slo.default) ?virtual_bound ?(sample_interval_s = 1e-3) ?progress
-    ~algo ~nprocs ~rate ~budget ~seed () =
+    ?flight ~algo ~nprocs ~rate ~budget ~seed () =
   let inst = resolve algo ~nprocs in
   let live_ops = Atomic.make 0 in
+  (* Shared with Openloop so the flight hook can read live acquire
+     percentiles mid-run, not just the post-mortem stats. *)
+  let registry = Telemetry.Metrics.create () in
+  (* The flight recorder rides the same observatory sampler as the
+     dashboard: one snapshot per poll, lock stats namespaced under the
+     instance, registry histograms flattened by Recorder.of_metrics. *)
+  let feed_flight =
+    match flight with
+    | None -> fun _ -> ()
+    | Some recorder ->
+        fun (s : Observatory.sample) ->
+          Telemetry.Metrics.observe_gc registry;
+          let named =
+            List.map
+              (fun (k, v) ->
+                ( "lock." ^ inst.Locks.Lock_intf.instance_name ^ "." ^ k,
+                  float_of_int v ))
+              s.Observatory.stats
+          in
+          Obs.Recorder.record recorder
+            (named
+            @ [ ("ops", float_of_int (Atomic.get live_ops)) ]
+            @ Obs.Recorder.of_metrics registry)
+  in
   (* The dashboard rides the sampler domain: every poll offers a line to
      the rate-limited reporter, which emits at most one per interval. *)
-  let on_sample =
+  let dashboard =
     Option.map
       (fun prog (s : Observatory.sample) ->
         Telemetry.Progress.poll prog (fun () ->
@@ -28,13 +52,22 @@ let run_cell (resolve : resolver) ?(shape = Shape.contended)
             @ Telemetry.Metrics.gc_fields ()))
       progress
   in
+  let on_sample =
+    match (flight, dashboard) with
+    | None, None -> None
+    | _ ->
+        Some
+          (fun s ->
+            feed_flight s;
+            match dashboard with Some f -> f s | None -> ())
+  in
   let obs =
     Observatory.start ~interval_s:sample_interval_s ?virtual_bound ?on_sample
       inst
   in
   let r =
-    Openloop.run ~shape ~seed ~rate ~budget inst ~nprocs ~on_op:(fun () ->
-        Atomic.incr live_ops)
+    Openloop.run ~shape ~seed ~rate ~budget ~registry inst ~nprocs
+      ~on_op:(fun () -> Atomic.incr live_ops)
   in
   let rep = Observatory.stop obs in
   let p99_ns = stat r.Openloop.lock_stats "acq_p99_ns" in

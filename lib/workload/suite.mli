@@ -15,6 +15,7 @@ val run_cell :
   ?virtual_bound:int ->
   ?sample_interval_s:float ->
   ?progress:Telemetry.Progress.t ->
+  ?flight:Obs.Recorder.t ->
   algo:string ->
   nprocs:int ->
   rate:float ->
@@ -27,7 +28,10 @@ val run_cell :
     sampler, judge the {!Slo} (default {!Slo.default}) and assemble the
     {!Scorecard}.  [progress] attaches the live dashboard: one
     rate-limited line per reporter interval carrying live op count,
-    peak ticket, resets and GC gauges. *)
+    peak ticket, resets and GC gauges.  [flight] records one flight
+    sample per observatory poll — lock stats namespaced as
+    [lock.<instance>.<stat>], the live op count, GC gauges and the
+    evolving acquire-latency percentiles. *)
 
 (** {1 BENCH_locks.json} — same merge discipline as the model-checker
     datapoint file: read prior rows, append fresh ones, never clobber

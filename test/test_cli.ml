@@ -55,7 +55,7 @@ let subcommand_help name () =
 let subcommands =
   [
     "list"; "show"; "check"; "sim"; "explain"; "lasso"; "refine"; "verify";
-    "tla"; "graph"; "fuzz"; "bench";
+    "tla"; "graph"; "fuzz"; "bench"; "report";
   ]
 
 let check_progress_metrics () =
@@ -422,6 +422,132 @@ let bench_locks_usage_errors () =
   check int_t "locks mixed with experiment ids exits 2" 2 code;
   check bool_t "mixing error mentions locks" true (contains ~affix:"locks" err)
 
+(* ------------------------------------------------------------- report *)
+
+let slurp_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+(* check → flight record + metrics snapshot → report: the full
+   pipeline, with the rendered document byte-identical across renders
+   (the determinism contract the golden tests pin in-process). *)
+let report_pipeline () =
+  let flight = Filename.temp_file "cli" ".flight.jsonl" in
+  let metrics = Filename.temp_file "cli" ".metrics.jsonl" in
+  List.iter Sys.remove [ flight; metrics ];
+  let code, _, err =
+    run_capture
+      [
+        "check"; "bakery_pp"; "-n"; "2"; "-m"; "3"; "--flight-out"; flight;
+        "--flight-interval"; "0.005"; "--metrics-out"; metrics;
+      ]
+  in
+  if code <> 0 then Alcotest.fail ("check failed: " ^ err);
+  (* the flight record is well-formed JSONL with the schema header *)
+  let lines = slurp_lines flight in
+  check bool_t "flight has header + samples" true (List.length lines >= 2);
+  (match Telemetry.Json.parse (List.hd lines) with
+  | Ok v ->
+      check bool_t "first line is the header" true
+        (Telemetry.Json.member "kind" v
+        = Some (Telemetry.Json.Str "flight_header"))
+  | Error e -> Alcotest.fail ("header unparseable: " ^ e));
+  let render out_file =
+    let code, out, err =
+      run_capture
+        [ "report"; "--flight"; flight; "--metrics"; metrics; "-o"; out_file ]
+    in
+    if code <> 0 then Alcotest.fail ("report failed: " ^ out ^ err);
+    let ic = open_in_bin out_file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove out_file;
+    s
+  in
+  let doc1 = render (Filename.temp_file "cli" ".md") in
+  let doc2 = render (Filename.temp_file "cli" ".md") in
+  check Alcotest.string "re-render is byte-identical" doc1 doc2;
+  List.iter
+    (fun affix ->
+      check bool_t ("report has " ^ affix) true (contains ~affix doc1))
+    [
+      "# Run report"; "- verdict:"; "## Time series"; "## Metrics snapshot";
+      "explore.generated";
+    ];
+  (* stdout when no -o *)
+  let code, out, _ = run_capture [ "report"; "--flight"; flight ] in
+  check int_t "report to stdout exits 0" 0 code;
+  check bool_t "stdout report rendered" true (contains ~affix:"# Run report" out);
+  List.iter Sys.remove [ flight; metrics ]
+
+let report_usage_errors () =
+  let code, _, err = run_capture [ "report"; "--flight"; "/nonexistent.jsonl" ] in
+  check int_t "missing flight file exits 2" 2 code;
+  check bool_t "error names the file" true
+    (contains ~affix:"/nonexistent.jsonl" err);
+  (* a malformed line is rejected with its line number *)
+  let bad = Filename.temp_file "cli" ".jsonl" in
+  let oc = open_out bad in
+  output_string oc "{\"metric\": \"x\", \"value\": 1}\nnot json\n";
+  close_out oc;
+  let code, _, err = run_capture [ "report"; "--metrics"; bad ] in
+  Sys.remove bad;
+  check int_t "malformed metrics line exits 2" 2 code;
+  check bool_t "error carries the line number" true (contains ~affix:":2" err)
+
+(* The crash-forensics contract (satellite of the flight recorder):
+   SIGTERM mid-run must leave a flight record whose every line is
+   whole — the per-line flush, not at_exit, is what guarantees it,
+   because SIGTERM never runs at_exit. *)
+let report_kill_mid_flight () =
+  let flight = Filename.temp_file "cli" ".flight.jsonl" in
+  Sys.remove flight;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [|
+        cli; "check"; "bakery_pp"; "-n"; "3"; "-m"; "6"; "--flight-out";
+        flight; "--flight-interval"; "0.01";
+      |]
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  (* wait until the sampler has demonstrably written a few lines *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let enough () =
+    Sys.file_exists flight && List.length (slurp_lines flight) >= 4
+  in
+  while (not (enough ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  check bool_t "run produced flight lines before the kill" true (enough ());
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WSIGNALED s when s = Sys.sigterm -> ()
+  | _, _ -> Alcotest.fail "process did not die from SIGTERM");
+  let lines = slurp_lines flight in
+  check bool_t "record survived the kill" true (List.length lines >= 4);
+  List.iteri
+    (fun i line ->
+      match Telemetry.Json.parse line with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "line %d torn after SIGTERM: %s (%s)" (i + 1) e line)
+    lines;
+  (* and the well-formed prefix renders *)
+  let code, out, _ = run_capture [ "report"; "--flight"; flight ] in
+  Sys.remove flight;
+  check int_t "report renders the killed run's record" 0 code;
+  check bool_t "killed-run report has series" true
+    (contains ~affix:"## Time series" out)
+
 let () =
   Alcotest.run "cli"
     [
@@ -463,6 +589,14 @@ let () =
         [
           Alcotest.test_case "--register-model flag" `Quick
             register_model_flag;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "check → flight → report pipeline" `Quick
+            report_pipeline;
+          Alcotest.test_case "usage errors" `Quick report_usage_errors;
+          Alcotest.test_case "SIGTERM leaves whole lines" `Quick
+            report_kill_mid_flight;
         ] );
       ( "reduce",
         [

@@ -190,12 +190,12 @@ let registry_families () =
 (* ---------------------------------------------------------- experiments *)
 
 let experiment_registry () =
-  check int_t "fifteen experiments plus three ablations" 18
+  check int_t "sixteen experiments plus three ablations" 19
     (List.length Harness.Experiments.all);
   let expected =
     [
       "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "e12"; "e13"; "e14"; "e15"; "a1"; "a2"; "a3";
+      "e12"; "e13"; "e14"; "e15"; "e16"; "a1"; "a2"; "a3";
     ]
   in
   check (Alcotest.list Alcotest.string) "ids are ordered" expected
@@ -255,6 +255,6 @@ let () =
                    experiment_smoke id))
              [
                "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10";
-               "e12"; "e13"; "e15"; "a1"; "a2"; "a3";
+               "e12"; "e13"; "e15"; "e16"; "a1"; "a2"; "a3";
              ] );
     ]

@@ -73,6 +73,187 @@ let formatting () =
   if dirty <> [] then
     Alcotest.failf "formatting drift:\n%s" (String.concat "\n" dirty)
 
+(* ------------------------------------------------------- metric names *)
+
+(* The metric-name lint (see Telemetry.Catalog): every instrument name
+   the sources register must be covered by the catalogue, and the
+   catalogue itself must be duplicate-free.  The scan is textual —
+   string literals with a metric-name shape, plus the literal
+   prefix/suffix fragments of [("lock." ^ name ^ ".acquire_s")]-style
+   registration sites — so a typo'd name fails tier-1 instead of
+   minting a series nobody reads. *)
+
+let is_metric_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '.'
+
+(* full metric-name shape: lowercase start, at least one dot, no
+   leading/trailing/double dots, metric charset only *)
+let metric_shaped s =
+  let n = String.length s in
+  n > 0
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && s.[n - 1] <> '.'
+  && String.contains s '.'
+  && (let ok = ref true in
+      String.iter (fun c -> if not (is_metric_char c) then ok := false) s;
+      !ok)
+  &&
+  let double = ref false in
+  String.iteri
+    (fun i c -> if c = '.' && i + 1 < n && s.[i + 1] = '.' then double := true)
+    s;
+  not !double
+
+(* all string literals on a line (no escape handling — metric names
+   never contain backslashes, and a literal we fail to parse is simply
+   not checked) *)
+let literals_of_line line =
+  let out = ref [] in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && line.[!j] <> '"' do
+        if line.[!j] = '\\' then incr j;
+        incr j
+      done;
+      if !j < n then out := String.sub line (!i + 1) (!j - !i - 1) :: !out;
+      i := !j + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let mentions_instrument line =
+  List.exists
+    (fun needle ->
+      let nl = String.length needle and hl = String.length line in
+      let rec go i =
+        i + nl <= hl && (String.sub line i nl = needle || go (i + 1))
+      in
+      go 0)
+    [ "counter"; "gauge"; "histogram" ]
+
+let contains_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let metric_names () =
+  (* catalogue hygiene first: sorted, duplicate-free, valid patterns *)
+  let cat = Telemetry.Catalog.all in
+  Alcotest.(check bool)
+    "catalogue is sorted" true
+    (List.sort compare cat = cat);
+  Alcotest.(check int)
+    "catalogue has no duplicates"
+    (List.length (List.sort_uniq compare cat))
+    (List.length cat);
+  List.iter
+    (fun entry ->
+      Alcotest.(check bool)
+        (entry ^ " is a valid pattern")
+        true
+        (String.length entry > 0
+        && entry.[0] <> '.'
+        && entry.[String.length entry - 1] <> '.'
+        && (let ok = ref true in
+            String.iter
+              (fun c -> if not (is_metric_char c || c = '*') then ok := false)
+              entry;
+            !ok)))
+    cat;
+  (* the matcher itself: sanity anchors *)
+  Alcotest.(check bool)
+    "literal entry matches" true
+    (Telemetry.Catalog.matches "explore.generated");
+  Alcotest.(check bool)
+    "wildcard entry matches" true
+    (Telemetry.Catalog.matches "lock.bakery_pp.acquire_s");
+  Alcotest.(check bool)
+    "unknown name rejected" false
+    (Telemetry.Catalog.matches "explore.bogus_metric");
+  (* namespaces the sweep cares about: first segment of each entry *)
+  let namespaces =
+    List.sort_uniq compare
+      (List.map
+         (fun e ->
+           match String.index_opt e '.' with
+           | Some i -> String.sub e 0 i
+           | None -> e)
+         cat)
+  in
+  let root = find_root (Sys.getcwd ()) in
+  let files =
+    List.concat_map
+      (fun d ->
+        let dir = Filename.concat root d in
+        if Sys.file_exists dir then ml_files dir else [])
+      [ "lib"; "bin"; "bench" ]
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  in
+  Alcotest.(check bool)
+    "found sources to scan" true
+    (List.length files > 30);
+  let problems = ref [] in
+  let checked = ref 0 in
+  let problem fmt =
+    Printf.ksprintf (fun m -> problems := m :: !problems) fmt
+  in
+  List.iter
+    (fun file ->
+      let lines = String.split_on_char '\n' (read_file file) in
+      List.iteri
+        (fun i line ->
+          let prev = if i = 0 then "" else List.nth lines (i - 1) in
+          if not (contains_sub line "Span.start") then
+            List.iter
+              (fun lit ->
+                let n = String.length lit in
+                let namespace =
+                  match String.index_opt lit '.' with
+                  | Some j -> String.sub lit 0 j
+                  | None -> lit
+                in
+                if metric_shaped lit && List.mem namespace namespaces then begin
+                  incr checked;
+                  if not (Telemetry.Catalog.matches lit) then
+                    problem "%s:%d: metric %S is not in Telemetry.Catalog"
+                      file (i + 1) lit
+                end
+                else if
+                  mentions_instrument line || mentions_instrument prev
+                then begin
+                  (* concat fragments at registration sites:
+                     ("bench." ^ id ^ ".wall_s") *)
+                  if n > 1 && lit.[n - 1] = '.' && metric_shaped (lit ^ "x")
+                  then begin
+                    if not (Telemetry.Catalog.covers_prefix lit) then
+                      problem
+                        "%s:%d: no catalogue entry can start with %S" file
+                        (i + 1) lit
+                  end
+                  else if n > 1 && lit.[0] = '.' && metric_shaped ("x" ^ lit)
+                  then if not (Telemetry.Catalog.covers_suffix lit) then
+                    problem "%s:%d: no catalogue entry can end with %S" file
+                      (i + 1) lit
+                end)
+              (literals_of_line line))
+        lines)
+    files;
+  Alcotest.(check bool)
+    "sweep saw a plausible number of metric literals" true
+    (!checked >= 30);
+  if !problems <> [] then
+    Alcotest.failf "metric-name drift:\n%s"
+      (String.concat "\n" (List.rev !problems))
+
 let () =
   Alcotest.run "lint"
-    [ ("formatting", [ Alcotest.test_case "sources are clean" `Quick formatting ]) ]
+    [
+      ("formatting", [ Alcotest.test_case "sources are clean" `Quick formatting ]);
+      ( "metrics",
+        [ Alcotest.test_case "names are catalogued" `Quick metric_names ] );
+    ]

@@ -79,6 +79,78 @@ let snapshot_determinism () =
   check bool_t "snapshots of unchanged registry are equal" true
     (T.Metrics.snapshot m = T.Metrics.snapshot m)
 
+(* ----------------------------------------------------------- quantile *)
+
+(* The atomic bucket walk in Metrics and the reference bucketizer in
+   Quantile must be the same estimator: feed identical samples to both
+   and demand identical answers at every tail, p999 included.  This is
+   the gate that keeps a future "optimisation" of one copy from
+   silently changing what p99 means. *)
+let quantile_differential () =
+  let rng = Random.State.make [| 0xB41; 7 |] in
+  let bounds = T.Quantile.default_buckets in
+  for case = 1 to 20 do
+    let n = 1 + Random.State.int rng 500 in
+    let samples =
+      Array.init n (fun _ ->
+          (* span the ladder: log-uniform over ~[1e-7, 20) hits the
+             underflow bucket, every middle bucket and the overflow *)
+          1e-7 *. exp (Random.State.float rng (log 2e8)))
+    in
+    let m = T.Metrics.create () in
+    let h = T.Metrics.histogram m ~buckets:bounds "lat" in
+    Array.iter (T.Metrics.observe h) samples;
+    List.iter
+      (fun q ->
+        let fast = T.Metrics.percentile h q in
+        let ref_v = T.Quantile.of_samples ~bounds samples ~q in
+        check (Alcotest.float 0.0)
+          (Printf.sprintf "case %d n=%d q=%g" case n q)
+          ref_v fast)
+      [ 0.5; 0.9; 0.95; 0.99; 0.999; 1.0 ]
+  done
+
+let quantile_edges () =
+  check int_t "rank clamps to 1" 1 (T.Quantile.rank ~q:0.0 ~count:100);
+  check int_t "rank is a ceiling" 51 (T.Quantile.rank ~q:0.505 ~count:100);
+  check int_t "rank tops out at count" 100 (T.Quantile.rank ~q:1.0 ~count:100);
+  check bool_t "empty estimate is nan" true
+    (Float.is_nan
+       (T.Quantile.estimate ~bounds:[| 1.0 |] ~counts:[| 0; 0 |] ~max:nan
+          ~q:0.5));
+  (* a rank landing in the overflow bucket reports the observed max,
+     not a bucket bound *)
+  check (Alcotest.float 0.0) "overflow reports max" 42.0
+    (T.Quantile.estimate ~bounds:[| 1.0 |] ~counts:[| 1; 1 |] ~max:42.0 ~q:1.0)
+
+(* p999 is part of the shared contract: present in snapshots, in the
+   JSON encoding, and in the lock-latency stats, always ordered within
+   the tail. *)
+let p999_everywhere () =
+  let m = T.Metrics.create () in
+  let h = T.Metrics.histogram m "lat" in
+  for _ = 1 to 998 do
+    T.Metrics.observe h 1e-4
+  done;
+  T.Metrics.observe h 2.0;
+  T.Metrics.observe h 2.0;
+  (* count 1000: rank(0.999) = 999 > 998 small observations, so p999
+     must resolve into the outlier bucket while p99 stays small *)
+  (match T.Metrics.snapshot m with
+  | [ ("lat", T.Metrics.Histogram s) ] ->
+      check bool_t "tail ordered p50<=p95<=p99<=p999<=max" true
+        (s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999
+       && s.p999 <= s.max);
+      check (Alcotest.float 0.0) "p999 catches the 1-in-1000 outlier" 2.0
+        s.p999;
+      (match T.Metrics.value_to_json (T.Metrics.Histogram s) with
+      | T.Json.Obj fields ->
+          check bool_t "p999 serialized" true (List.mem_assoc "p999" fields)
+      | _ -> Alcotest.fail "histogram JSON is not an object")
+  | _ -> Alcotest.fail "snapshot shape");
+  check bool_t "lock ladder is the shared one" true
+    (Locks.Latency.buckets_s = T.Quantile.latency_buckets_s)
+
 (* --------------------------------------------------------------- json *)
 
 let json_roundtrip () =
@@ -430,6 +502,13 @@ let () =
             histogram_buckets;
           Alcotest.test_case "percentile math" `Quick percentile_math;
           Alcotest.test_case "snapshot determinism" `Quick snapshot_determinism;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "differential vs reference" `Quick
+            quantile_differential;
+          Alcotest.test_case "rank and overflow edges" `Quick quantile_edges;
+          Alcotest.test_case "p999 everywhere" `Quick p999_everywhere;
         ] );
       ( "json",
         [
